@@ -1,0 +1,56 @@
+// E6 — The beta trade-off (claim C4).
+//
+// beta in {2..6} on two families. Prediction: larger beta lets each phase
+// clear a radius-(beta-1) ball around the marked set, so mark steps and
+// rounds fall (or stay flat) while the output shrinks toward one member per
+// far-apart region; the verified radius never exceeds beta.
+#include "bench_common.hpp"
+
+#include "core/det_ruling.hpp"
+#include "core/greedy.hpp"
+
+namespace rsets::bench {
+namespace {
+
+constexpr VertexId kN = 6000;
+
+Graph family_graph(int family) {
+  return family == 0 ? gen::gnp(kN, 16.0 / kN, 13)
+                     : gen::power_law(kN, 2.5, 12.0, 13);
+}
+
+void BM_DetRuling_Beta(benchmark::State& state) {
+  const auto beta = static_cast<std::uint32_t>(state.range(0));
+  const int family = static_cast<int>(state.range(1));
+  const Graph g = family_graph(family);
+  RulingSetResult result;
+  for (auto _ : state) {
+    DetRulingOptions opt;
+    opt.beta = beta;
+    opt.gather_budget_words = 8ull * kN;
+    result = det_ruling_set_mpc(g, default_mpc(), opt);
+  }
+  report(state, g, result);
+  state.counters["beta"] = beta;
+  state.counters["mark_steps"] = static_cast<double>(result.mark_steps);
+  state.counters["greedy_size"] =
+      static_cast<double>(greedy_ruling_set(g, beta).size());
+  state.counters["radius"] = static_cast<double>(
+      domination_radius(g, result.ruling_set));
+  state.SetLabel(family == 0 ? "gnp16" : "powerlaw");
+}
+
+void BetaByFamily(benchmark::internal::Benchmark* b) {
+  for (int family : {0, 1}) {
+    for (int beta = 2; beta <= 6; ++beta) {
+      b->Args({beta, family});
+    }
+  }
+}
+
+BENCHMARK(BM_DetRuling_Beta)->Apply(BetaByFamily)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rsets::bench
+
+BENCHMARK_MAIN();

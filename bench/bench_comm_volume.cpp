@@ -1,0 +1,71 @@
+// E3 — Memory and communication conformance vs gather budget (claim C3).
+//
+// Fixed graph; the gather budget B sweeps from generous to starved. The
+// ledger to check per row: violations must be 0 everywhere (the simulator
+// hard-enforces the caps); peak storage and per-round bandwidth must track
+// B downward while rounds/phases rise — the memory/round trade-off the MPC
+// model is about.
+#include "bench_common.hpp"
+
+#include "core/det_ruling.hpp"
+#include "core/sample_gather.hpp"
+
+namespace rsets::bench {
+namespace {
+
+constexpr VertexId kN = 8000;
+
+Graph workload() { return gen::gnp(kN, 24.0 / kN, 5); }
+
+void BM_DetRuling_Budget(benchmark::State& state) {
+  const auto budget = static_cast<std::uint64_t>(state.range(0));
+  const Graph g = workload();
+  RulingSetResult result;
+  for (auto _ : state) {
+    DetRulingOptions opt;
+    opt.gather_budget_words = budget;
+    result = det_ruling_set_mpc(g, default_mpc(), opt);
+  }
+  report(state, g, result);
+  state.counters["budget"] = static_cast<double>(budget);
+  state.counters["peak_storage"] =
+      static_cast<double>(result.metrics.max_storage_words);
+  state.counters["peak_send"] =
+      static_cast<double>(result.metrics.max_send_words);
+  state.counters["peak_recv"] =
+      static_cast<double>(result.metrics.max_recv_words);
+}
+
+void BM_SampleGather_Budget(benchmark::State& state) {
+  const auto budget = static_cast<std::uint64_t>(state.range(0));
+  const Graph g = workload();
+  RulingSetResult result;
+  for (auto _ : state) {
+    SampleGatherOptions opt;
+    opt.gather_budget_words = budget;
+    result = sample_gather_2ruling(g, default_mpc(), opt);
+  }
+  report(state, g, result);
+  state.counters["budget"] = static_cast<double>(budget);
+  state.counters["peak_storage"] =
+      static_cast<double>(result.metrics.max_storage_words);
+  state.counters["peak_send"] =
+      static_cast<double>(result.metrics.max_send_words);
+  state.counters["peak_recv"] =
+      static_cast<double>(result.metrics.max_recv_words);
+}
+
+void Budgets(benchmark::internal::Benchmark* b) {
+  for (std::uint64_t budget :
+       {64ull * kN, 16ull * kN, 4ull * kN, 1ull * kN, kN / 4ull}) {
+    b->Arg(static_cast<long>(budget));
+  }
+}
+
+BENCHMARK(BM_DetRuling_Budget)->Apply(Budgets)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SampleGather_Budget)->Apply(Budgets)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rsets::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// E5 — Determinism vs randomness (claims C1 + C2).
+//
+// The randomized sample-and-gather algorithm is run under 8 different RNG
+// seeds; the deterministic algorithm under 8 different *machine counts and
+// simulator seeds* (which must not matter). Reported per variant:
+//   rounds_mean / rounds_stddev   across the 8 runs
+//   size_stddev                   output-size variability
+//   output_varies                 1 if any two runs disagreed on the set
+// The deterministic rows must show stddev = 0 and output_varies = 0 —
+// bit-identical behavior is claim C2, not an aspiration.
+#include "bench_common.hpp"
+
+#include "core/det_ruling.hpp"
+#include "core/sample_gather.hpp"
+#include "util/stats.hpp"
+
+namespace rsets::bench {
+namespace {
+
+constexpr VertexId kN = 6000;
+
+Graph workload() { return gen::power_law(kN, 2.5, 10.0, 21); }
+
+void BM_Randomized_AcrossSeeds(benchmark::State& state) {
+  const Graph g = workload();
+  Summary rounds;
+  Summary sizes;
+  bool varies = false;
+  std::vector<VertexId> first;
+  bool all_valid = true;
+  for (auto _ : state) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      auto cfg = default_mpc();
+      cfg.seed = seed;
+      SampleGatherOptions opt;
+      opt.gather_budget_words = 8ull * kN;
+      const auto result = sample_gather_2ruling(g, cfg, opt);
+      rounds.add(static_cast<double>(result.metrics.rounds));
+      sizes.add(static_cast<double>(result.ruling_set.size()));
+      all_valid =
+          all_valid && is_beta_ruling_set(g, result.ruling_set, 2);
+      if (first.empty()) {
+        first = result.ruling_set;
+      } else if (result.ruling_set != first) {
+        varies = true;
+      }
+    }
+  }
+  state.counters["rounds_mean"] = rounds.mean();
+  state.counters["rounds_stddev"] = rounds.stddev();
+  state.counters["size_mean"] = sizes.mean();
+  state.counters["size_stddev"] = sizes.stddev();
+  state.counters["output_varies"] = varies ? 1.0 : 0.0;
+  state.counters["valid"] = all_valid ? 1.0 : 0.0;
+}
+
+void BM_Deterministic_AcrossSeedsAndMachines(benchmark::State& state) {
+  const Graph g = workload();
+  Summary rounds;
+  Summary sizes;
+  bool varies = false;
+  std::vector<VertexId> first;
+  bool all_valid = true;
+  std::uint64_t random_words = 0;
+  for (auto _ : state) {
+    for (int run = 0; run < 8; ++run) {
+      auto cfg = default_mpc(
+          static_cast<mpc::MachineId>(2 + (run % 4) * 2));  // 2,4,6,8
+      cfg.seed = 1000 + static_cast<std::uint64_t>(run);
+      DetRulingOptions opt;
+      opt.gather_budget_words = 8ull * kN;
+      const auto result = det_ruling_set_mpc(g, cfg, opt);
+      rounds.add(static_cast<double>(result.metrics.rounds));
+      sizes.add(static_cast<double>(result.ruling_set.size()));
+      random_words += result.metrics.random_words;
+      all_valid =
+          all_valid && is_beta_ruling_set(g, result.ruling_set, 2);
+      if (first.empty()) {
+        first = result.ruling_set;
+      } else if (result.ruling_set != first) {
+        varies = true;
+      }
+    }
+  }
+  state.counters["rounds_mean"] = rounds.mean();
+  state.counters["rounds_stddev"] = rounds.stddev();
+  state.counters["size_mean"] = sizes.mean();
+  state.counters["size_stddev"] = sizes.stddev();
+  state.counters["output_varies"] = varies ? 1.0 : 0.0;
+  state.counters["rand_words"] = static_cast<double>(random_words);
+  state.counters["valid"] = all_valid ? 1.0 : 0.0;
+  if (varies || random_words != 0) {
+    state.SkipWithError("determinism claim violated");
+  }
+}
+
+BENCHMARK(BM_Randomized_AcrossSeeds)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Deterministic_AcrossSeedsAndMachines)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rsets::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// E4 — Ruling-set quality across graph families (claim C4).
+//
+// For each family at n = 4000: |det 2-ruling| and |sample-gather 2-ruling|
+// against the sequential greedy MIS as the yardstick (counter
+// `ratio_to_greedy`). Ruling sets are not size-minimizing objects, but a
+// 2-ruling set from the phase machinery should stay within a small constant
+// of a greedy MIS on these families — a sanity check that the algorithm
+// does not degenerate into near-singleton or near-everything outputs.
+#include "bench_common.hpp"
+
+#include "core/det_ruling.hpp"
+#include "core/greedy.hpp"
+#include "core/sample_gather.hpp"
+
+namespace rsets::bench {
+namespace {
+
+constexpr VertexId kN = 4000;
+
+Graph family_graph(int family) {
+  switch (family) {
+    case 0: return gen::gnp(kN, 8.0 / kN, 9);
+    case 1: return gen::gnp(kN, 2.0 * std::log(kN) / kN, 9);
+    case 2: return gen::random_regular(kN, 16, 9);
+    case 3: return gen::power_law(kN, 2.5, 8.0, 9);
+    case 4: return gen::barabasi_albert(kN, 4, 9);
+    case 5: {
+      const auto side = static_cast<std::uint32_t>(std::sqrt(kN));
+      return gen::grid(side, side);
+    }
+    case 6: return gen::random_tree(kN, 9);
+    case 7: return gen::clique_blowup(kN / 8, 8);
+    default: throw std::invalid_argument("bad family");
+  }
+}
+
+const char* family_name(int family) {
+  static const char* names[] = {"gnp8",      "gnp_logn", "regular16",
+                                "powerlaw",  "ba4",      "grid",
+                                "tree",      "cliques8"};
+  return names[family];
+}
+
+void BM_Quality_Det(benchmark::State& state) {
+  const int family = static_cast<int>(state.range(0));
+  const Graph g = family_graph(family);
+  const double greedy = static_cast<double>(greedy_mis(g).size());
+  RulingSetResult result;
+  for (auto _ : state) {
+    DetRulingOptions opt;
+    opt.gather_budget_words = 8ull * kN;
+    result = det_ruling_set_mpc(g, default_mpc(), opt);
+  }
+  report(state, g, result);
+  state.counters["greedy_mis"] = greedy;
+  state.counters["ratio_to_greedy"] =
+      static_cast<double>(result.ruling_set.size()) / greedy;
+  state.SetLabel(family_name(family));
+}
+
+void BM_Quality_SampleGather(benchmark::State& state) {
+  const int family = static_cast<int>(state.range(0));
+  const Graph g = family_graph(family);
+  const double greedy = static_cast<double>(greedy_mis(g).size());
+  RulingSetResult result;
+  for (auto _ : state) {
+    SampleGatherOptions opt;
+    opt.gather_budget_words = 8ull * kN;
+    result = sample_gather_2ruling(g, default_mpc(), opt);
+  }
+  report(state, g, result);
+  state.counters["greedy_mis"] = greedy;
+  state.counters["ratio_to_greedy"] =
+      static_cast<double>(result.ruling_set.size()) / greedy;
+  state.SetLabel(family_name(family));
+}
+
+BENCHMARK(BM_Quality_Det)->DenseRange(0, 7)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Quality_SampleGather)->DenseRange(0, 7)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rsets::bench
+
+BENCHMARK_MAIN();

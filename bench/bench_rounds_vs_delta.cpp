@@ -1,0 +1,92 @@
+// E2 — Round complexity vs maximum degree Delta at fixed n (claim C1).
+//
+// Fixed n = 8000; Delta swept via random regular graphs (d = 4..512) and a
+// power-law family (heavy-tailed Delta). The prediction: the deterministic
+// algorithm's phase count grows like log log Delta (roughly +1 phase per
+// squaring of Delta), while Luby iterations grow like log n independent of
+// Delta and stay flat-but-high.
+#include "bench_common.hpp"
+
+#include "core/det_ruling.hpp"
+#include "core/luby.hpp"
+#include "core/sample_gather.hpp"
+
+namespace rsets::bench {
+namespace {
+
+constexpr VertexId kN = 8000;
+
+Graph regular_graph(std::uint32_t d) {
+  return gen::random_regular(kN, d, 99);
+}
+
+void BM_DetRuling_Regular(benchmark::State& state) {
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  const Graph g = regular_graph(d);
+  RulingSetResult result;
+  for (auto _ : state) {
+    DetRulingOptions opt;
+    opt.gather_budget_words = 8ull * kN;
+    result = det_ruling_set_mpc(g, default_mpc(), opt);
+  }
+  report(state, g, result);
+  state.counters["delta"] = g.max_degree();
+  state.counters["mark_steps"] = static_cast<double>(result.mark_steps);
+}
+
+void BM_SampleGather_Regular(benchmark::State& state) {
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  const Graph g = regular_graph(d);
+  RulingSetResult result;
+  for (auto _ : state) {
+    SampleGatherOptions opt;
+    opt.gather_budget_words = 8ull * kN;
+    result = sample_gather_2ruling(g, default_mpc(), opt);
+  }
+  report(state, g, result);
+  state.counters["delta"] = g.max_degree();
+}
+
+void BM_Luby_Regular(benchmark::State& state) {
+  const auto d = static_cast<std::uint32_t>(state.range(0));
+  const Graph g = regular_graph(d);
+  RulingSetResult result;
+  for (auto _ : state) {
+    result = luby_mis_mpc(g, default_mpc());
+  }
+  report(state, g, result);
+  state.counters["delta"] = g.max_degree();
+}
+
+void BM_DetRuling_PowerLaw(benchmark::State& state) {
+  // Heavier tails => larger Delta at the same average degree.
+  const double beta_exp = static_cast<double>(state.range(0)) / 10.0;
+  const Graph g = gen::power_law(kN, beta_exp, 8.0, 99);
+  RulingSetResult result;
+  for (auto _ : state) {
+    DetRulingOptions opt;
+    opt.gather_budget_words = 8ull * kN;
+    result = det_ruling_set_mpc(g, default_mpc(), opt);
+  }
+  report(state, g, result);
+  state.counters["delta"] = g.max_degree();
+  state.counters["mark_steps"] = static_cast<double>(result.mark_steps);
+}
+
+BENCHMARK(BM_DetRuling_Regular)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SampleGather_Regular)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Luby_Regular)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DetRuling_PowerLaw)
+    ->Arg(21)->Arg(25)->Arg(30)  // power-law exponents 2.1, 2.5, 3.0
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rsets::bench
+
+BENCHMARK_MAIN();

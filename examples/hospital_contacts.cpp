@@ -1,0 +1,71 @@
+// Placing infection-surveillance monitors in a hospital contact network.
+//
+// Scenario (a nod to the authors' applied epidemiology work): patients
+// within a ward are in mutual contact, and healthcare staff visit patients
+// across wards. We want monitoring stations such that no two monitored
+// individuals are in direct contact (a monitor covers its whole contact
+// neighborhood, so adjacent monitors waste coverage) and everyone is within
+// beta contacts of a monitor. That is a beta-ruling set; beta trades
+// monitor count against detection latency. This example sweeps beta.
+//
+//   ./hospital_contacts [--wards=40] [--ward_size=20] [--staff=120]
+//                       [--visits=25] [--max_beta=5]
+#include <iomanip>
+#include <iostream>
+
+#include "core/det_ruling.hpp"
+#include "core/greedy.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "graph/verify.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsets;
+  const Flags flags(argc, argv);
+  const auto wards = static_cast<std::uint32_t>(flags.get_int("wards", 40));
+  const auto ward_size =
+      static_cast<std::uint32_t>(flags.get_int("ward_size", 20));
+  const auto staff = static_cast<std::uint32_t>(flags.get_int("staff", 120));
+  const auto visits = static_cast<std::uint32_t>(flags.get_int("visits", 25));
+  const auto max_beta =
+      static_cast<std::uint32_t>(flags.get_int("max_beta", 5));
+
+  const Graph g =
+      gen::hospital_contacts(wards, ward_size, staff, visits, /*seed=*/11);
+  std::cout << "hospital contact network: " << wards << " wards x "
+            << ward_size << " patients + " << staff << " staff\n"
+            << "n=" << g.num_vertices() << " m=" << g.num_edges()
+            << " max_degree=" << g.max_degree() << "\n\n";
+
+  std::cout << std::left << std::setw(6) << "beta" << std::right
+            << std::setw(12) << "monitors" << std::setw(12) << "greedy"
+            << std::setw(10) << "rounds" << std::setw(10) << "radius"
+            << std::setw(9) << "valid" << "\n";
+
+  mpc::MpcConfig cfg;
+  cfg.num_machines = 8;
+  cfg.memory_words = std::size_t{1} << 24;
+
+  bool all_valid = true;
+  for (std::uint32_t beta = 2; beta <= max_beta; ++beta) {
+    DetRulingOptions options;
+    options.beta = beta;
+    options.gather_budget_words = 4ull * g.num_vertices();
+    const auto result = det_ruling_set_mpc(g, cfg, options);
+    const auto report = check_ruling_set(g, result.ruling_set, beta);
+    const auto greedy = greedy_ruling_set(g, beta);
+    all_valid = all_valid && report.valid;
+    std::cout << std::left << std::setw(6) << beta << std::right
+              << std::setw(12) << result.ruling_set.size() << std::setw(12)
+              << greedy.size() << std::setw(10) << result.metrics.rounds
+              << std::setw(10) << report.radius << std::setw(9)
+              << (report.valid ? "yes" : "NO") << "\n";
+  }
+
+  std::cout << "\nLarger beta => fewer monitors but slower detection; the "
+               "deterministic\nMPC algorithm tracks the sequential greedy "
+               "size while running in a\nconstant number of degree-reduction "
+               "phases.\n";
+  return all_valid ? 0 : 1;
+}

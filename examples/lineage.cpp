@@ -1,0 +1,92 @@
+// Forty years of ruling sets on one graph — the algorithmic lineage the
+// paper sits at the end of:
+//
+//   1986  bitwise elimination (AGLP-style):  det., O(log n) CONGEST rounds,
+//                                            radius O(log n)
+//   1986  Luby's MIS:                        rand., O(log n) CONGEST rounds,
+//                                            radius 1
+//   1992  Linial coloring -> MIS:            det., O(log* n + Delta^2-ish
+//                                            palette) CONGEST rounds
+//   2020  sample-and-gather (MPC):           rand., O(log log Delta) phases,
+//                                            radius 2
+//   2022  THIS PAPER (deterministic MPC):    det., O(log log Delta) phases,
+//                                            radius 2, zero random bits
+//
+// Also demonstrates the single-include umbrella header.
+//
+//   ./lineage [--n=4000] [--deg=8]
+#include <iomanip>
+#include <iostream>
+
+#include "rsets.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsets;
+  const Flags flags(argc, argv);
+  const auto n = static_cast<VertexId>(flags.get_int("n", 4000));
+  const auto deg = static_cast<std::uint32_t>(flags.get_int("deg", 8));
+
+  const Graph g = gen::random_regular(n, deg, /*seed=*/29);
+  std::cout << "graph: " << deg << "-regular, n=" << g.num_vertices()
+            << " m=" << g.num_edges()
+            << " approx_diameter=" << approx_diameter(g) << "\n\n";
+  std::cout << std::left << std::setw(26) << "algorithm (model)"
+            << std::right << std::setw(8) << "radius" << std::setw(9)
+            << "size" << std::setw(9) << "rounds" << std::setw(8) << "det?"
+            << std::setw(8) << "valid" << "\n";
+
+  const auto row = [&](const std::string& name,
+                       const std::vector<VertexId>& set,
+                       std::uint64_t rounds, bool deterministic,
+                       std::uint32_t beta) {
+    const auto report = check_ruling_set(g, set, beta);
+    std::cout << std::left << std::setw(26) << name << std::right
+              << std::setw(8) << report.radius << std::setw(9) << set.size()
+              << std::setw(9) << rounds << std::setw(8)
+              << (deterministic ? "yes" : "no") << std::setw(8)
+              << (report.valid ? "yes" : "NO") << "\n";
+    return report.valid;
+  };
+
+  bool ok = true;
+  {
+    const auto r = congest::aglp_ruling_congest(g);
+    ok &= row("1986 bitwise (CONGEST)", r.ruling_set, r.metrics.rounds, true,
+              r.radius_bound);
+  }
+  {
+    const auto r = congest::luby_mis(g);
+    ok &= row("1986 Luby MIS (CONGEST)", r.mis, r.metrics.rounds, false, 1);
+  }
+  {
+    const auto r = congest::coloring_mis(g);
+    ok &= row("1992 Linial MIS (CONGEST)", r.mis, r.metrics.rounds, true, 1);
+  }
+  {
+    mpc::MpcConfig cfg;
+    cfg.num_machines = 8;
+    cfg.memory_words = std::size_t{1} << 24;
+    SampleGatherOptions opt;
+    opt.gather_budget_words = 8ull * n;
+    const auto r = sample_gather_2ruling(g, cfg, opt);
+    ok &= row("2020 sample+gather (MPC)", r.ruling_set, r.metrics.rounds,
+              false, 2);
+  }
+  {
+    mpc::MpcConfig cfg;
+    cfg.num_machines = 8;
+    cfg.memory_words = std::size_t{1} << 24;
+    DetRulingOptions opt;
+    opt.gather_budget_words = 8ull * n;
+    const auto r = det_ruling_set_mpc(g, cfg, opt);
+    ok &= row("2022 deterministic (MPC)", r.ruling_set, r.metrics.rounds,
+              true, 2);
+  }
+
+  std::cout << "\nThe 2022 row is this reproduction's subject: deterministic "
+               "like the 1986/1992\nbaselines, with the phase structure (and "
+               "radius 2) of the randomized 2020\nalgorithm — randomness "
+               "traded for conditional-expectation seed fixing.\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// A look inside the MPC simulator: runs the deterministic ruling-set
+// algorithm under three memory regimes and prints the model-conformance
+// ledger — rounds, per-round bandwidth highs, peak storage, violations.
+// This is the "is the substrate honest?" demo: shrink the memory budget and
+// watch the algorithm spend more phases instead of cheating.
+//
+//   ./mpc_trace [--n=8000] [--avg_deg=16] [--machines=8]
+#include <iomanip>
+#include <iostream>
+
+#include "core/det_ruling.hpp"
+#include "graph/generators.hpp"
+#include "graph/verify.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsets;
+  const Flags flags(argc, argv);
+  const auto n = static_cast<VertexId>(flags.get_int("n", 8000));
+  const double avg_deg = flags.get_double("avg_deg", 16.0);
+
+  const Graph g = gen::gnp(n, avg_deg / n, /*seed=*/3);
+  std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
+            << "\n\n";
+  std::cout << std::left << std::setw(16) << "gather budget" << std::right
+            << std::setw(8) << "phases" << std::setw(8) << "steps"
+            << std::setw(9) << "rounds" << std::setw(13) << "peak mem"
+            << std::setw(13) << "peak send" << std::setw(11) << "violations"
+            << std::setw(8) << "valid" << "\n";
+
+  mpc::MpcConfig cfg;
+  cfg.num_machines =
+      static_cast<mpc::MachineId>(flags.get_int("machines", 8));
+  cfg.memory_words = std::size_t{1} << 24;
+
+  bool all_valid = true;
+  for (const std::uint64_t budget :
+       {64ull * n, 8ull * n, 2ull * n, n / 2ull}) {
+    DetRulingOptions options;
+    options.beta = 2;
+    options.gather_budget_words = budget;
+    const auto result = det_ruling_set_mpc(g, cfg, options);
+    const bool valid = is_beta_ruling_set(g, result.ruling_set, 2);
+    all_valid = all_valid && valid;
+    std::cout << std::left << std::setw(16)
+              << (std::to_string(budget) + " w") << std::right
+              << std::setw(8) << result.phases << std::setw(8)
+              << result.mark_steps << std::setw(9) << result.metrics.rounds
+              << std::setw(13) << result.metrics.max_storage_words
+              << std::setw(13) << result.metrics.max_send_words
+              << std::setw(11) << result.metrics.violations << std::setw(8)
+              << (valid ? "yes" : "NO") << "\n";
+  }
+
+  std::cout << "\nEvery row must report 0 violations: the simulator hard-"
+               "enforces the\nmemory and bandwidth caps, so conformance is "
+               "structural, not sampled.\n";
+  return all_valid ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+#include "congest/aglp_ruling.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+
+namespace rsets::congest {
+
+AglpResult aglp_ruling_congest(const Graph& g, const CongestConfig& config) {
+  CongestSim sim(g, config);
+  const VertexId n = g.num_vertices();
+  AglpResult result;
+  const int levels = n <= 1 ? 0 : bit_width_for(n);
+  result.radius_bound = static_cast<std::uint32_t>(levels);
+
+  std::vector<bool> in_r(n, true);
+  const int id_bits = std::max(levels, 1);
+
+  for (int level = 0; level < levels; ++level) {
+    // Survivors announce their ids; a 1-side survivor drops on seeing an
+    // adjacent same-group 0-side survivor. Decisions are computed against
+    // the set as it stood at the round's start, so the witness is
+    // guaranteed to still be present this level.
+    std::vector<bool> next = in_r;
+    sim.round([&](CongestSim::NodeApi& node, std::span<const NodeMessage>) {
+      const VertexId v = node.id();
+      if (in_r[v]) node.send_all(v, id_bits);
+    });
+    sim.drain([&](CongestSim::NodeApi& node,
+                  std::span<const NodeMessage> inbox) {
+      const VertexId v = node.id();
+      if (!in_r[v]) return;
+      if (((v >> level) & 1u) == 0) return;  // 0-side never drops here
+      const VertexId group = v >> (level + 1);
+      for (const NodeMessage& msg : inbox) {
+        const auto u = static_cast<VertexId>(msg.value);
+        if ((u >> (level + 1)) == group && ((u >> level) & 1u) == 0) {
+          next[v] = false;
+          break;
+        }
+      }
+    });
+    in_r = std::move(next);
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_r[v]) result.ruling_set.push_back(v);
+  }
+  result.metrics = sim.metrics();
+  return result;
+}
+
+}  // namespace rsets::congest

@@ -1,0 +1,35 @@
+// The classical deterministic bitwise-elimination ruling set
+// (Awerbuch–Goldberg–Luby–Plotkin style) in CONGEST.
+//
+// Level ell = 0..L-1 (L = id bit width): the surviving set R is implicitly
+// partitioned by id high bits (id >> (ell+1)); within each group, survivors
+// whose bit ell is 1 drop out if a same-group survivor with bit ell = 0 is
+// adjacent. One round per level (each survivor ships its id, O(log n) bits).
+//
+// Guarantees (deterministic, exactly L rounds):
+//   * independence — two adjacent survivors would have been split at the
+//     level of their highest differing bit, where the 1-side drops;
+//   * domination radius <= L = ceil(log2 n) — a dropped vertex is adjacent
+//     to its witness, and witness chains visit strictly increasing levels.
+//
+// So this computes a ceil(log2 n)-ruling set in ceil(log2 n) rounds — the
+// historical starting point that the O(log log)-phase MPC algorithms (and
+// the paper) improve on. Included for the lineage benchmark in E8.
+#pragma once
+
+#include <vector>
+
+#include "congest/congest.hpp"
+
+namespace rsets::congest {
+
+struct AglpResult {
+  std::vector<VertexId> ruling_set;
+  std::uint32_t radius_bound = 0;  // L, the guaranteed domination radius
+  CongestMetrics metrics;
+};
+
+AglpResult aglp_ruling_congest(const Graph& g,
+                               const CongestConfig& config = {});
+
+}  // namespace rsets::congest

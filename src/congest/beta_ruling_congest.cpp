@@ -1,0 +1,112 @@
+#include "congest/beta_ruling_congest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rsets::congest {
+namespace {
+
+enum class State : std::uint8_t { kActive, kInSet, kRetired };
+
+}  // namespace
+
+BetaRulingResult beta_ruling_congest(const Graph& g, std::uint32_t beta,
+                                     const CongestConfig& config) {
+  if (beta == 0) {
+    throw std::invalid_argument("beta_ruling_congest: beta must be >= 1");
+  }
+  CongestSim sim(g, config);
+  const VertexId n = g.num_vertices();
+  std::vector<State> state(n, State::kActive);
+
+  BetaRulingResult result;
+  std::uint64_t active_count = n;
+  std::vector<std::uint64_t> best_val(n);
+
+  while (active_count > 0) {
+    ++result.iterations;
+    // Draw priorities; initialize each active node's aggregate with itself.
+    // The priority word packs (32 random bits, vertex id), a collision-free
+    // total order in one O(log n)-bit message word.
+    std::vector<std::uint64_t> own_val(n, ~0ull);
+    sim.round([&](CongestSim::NodeApi& node, std::span<const NodeMessage>) {
+      const VertexId v = node.id();
+      if (state[v] != State::kActive) return;
+      own_val[v] = ((node.rng().next() & 0xFFFFFFFFull) << 32) | v;
+    });
+    for (VertexId v = 0; v < n; ++v) best_val[v] = own_val[v];
+    // beta rounds of min-aggregation: after hop h, best[v] = min priority
+    // among active vertices within h hops (retired nodes relay with own
+    // priority = infinity, so graph distance — not active-subgraph
+    // distance — is what counts).
+    for (std::uint32_t hop = 0; hop < beta; ++hop) {
+      sim.round([&](CongestSim::NodeApi& node,
+                    std::span<const NodeMessage> inbox) {
+        const VertexId v = node.id();
+        // Fold values received from the previous aggregation hop.
+        for (const NodeMessage& msg : inbox) {
+          best_val[v] = std::min(best_val[v], msg.value);
+        }
+        node.send_all(best_val[v]);
+      });
+    }
+    // One more boundary to fold the final hop's messages.
+    sim.drain([&](CongestSim::NodeApi& node,
+                  std::span<const NodeMessage> inbox) {
+      const VertexId v = node.id();
+      for (const NodeMessage& msg : inbox) {
+        best_val[v] = std::min(best_val[v], msg.value);
+      }
+    });
+
+    // Join: an active node whose own value equals the beta-hop minimum.
+    std::vector<std::uint64_t> dist_to_joiner(n, ~0ull);
+    sim.round([&](CongestSim::NodeApi& node, std::span<const NodeMessage>) {
+      const VertexId v = node.id();
+      if (state[v] == State::kActive && own_val[v] == best_val[v]) {
+        state[v] = State::kInSet;
+        result.ruling_set.push_back(v);
+        dist_to_joiner[v] = 0;
+        node.send_all(0);
+      }
+    });
+    // beta retirement flood rounds: nodes within beta hops of a joiner
+    // retire. Message value = hop distance of the sender to a joiner.
+    for (std::uint32_t hop = 0; hop < beta; ++hop) {
+      sim.round([&](CongestSim::NodeApi& node,
+                    std::span<const NodeMessage> inbox) {
+        const VertexId v = node.id();
+        for (const NodeMessage& msg : inbox) {
+          dist_to_joiner[v] = std::min(dist_to_joiner[v], msg.value + 1);
+        }
+        if (dist_to_joiner[v] <= beta && state[v] == State::kActive) {
+          state[v] = State::kRetired;
+        }
+        if (dist_to_joiner[v] < beta) {
+          node.send_all(dist_to_joiner[v]);
+        }
+      });
+    }
+    sim.drain([&](CongestSim::NodeApi& node,
+                  std::span<const NodeMessage> inbox) {
+      const VertexId v = node.id();
+      for (const NodeMessage& msg : inbox) {
+        dist_to_joiner[v] = std::min(dist_to_joiner[v], msg.value + 1);
+      }
+      if (dist_to_joiner[v] <= beta && state[v] == State::kActive) {
+        state[v] = State::kRetired;
+      }
+    });
+
+    active_count = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (state[v] == State::kActive) ++active_count;
+    }
+  }
+
+  std::sort(result.ruling_set.begin(), result.ruling_set.end());
+  result.metrics = sim.metrics();
+  return result;
+}
+
+}  // namespace rsets::congest

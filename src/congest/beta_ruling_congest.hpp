@@ -1,0 +1,29 @@
+// Randomized beta-ruling sets in CONGEST via distance-beta Luby.
+//
+// Each iteration: active nodes draw random priorities; the priority minima
+// within beta hops join the set (computed with beta rounds of neighborhood
+// min-aggregation — CONGEST-friendly because min composes, so messages stay
+// one word per edge per round); every vertex within beta hops of a joiner
+// retires (beta more flood rounds). Joiners are pairwise more than beta
+// hops apart, so the result is independent in G (indeed (beta+1)-separated:
+// this computes an (alpha, beta)-ruling set with alpha = beta + 1), and on
+// termination every vertex is within beta hops of the set. O(beta log n)
+// rounds w.h.p.
+#pragma once
+
+#include <vector>
+
+#include "congest/congest.hpp"
+
+namespace rsets::congest {
+
+struct BetaRulingResult {
+  std::vector<VertexId> ruling_set;
+  std::uint64_t iterations = 0;
+  CongestMetrics metrics;
+};
+
+BetaRulingResult beta_ruling_congest(const Graph& g, std::uint32_t beta,
+                                     const CongestConfig& config = {});
+
+}  // namespace rsets::congest

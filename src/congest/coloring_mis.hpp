@@ -1,0 +1,49 @@
+// Deterministic MIS in CONGEST via Linial-style color reduction.
+//
+// 1. Colors start as vertex ids (palette size n).
+// 2. Each Linial step: pick a prime q and represent the current color as a
+//    polynomial p_c of degree < d over F_q (digits of c in base q, with
+//    q >= Delta*(d-1) + 1). After exchanging colors with neighbors (one
+//    round), each node picks an evaluation point x in F_q such that
+//    p_c(x) differs from p_{c'}(x) for every neighboring color c'; the new
+//    color is the pair (x, p_c(x)) < q^2. Palette shrinks roughly
+//    n -> (Delta log n)^2 -> ... -> O(Delta^2 log^2 Delta) in O(log* n)
+//    steps.
+// 3. Greedy by color: colors are processed in increasing order; in a color's
+//    turn, its undecided nodes join the MIS and notify neighbors (2 rounds
+//    per color).
+//
+// Total: O(log* n) + O(final palette) rounds — a deterministic CONGEST
+// baseline that is fast on bounded-degree families.
+#pragma once
+
+#include <vector>
+
+#include "congest/congest.hpp"
+
+namespace rsets::congest {
+
+// The coloring stage alone, for reuse by other coloring-driven algorithms.
+struct LinialColoring {
+  std::vector<std::uint32_t> colors;
+  std::uint32_t palette_size = 0;
+  std::uint64_t steps = 0;
+};
+
+// Runs iterated Linial reduction inside an existing simulation.
+LinialColoring linial_coloring(CongestSim& sim);
+
+struct ColoringMisResult {
+  std::vector<VertexId> mis;
+  std::vector<std::uint32_t> colors;   // final proper coloring
+  std::uint32_t palette_size = 0;      // final number of colors (bound)
+  std::uint64_t linial_steps = 0;
+  CongestMetrics metrics;
+};
+
+// Computes a proper coloring by iterated Linial reduction, then an MIS by
+// color-class greedy. Fully deterministic (zero random bits).
+ColoringMisResult coloring_mis(const Graph& g,
+                               const CongestConfig& config = {});
+
+}  // namespace rsets::congest

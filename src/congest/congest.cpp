@@ -1,0 +1,87 @@
+#include "congest/congest.hpp"
+
+#include <algorithm>
+
+namespace rsets::congest {
+
+CongestSim::CongestSim(const Graph& g, const CongestConfig& config)
+    : graph_(&g), config_(config) {
+  if (config_.bits_per_message < 1 || config_.bits_per_message > 64) {
+    throw std::invalid_argument("CongestSim: bits_per_message must be 1..64");
+  }
+  rngs_.reserve(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    rngs_.push_back(Rng::for_stream(config_.seed, v));
+  }
+  sent_this_round_.resize(g.num_vertices());
+}
+
+void CongestSim::NodeApi::send(VertexId neighbor, std::uint64_t value,
+                               int bits) {
+  CongestSim& sim = *sim_;
+  if (!sim.graph_->has_edge(id_, neighbor)) {
+    throw std::invalid_argument("NodeApi::send: not a neighbor");
+  }
+  if (bits < 1 || bits > 64) {
+    throw std::invalid_argument("NodeApi::send: bits must be 1..64");
+  }
+  const bool too_wide = bits > sim.config_.bits_per_message;
+  const bool value_overflows =
+      bits < 64 && (value >> bits) != 0;
+  auto& sent = sim.sent_this_round_[id_];
+  const bool duplicate =
+      std::find(sent.begin(), sent.end(), neighbor) != sent.end();
+  if (too_wide || duplicate || value_overflows) {
+    if (sim.config_.enforce) {
+      throw CongestViolation(
+          too_wide ? "message exceeds per-edge bit budget"
+                   : (duplicate ? "second message on one edge in one round"
+                                : "value does not fit declared bit width"));
+    }
+    ++sim.metrics_.violations;
+  }
+  sent.push_back(neighbor);
+  sim.in_flight_.push_back({id_, neighbor, value});
+  ++sim.metrics_.messages;
+  sim.metrics_.total_bits += static_cast<std::uint64_t>(bits);
+}
+
+void CongestSim::NodeApi::send_all(std::uint64_t value, int bits) {
+  for (VertexId u : neighbors()) send(u, value, bits);
+}
+
+void CongestSim::round(const RoundBody& body) {
+  ++metrics_.rounds;
+  run_phase(body, /*count_round=*/true);
+}
+
+void CongestSim::drain(const RoundBody& body) {
+  run_phase(body, /*count_round=*/false);
+}
+
+void CongestSim::run_phase(const RoundBody& body, bool count_round) {
+  // Deliver last round's messages.
+  std::vector<std::vector<NodeMessage>> delivery(graph_->num_vertices());
+  for (const Pending& p : in_flight_) {
+    delivery[p.to].push_back({p.from, p.value});
+  }
+  in_flight_.clear();
+  for (auto& box : delivery) {
+    std::sort(box.begin(), box.end(),
+              [](const NodeMessage& a, const NodeMessage& b) {
+                return a.from < b.from;
+              });
+  }
+  if (count_round) {
+    for (auto& sent : sent_this_round_) sent.clear();
+  }
+  std::uint64_t draws = 0;
+  for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+    NodeApi api(this, v);
+    body(api, delivery[v]);
+    draws += rngs_[v].draws();
+  }
+  metrics_.random_words = draws;
+}
+
+}  // namespace rsets::congest

@@ -1,0 +1,105 @@
+// A synchronous CONGEST-model simulator.
+//
+// The CONGEST model: one node per graph vertex; per round, each node may
+// send one B-bit message (B = O(log n), default 64 bits here) along each
+// incident edge. This is the message-passing model the ruling-set literature
+// (Luby's algorithm, Linial's coloring) originates from; the library uses it
+// for cross-model baselines against the MPC algorithms.
+//
+// The simulator enforces the per-edge-per-round bit budget and counts
+// rounds, messages, and bits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace rsets::congest {
+
+struct CongestConfig {
+  int bits_per_message = 64;  // B
+  bool enforce = true;
+  std::uint64_t seed = 1;
+};
+
+struct CongestMetrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t random_words = 0;
+};
+
+// One received message: sending neighbor and payload.
+struct NodeMessage {
+  VertexId from;
+  std::uint64_t value;
+};
+
+class CongestViolation : public std::runtime_error {
+ public:
+  explicit CongestViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class CongestSim {
+ public:
+  CongestSim(const Graph& g, const CongestConfig& config);
+
+  const Graph& graph() const { return *graph_; }
+  const CongestMetrics& metrics() const { return metrics_; }
+
+  // Per-node send interface handed to the round body.
+  class NodeApi {
+   public:
+    VertexId id() const { return id_; }
+    std::span<const VertexId> neighbors() const {
+      return sim_->graph_->neighbors(id_);
+    }
+    // Sends `bits`-wide `value` to `neighbor` (must be adjacent). At most
+    // one message per edge per round; bits must be <= B.
+    void send(VertexId neighbor, std::uint64_t value, int bits = 64);
+    // Convenience: same message to every neighbor.
+    void send_all(std::uint64_t value, int bits = 64);
+    Rng& rng() { return sim_->rngs_[id_]; }
+
+   private:
+    friend class CongestSim;
+    NodeApi(CongestSim* sim, VertexId id) : sim_(sim), id_(id) {}
+    CongestSim* sim_;
+    VertexId id_;
+  };
+
+  // One synchronous round: body(node, messages received from last round).
+  using RoundBody =
+      std::function<void(NodeApi&, std::span<const NodeMessage>)>;
+  void round(const RoundBody& body);
+
+  // Delivery of the final round's sends without spending a round (same BSP
+  // boundary convention as mpc::Simulator::drain).
+  void drain(const RoundBody& body);
+
+ private:
+  struct Pending {
+    VertexId from;
+    VertexId to;
+    std::uint64_t value;
+  };
+  void run_phase(const RoundBody& body, bool count_round);
+
+  const Graph* graph_;
+  CongestConfig config_;
+  CongestMetrics metrics_;
+  std::vector<Rng> rngs_;
+  std::vector<Pending> in_flight_;
+  // Per-edge send guard for the current round: for each node, the set of
+  // neighbors already sent to this round (cleared per round).
+  std::vector<std::vector<VertexId>> sent_this_round_;
+};
+
+}  // namespace rsets::congest

@@ -1,0 +1,66 @@
+#include "congest/det_ruling_congest.hpp"
+
+#include <algorithm>
+
+#include "congest/coloring_mis.hpp"
+
+namespace rsets::congest {
+
+DetRulingCongestResult det_2ruling_congest(const Graph& g,
+                                           const CongestConfig& config) {
+  CongestSim sim(g, config);
+  const VertexId n = g.num_vertices();
+  DetRulingCongestResult result;
+
+  const LinialColoring coloring = linial_coloring(sim);
+  result.palette_size = coloring.palette_size;
+
+  // covered[v]: a set member is known to sit within 2 hops of v.
+  std::vector<bool> covered(n, false);
+  std::vector<bool> in_set(n, false);
+  std::vector<bool> decided(n, false);
+
+  for (std::uint64_t turn = 0; turn < result.palette_size; ++turn) {
+    bool any_undecided = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!decided[v]) {
+        any_undecided = true;
+        break;
+      }
+    }
+    if (!any_undecided) break;
+
+    // Round A: consume relays from the previous turn (2-hop coverage),
+    // then this turn's color class decides.
+    sim.round([&](CongestSim::NodeApi& node,
+                  std::span<const NodeMessage> inbox) {
+      const VertexId v = node.id();
+      if (!inbox.empty()) covered[v] = true;  // relay = member at 2 hops
+      if (!decided[v] && coloring.colors[v] == turn) {
+        decided[v] = true;
+        if (!covered[v]) {
+          in_set[v] = true;
+          covered[v] = true;
+          node.send_all(1, 1);
+        }
+      }
+    });
+    // Round B: 1-hop coverage + relay toward the 2-hop ring.
+    sim.round([&](CongestSim::NodeApi& node,
+                  std::span<const NodeMessage> inbox) {
+      const VertexId v = node.id();
+      if (!inbox.empty()) {
+        covered[v] = true;
+        node.send_all(1, 1);
+      }
+    });
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_set[v]) result.ruling_set.push_back(v);
+  }
+  result.metrics = sim.metrics();
+  return result;
+}
+
+}  // namespace rsets::congest

@@ -1,0 +1,35 @@
+// Deterministic 2-ruling sets in CONGEST via coloring + 2-hop greedy.
+//
+// Completes the algorithm matrix: deterministic ruling sets exist in this
+// library for both substrates (MPC: core/det_ruling; CONGEST: here).
+//
+// 1. Compute a proper coloring with iterated Linial reduction (reused from
+//    coloring_mis).
+// 2. Process color classes in increasing order; in a class's turn, each
+//    undecided node of that color joins the set unless a member already
+//    sits within 2 hops. Joins are announced with a 2-hop relay (2 rounds
+//    per color class).
+//
+// Same-color nodes that join in the same turn are non-adjacent (proper
+// coloring), so the set is independent; a node is only marked covered when
+// a member is within 2 hops, so on termination the set 2-dominates.
+// Deterministic; O(log* n + palette) rounds — a bounded-degree baseline,
+// like the coloring MIS it builds on.
+#pragma once
+
+#include <vector>
+
+#include "congest/congest.hpp"
+
+namespace rsets::congest {
+
+struct DetRulingCongestResult {
+  std::vector<VertexId> ruling_set;
+  std::uint32_t palette_size = 0;
+  CongestMetrics metrics;
+};
+
+DetRulingCongestResult det_2ruling_congest(const Graph& g,
+                                           const CongestConfig& config = {});
+
+}  // namespace rsets::congest

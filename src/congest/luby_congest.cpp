@@ -1,0 +1,99 @@
+#include "congest/luby_congest.hpp"
+
+#include <algorithm>
+
+namespace rsets::congest {
+namespace {
+
+enum class State : std::uint8_t { kActive, kInMis, kDominated };
+
+}  // namespace
+
+LubyResult luby_mis(const Graph& g, const CongestConfig& config) {
+  CongestSim sim(g, config);
+  const VertexId n = g.num_vertices();
+
+  std::vector<State> state(n, State::kActive);
+  // Each node tracks which neighbors are still active.
+  std::vector<std::vector<VertexId>> active_nbrs(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    active_nbrs[v].assign(nbrs.begin(), nbrs.end());
+  }
+  std::vector<std::uint64_t> priority(n, 0);
+
+  LubyResult result;
+  std::uint64_t active_count = n;
+  while (active_count > 0) {
+    ++result.iterations;
+    // Round 1: draw and exchange priorities.
+    sim.round([&](CongestSim::NodeApi& node, std::span<const NodeMessage>) {
+      const VertexId v = node.id();
+      if (state[v] != State::kActive) return;
+      priority[v] = node.rng().next();
+      for (VertexId u : active_nbrs[v]) node.send(u, priority[v]);
+    });
+    // Round 2: local minima join; announce joins (1 = joined).
+    std::vector<bool> joined(n, false);
+    sim.round([&](CongestSim::NodeApi& node,
+                  std::span<const NodeMessage> inbox) {
+      const VertexId v = node.id();
+      if (state[v] != State::kActive) return;
+      bool is_min = true;
+      for (const NodeMessage& msg : inbox) {
+        // Strict comparison with id tie-break gives a total order.
+        if (msg.value < priority[v] ||
+            (msg.value == priority[v] && msg.from < v)) {
+          is_min = false;
+          break;
+        }
+      }
+      if (is_min) {
+        joined[v] = true;
+        for (VertexId u : active_nbrs[v]) node.send(u, 1, 1);
+      }
+    });
+    // Round 3: joiners enter the MIS; their neighbors become dominated;
+    // every node leaving the graph tells its remaining active neighbors.
+    std::vector<bool> leaving(n, false);
+    sim.round([&](CongestSim::NodeApi& node,
+                  std::span<const NodeMessage> inbox) {
+      const VertexId v = node.id();
+      if (state[v] != State::kActive) return;
+      if (joined[v]) {
+        state[v] = State::kInMis;
+        leaving[v] = true;
+      } else if (!inbox.empty()) {
+        state[v] = State::kDominated;
+        leaving[v] = true;
+      }
+      if (leaving[v]) {
+        for (VertexId u : active_nbrs[v]) node.send(u, 1, 1);
+      }
+    });
+    // Delivery of departure notices (consumed at the top of the next
+    // iteration's first round would race with priority sends, so use a
+    // drain to apply them at the round boundary).
+    sim.drain([&](CongestSim::NodeApi& node,
+                  std::span<const NodeMessage> inbox) {
+      const VertexId v = node.id();
+      for (const NodeMessage& msg : inbox) {
+        auto& nbrs = active_nbrs[v];
+        nbrs.erase(std::remove(nbrs.begin(), nbrs.end(), msg.from),
+                   nbrs.end());
+      }
+    });
+    active_count = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (state[v] == State::kActive) ++active_count;
+    }
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (state[v] == State::kInMis) result.mis.push_back(v);
+  }
+  result.metrics = sim.metrics();
+  return result;
+}
+
+}  // namespace rsets::congest

@@ -1,0 +1,25 @@
+// Luby's randomized MIS in the CONGEST model.
+//
+// Each iteration (3 CONGEST rounds): active nodes draw a random priority and
+// exchange it with neighbors; local minima (ties by id, which cannot occur
+// with distinct ids in the comparison pair) join the MIS; joiners notify
+// neighbors, which become dominated; nodes leaving the graph notify
+// neighbors so active degrees stay consistent. Terminates in O(log n)
+// iterations with high probability.
+#pragma once
+
+#include <vector>
+
+#include "congest/congest.hpp"
+
+namespace rsets::congest {
+
+struct LubyResult {
+  std::vector<VertexId> mis;
+  std::uint64_t iterations = 0;
+  CongestMetrics metrics;
+};
+
+LubyResult luby_mis(const Graph& g, const CongestConfig& config = {});
+
+}  // namespace rsets::congest

@@ -1,0 +1,229 @@
+#include "core/derand.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mpc/primitives.hpp"
+#include "util/logging.hpp"
+
+namespace rsets {
+namespace {
+
+using mpc::MachineId;
+
+// Estimator shard held by one machine: the targets it owns (with truncated
+// candidate neighborhoods) and the candidate edges it owns. Lists shrink to
+// level survivors as seed levels are finalized.
+struct Shard {
+  std::vector<std::vector<VertexId>> target_lists;
+  std::vector<Edge> edges;
+};
+
+// Factors applied to not-yet-reached levels (> current): each contributes
+// 1/2 to a marginal and 1/4 to a pairwise joint.
+struct FutureFactors {
+  double single;
+  double pair;
+};
+
+// Partial estimator sums over one shard under the given tentative state of
+// the current level. Levels below `level` are already folded in (survivor
+// lists), levels above contribute the future factors.
+std::pair<double, double> shard_partial(const Shard& shard,
+                                        const PairwiseBitLevel& level,
+                                        const FutureFactors& f) {
+  double cover = 0.0;
+  for (const auto& t_list : shard.target_lists) {
+    double singles = 0.0;
+    double pairs = 0.0;
+    for (std::size_t i = 0; i < t_list.size(); ++i) {
+      singles += level.prob_one(t_list[i]);
+      for (std::size_t j = i + 1; j < t_list.size(); ++j) {
+        pairs += level.prob_both_one(t_list[i], t_list[j]);
+      }
+    }
+    cover += singles * f.single - pairs * f.pair;
+  }
+  double edge_mass = 0.0;
+  for (const Edge& e : shard.edges) {
+    edge_mass += level.prob_both_one(e.u, e.v) * f.pair;
+  }
+  return {cover, edge_mass};
+}
+
+void filter_survivors(Shard& shard, const PairwiseBitLevel& level) {
+  for (auto& t_list : shard.target_lists) {
+    std::erase_if(t_list, [&](VertexId u) { return level.eval(u) == 0; });
+  }
+  std::erase_if(shard.edges, [&](const Edge& e) {
+    return level.eval(e.u) == 0 || level.eval(e.v) == 0;
+  });
+}
+
+std::vector<int> unfixed_bits(const PairwiseBitLevel& level) {
+  std::vector<int> out;
+  for (int i = 0; i <= level.bits(); ++i) {
+    if (!level.bit_fixed(i)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+DerandMarkResult derand_mark(mpc::Simulator& sim, const mpc::DistGraph& dg,
+                             const std::vector<bool>& candidates_mask,
+                             const std::vector<VertexId>& targets,
+                             const DerandMarkOptions& options) {
+  if (options.levels < 1) {
+    throw std::invalid_argument("derand_mark: levels must be >= 1");
+  }
+  if (options.chunk_bits < 1 || options.chunk_bits > 12) {
+    throw std::invalid_argument("derand_mark: chunk_bits must be in [1, 12]");
+  }
+  if (options.edge_budget == 0) {
+    throw std::invalid_argument("derand_mark: edge_budget must be positive");
+  }
+  const VertexId n = dg.num_vertices();
+  const int k = options.levels;
+  const std::size_t trunc = std::size_t{1} << std::min(k, 20);
+  const MachineId m_count = sim.num_machines();
+
+  auto is_candidate = [&](VertexId v) {
+    return v < candidates_mask.size() && candidates_mask[v] && dg.active(v);
+  };
+
+  // --- build shards (local work at each owner) -----------------------------
+  std::vector<Shard> shards(m_count);
+  for (VertexId v : targets) {
+    std::vector<VertexId> t_list;
+    if (is_candidate(v)) t_list.push_back(v);
+    for (VertexId u : dg.neighbors(v)) {
+      if (t_list.size() >= trunc) break;
+      if (is_candidate(u)) t_list.push_back(u);
+    }
+    shards[dg.owner(v)].target_lists.push_back(std::move(t_list));
+  }
+  for (MachineId m = 0; m < m_count; ++m) {
+    for (VertexId u : dg.owned(m)) {
+      if (!is_candidate(u)) continue;
+      for (VertexId w : dg.neighbors(u)) {
+        if (u < w && is_candidate(w)) shards[m].edges.push_back({u, w});
+      }
+    }
+  }
+
+  const double lambda =
+      8.0 * std::max<double>(1.0, static_cast<double>(targets.size()));
+  const double budget = static_cast<double>(options.edge_budget);
+
+  MarkingFamily family(std::max<std::uint64_t>(n, 2), k);
+  DerandMarkResult result;
+  result.seed_bits = family.total_seed_bits();
+
+  const std::uint64_t rounds_before = sim.metrics().rounds;
+
+  auto evaluate_phi = [&](int level_idx, const PairwiseBitLevel& level)
+      -> std::pair<double, double> {
+    const int remaining = k - 1 - level_idx;
+    const FutureFactors f{std::exp2(-remaining), std::exp2(-2 * remaining)};
+    double cover = 0.0;
+    double edge_mass = 0.0;
+    for (MachineId m = 0; m < m_count; ++m) {
+      const auto [c, x] = shard_partial(shards[m], level, f);
+      cover += c;
+      edge_mass += x;
+    }
+    return {cover, edge_mass};
+  };
+
+  {
+    const auto [cover, edge_mass] = evaluate_phi(0, family.level(0));
+    result.initial_estimate = cover - lambda * edge_mass / budget;
+  }
+
+  // --- chunked conditional expectations ------------------------------------
+  for (int j = 0; j < k; ++j) {
+    PairwiseBitLevel& level = family.level(j);
+    while (!level.fully_fixed()) {
+      std::vector<int> todo = unfixed_bits(level);
+      const int take =
+          std::min<int>(options.chunk_bits, static_cast<int>(todo.size()));
+      todo.resize(static_cast<std::size_t>(take));
+      const std::uint32_t assignments = 1u << take;
+
+      // Each machine evaluates its shard for every assignment; the partials
+      // are summed with one width-2*2^c allreduce (2 real MPC rounds).
+      std::vector<std::vector<double>> contributions(
+          m_count, std::vector<double>(2 * assignments, 0.0));
+      const int remaining = k - 1 - j;
+      const FutureFactors f{std::exp2(-remaining),
+                            std::exp2(-2 * remaining)};
+      for (std::uint32_t a = 0; a < assignments; ++a) {
+        PairwiseBitLevel tentative = level;
+        for (int b = 0; b < take; ++b) {
+          tentative.fix_bit(todo[static_cast<std::size_t>(b)], (a >> b) & 1u);
+        }
+        for (MachineId m = 0; m < m_count; ++m) {
+          const auto [c, x] = shard_partial(shards[m], tentative, f);
+          contributions[m][2 * a] = c;
+          contributions[m][2 * a + 1] = x;
+        }
+      }
+      const std::vector<double> totals = allreduce_sum(sim, contributions);
+
+      double best_phi = 0.0;
+      std::uint32_t best_a = 0;
+      bool have_best = false;
+      for (std::uint32_t a = 0; a < assignments; ++a) {
+        const double phi =
+            totals[2 * a] - lambda * totals[2 * a + 1] / budget;
+        if (!have_best || phi > best_phi) {
+          have_best = true;
+          best_phi = phi;
+          best_a = a;
+        }
+      }
+      for (int b = 0; b < take; ++b) {
+        level.fix_bit(todo[static_cast<std::size_t>(b)], (best_a >> b) & 1u);
+      }
+      ++result.chunks;
+    }
+    // Level finalized: every machine filters its shard locally (free).
+    for (Shard& shard : shards) filter_survivors(shard, level);
+  }
+
+  // --- realized outcome (all quantities now deterministic) -----------------
+  {
+    double cover = 0.0;
+    std::uint64_t covered = 0;
+    std::uint64_t edges = 0;
+    for (const Shard& shard : shards) {
+      for (const auto& t_list : shard.target_lists) {
+        const double y = static_cast<double>(t_list.size());
+        cover += y - y * (y - 1) / 2.0;
+        if (!t_list.empty()) ++covered;
+      }
+      edges += shard.edges.size();
+    }
+    result.covered_targets = covered;
+    result.marked_edges = edges;
+    result.final_estimate =
+        cover - lambda * static_cast<double>(edges) / budget;
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_candidate(v) && family.mark(v)) result.marked.push_back(v);
+  }
+
+  result.rounds = sim.metrics().rounds - rounds_before;
+  RSETS_DEBUG << "derand_mark: |T|=" << targets.size() << " k=" << k
+              << " covered=" << result.covered_targets
+              << " |M|=" << result.marked.size()
+              << " edges(M)=" << result.marked_edges << "/"
+              << options.edge_budget << " Phi " << result.initial_estimate
+              << " -> " << result.final_estimate;
+  return result;
+}
+
+}  // namespace rsets

@@ -1,0 +1,250 @@
+#include "core/det_luby.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mpc/dist_graph.hpp"
+#include "mpc/primitives.hpp"
+#include "util/bits.hpp"
+#include "util/cond_expect.hpp"
+#include "util/hash_family.hpp"
+#include "util/logging.hpp"
+
+namespace rsets {
+namespace {
+
+using mpc::MachineId;
+using mpc::Word;
+
+// Priority: higher active degree wins; ties go to the lower id.
+bool beats(std::uint32_t deg_u, VertexId u, std::uint32_t deg_v, VertexId v) {
+  if (deg_u != deg_v) return deg_u > deg_v;
+  return u < v;
+}
+
+}  // namespace
+
+RulingSetResult det_luby_mis_mpc(const Graph& g, const mpc::MpcConfig& cfg,
+                                 const DetLubyOptions& options) {
+  if (options.chunk_bits < 1 || options.chunk_bits > 12) {
+    throw std::invalid_argument("det_luby: chunk_bits must be in [1, 12]");
+  }
+  mpc::Simulator sim(cfg);
+  mpc::DistGraph dg(sim, g);
+  const VertexId n = g.num_vertices();
+  const MachineId m_count = sim.num_machines();
+
+  RulingSetResult result;
+  result.beta = 1;
+  std::vector<VertexId>& mis = result.ruling_set;
+
+  std::vector<std::uint32_t> adeg(n, 0);
+
+  while (dg.active_count() > 0) {
+    ++result.phases;
+    // Degrees: owners compute their own; one all-to-all ships each active
+    // vertex's degree to its neighbors' owners (mirrors Luby's priority
+    // exchange; 1 round, O(sum active degrees) words).
+    std::uint32_t max_deg = 0;
+    for (MachineId m = 0; m < m_count; ++m) {
+      for (VertexId v : dg.owned(m)) {
+        if (!dg.active(v)) continue;
+        adeg[v] = dg.active_degree(v);
+        max_deg = std::max(max_deg, adeg[v]);
+      }
+    }
+    sim.round([&](mpc::Machine& machine, const mpc::Inbox&) {
+      const MachineId m = machine.id();
+      std::vector<std::vector<Word>> buckets(m_count);
+      for (VertexId v : dg.owned(m)) {
+        if (!dg.active(v)) continue;
+        for (VertexId u : dg.neighbors(v)) {
+          if (dg.active(u)) {
+            auto& b = buckets[dg.owner(u)];
+            b.push_back(v);
+            b.push_back(adeg[v]);
+          }
+        }
+      }
+      for (MachineId dst = 0; dst < m_count; ++dst) {
+        if (dst != m && !buckets[dst].empty()) {
+          machine.send(dst, 0x90, buckets[dst]);
+        }
+      }
+    });
+    sim.drain([](mpc::Machine&, const mpc::Inbox&) {});
+
+    // Isolated actives join immediately (no estimator work needed).
+    std::vector<bool> joined(n, false);
+    bool any_positive_degree = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!dg.active(v)) continue;
+      if (adeg[v] == 0) {
+        joined[v] = true;
+      } else {
+        any_positive_degree = true;
+      }
+    }
+
+    if (any_positive_degree) {
+      // Per-vertex truncation depths: p_v = 2^-k_v in
+      // (1/(4 deg v), 1/(2 deg v)].
+      auto depth_of = [&](VertexId v) {
+        return ceil_log2(2ull * std::max<std::uint32_t>(adeg[v], 1));
+      };
+      const int k_max = ceil_log2(2ull * max_deg);
+      MarkingFamily family(std::max<VertexId>(n, 2), std::max(k_max, 1));
+
+      // Estimator terms, sharded by owner: singleton (v, w_v, k_v) and pair
+      // (v, u, w_v, k_v, k_u) for u in N(v) with u beating v.
+      struct Singleton {
+        VertexId v;
+        double w;
+        int depth;
+      };
+      struct PairTerm {
+        VertexId v;
+        VertexId u;
+        double w;
+        int dv;
+        int du;
+      };
+      std::vector<std::vector<Singleton>> singles(m_count);
+      std::vector<std::vector<PairTerm>> pairs(m_count);
+      for (MachineId m = 0; m < m_count; ++m) {
+        for (VertexId v : dg.owned(m)) {
+          if (!dg.active(v) || adeg[v] == 0) continue;
+          const double w = static_cast<double>(adeg[v]) + 1.0;
+          singles[m].push_back({v, w, depth_of(v)});
+          for (VertexId u : dg.neighbors(v)) {
+            if (dg.active(u) && beats(adeg[u], u, adeg[v], v)) {
+              pairs[m].push_back({v, u, w, depth_of(v), depth_of(u)});
+            }
+          }
+        }
+      }
+
+      // Chunked conditional expectations: identical structure to
+      // derand_mark but with depth-aware terms.
+      const int total_bits = family.total_seed_bits();
+      int global_bit = 0;
+      while (global_bit < total_bits) {
+        const auto [lvl, idx0] = family.locate(global_bit);
+        (void)idx0;
+        // Bits of the current level not yet fixed, chunked.
+        std::vector<int> todo;
+        for (int b = global_bit;
+             b < total_bits && family.locate(b).first == lvl &&
+             static_cast<int>(todo.size()) < options.chunk_bits;
+             ++b) {
+          todo.push_back(b);
+        }
+        const std::uint32_t assignments = 1u << todo.size();
+        std::vector<std::vector<double>> contributions(
+            m_count, std::vector<double>(assignments, 0.0));
+        for (std::uint32_t a = 0; a < assignments; ++a) {
+          // Tentatively fix the chunk on a copy of the level.
+          const PairwiseBitLevel saved = family.level(lvl);
+          for (std::size_t b = 0; b < todo.size(); ++b) {
+            family.fix_global_bit(todo[b], (a >> b) & 1u);
+          }
+          for (MachineId m = 0; m < m_count; ++m) {
+            double psi = 0.0;
+            for (const Singleton& s : singles[m]) {
+              psi += s.w * family.prob_mark(s.v, s.depth);
+            }
+            for (const PairTerm& t : pairs[m]) {
+              psi -= t.w * family.prob_mark_both(t.u, t.du, t.v, t.dv);
+            }
+            contributions[m][a] = psi;
+          }
+          family.level(lvl) = saved;
+        }
+        const auto totals = allreduce_sum(sim, contributions);
+        std::uint32_t best_a = 0;
+        double best = 0.0;
+        bool have = false;
+        for (std::uint32_t a = 0; a < assignments; ++a) {
+          if (!have || totals[a] > best) {
+            have = true;
+            best = totals[a];
+            best_a = a;
+          }
+        }
+        for (std::size_t b = 0; b < todo.size(); ++b) {
+          family.fix_global_bit(todo[b], (best_a >> b) & 1u);
+        }
+        result.derand_chunks += 1;
+        global_bit += static_cast<int>(todo.size());
+      }
+      ++result.mark_steps;
+
+      // Joins: marked vertices with no marked beating neighbor. Marks and
+      // neighbor degrees are locally known to owners.
+      for (MachineId m = 0; m < m_count; ++m) {
+        for (VertexId v : dg.owned(m)) {
+          if (!dg.active(v) || adeg[v] == 0) continue;
+          if (!family.mark_depth(v, depth_of(v))) continue;
+          bool blocked = false;
+          for (VertexId u : dg.neighbors(v)) {
+            if (dg.active(u) && beats(adeg[u], u, adeg[v], v) &&
+                family.mark_depth(u, depth_of(u))) {
+              blocked = true;
+              break;
+            }
+          }
+          if (!blocked) joined[v] = true;
+        }
+      }
+    }
+
+    // Announce joins (1 round); owners retire joiners + dominated.
+    std::vector<std::vector<Word>> join_lists(m_count);
+    for (MachineId m = 0; m < m_count; ++m) {
+      for (VertexId v : dg.owned(m)) {
+        if (joined[v]) join_lists[m].push_back(v);
+      }
+    }
+    sim.round([&](mpc::Machine& machine, const mpc::Inbox&) {
+      const MachineId src = machine.id();
+      if (join_lists[src].empty()) return;
+      for (MachineId dst = 0; dst < m_count; ++dst) {
+        if (dst != src) machine.send(dst, 0x91, join_lists[src]);
+      }
+    });
+    sim.drain([](mpc::Machine&, const mpc::Inbox&) {});
+
+    std::vector<std::vector<VertexId>> removals(m_count);
+    for (MachineId m = 0; m < m_count; ++m) {
+      for (VertexId v : dg.owned(m)) {
+        if (!dg.active(v)) continue;
+        bool leave = joined[v];
+        if (!leave) {
+          for (VertexId u : dg.neighbors(v)) {
+            if (dg.active(u) && joined[u]) {
+              leave = true;
+              break;
+            }
+          }
+        }
+        if (leave) removals[m].push_back(v);
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (joined[v]) mis.push_back(v);
+    }
+    dg.deactivate(sim, removals);
+  }
+
+  std::sort(mis.begin(), mis.end());
+  sim.sync_metrics();
+  result.metrics = sim.metrics();
+  RSETS_INFO << "det_luby: n=" << n << " |MIS|=" << mis.size()
+             << " iterations=" << result.phases
+             << " rounds=" << result.metrics.rounds
+             << " random_words=" << result.metrics.random_words;
+  return result;
+}
+
+}  // namespace rsets

@@ -1,0 +1,28 @@
+// Sequential greedy baselines: ground truth for tests and quality yardstick
+// for benches. Not distributed; shares no machinery with the MPC algorithms.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rsets {
+
+// Lexicographic greedy MIS: scan vertices in id order, add if no smaller-id
+// neighbor was added. O(n + m).
+std::vector<VertexId> greedy_mis(const Graph& g);
+
+// Greedy beta-ruling set: scan in id order; add v if no already-chosen
+// member lies within beta hops of v (checked by truncated BFS). The result
+// is independent (beta >= 1) and beta-dominating. O(n * ball_size) worst
+// case — fine as an oracle.
+std::vector<VertexId> greedy_ruling_set(const Graph& g, std::uint32_t beta);
+
+// Greedy (alpha, beta)-ruling set: scan in id order; add v if every
+// already-chosen member is at distance >= alpha. Requires alpha <= beta + 1
+// (otherwise a vertex can be neither addable nor dominated).
+std::vector<VertexId> greedy_alpha_beta_ruling_set(const Graph& g,
+                                                   std::uint32_t alpha,
+                                                   std::uint32_t beta);
+
+}  // namespace rsets

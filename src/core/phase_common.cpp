@@ -1,0 +1,174 @@
+#include "core/phase_common.hpp"
+
+#include <algorithm>
+
+#include "core/greedy.hpp"
+#include "graph/ops.hpp"
+#include "mpc/primitives.hpp"
+
+namespace rsets::detail {
+
+using mpc::MachineId;
+using mpc::Simulator;
+using mpc::Word;
+
+// Total active edges (2 rounds: one u64 allreduce).
+std::uint64_t count_active_edges(Simulator& sim, const mpc::DistGraph& dg) {
+  std::vector<std::uint64_t> local(sim.num_machines(), 0);
+  for (MachineId m = 0; m < sim.num_machines(); ++m) {
+    for (VertexId v : dg.owned(m)) {
+      if (dg.active(v)) local[m] += dg.active_degree(v);
+    }
+  }
+  return allreduce_sum_u64(sim, local) / 2;
+}
+
+// Gathers the active induced subgraph restricted to `members` onto machine
+// 0 (1 round), computes a greedy MIS there, and broadcasts it (1 round).
+// `in_members` must be consistent with `members`.
+std::vector<VertexId> gather_and_mis(Simulator& sim,
+                                     const mpc::DistGraph& dg,
+                                     const std::vector<VertexId>& members,
+                                     const std::vector<bool>& in_members) {
+  const MachineId m_count = sim.num_machines();
+  // Owners serialize their members' member-restricted adjacency:
+  // v, deg, neighbors...
+  std::vector<std::vector<Word>> contributions(m_count);
+  for (VertexId v : members) {
+    auto& payload = contributions[dg.owner(v)];
+    payload.push_back(v);
+    const std::size_t deg_slot = payload.size();
+    payload.push_back(0);
+    std::uint64_t deg = 0;
+    for (VertexId u : dg.neighbors(v)) {
+      if (u < v && in_members[u]) {  // each edge shipped once (by higher id)
+        payload.push_back(u);
+        ++deg;
+      }
+    }
+    payload[deg_slot] = deg;
+  }
+  const auto at_root = gather_to(sim, 0, contributions, 0xF1);
+
+  // Machine 0: decode, charge transient storage, greedy MIS by id order.
+  std::size_t gathered_words = 0;
+  std::vector<Edge> edges;
+  std::vector<VertexId> nodes;
+  for (const auto& payload : at_root) {
+    gathered_words += payload.size();
+    std::size_t i = 0;
+    while (i < payload.size()) {
+      const auto v = static_cast<VertexId>(payload[i++]);
+      const auto deg = payload[i++];
+      nodes.push_back(v);
+      for (std::uint64_t d = 0; d < deg; ++d) {
+        edges.push_back({static_cast<VertexId>(payload[i++]), v});
+      }
+    }
+  }
+  sim.machine(0).charge_storage(gathered_words);
+
+  std::sort(nodes.begin(), nodes.end());
+  // Relabel into a compact subgraph for the greedy oracle.
+  const InducedSubgraph sub = [&] {
+    // Build directly from gathered edges; ids are original, so relabel.
+    std::vector<VertexId> relabel_src = nodes;
+    std::vector<Edge> relabelled;
+    relabelled.reserve(edges.size());
+    auto index_of = [&](VertexId v) {
+      return static_cast<VertexId>(
+          std::lower_bound(relabel_src.begin(), relabel_src.end(), v) -
+          relabel_src.begin());
+    };
+    for (const Edge& e : edges) {
+      relabelled.push_back({index_of(e.u), index_of(e.v)});
+    }
+    InducedSubgraph s;
+    s.graph = Graph::from_edges(static_cast<VertexId>(relabel_src.size()),
+                                relabelled);
+    s.to_original = std::move(relabel_src);
+    return s;
+  }();
+
+  const std::vector<VertexId> local_mis = greedy_mis(sub.graph);
+  std::vector<VertexId> mis;
+  mis.reserve(local_mis.size());
+  for (VertexId v : local_mis) mis.push_back(sub.to_original[v]);
+  sim.machine(0).release_storage(gathered_words);
+
+  // Broadcast the MIS (1 round).
+  std::vector<Word> packed(mis.begin(), mis.end());
+  broadcast(sim, 0, packed, 0xF2);
+  return mis;
+}
+
+// Deactivates every active vertex within `radius` hops of the marked set
+// `in_marked` (hop 1 is locally decidable because marks are seed-evaluable
+// everywhere; further hops cost one notification round each) and then one
+// deactivation round. Returns the number of removed vertices.
+std::uint64_t remove_ball(Simulator& sim, mpc::DistGraph& dg,
+                          const std::vector<bool>& in_marked,
+                          std::uint32_t radius) {
+  const MachineId m_count = sim.num_machines();
+  const VertexId n = dg.num_vertices();
+  std::vector<bool> removed(n, false);
+  std::vector<VertexId> frontier;
+  // Hop 0 and 1: local evaluation at each owner.
+  for (MachineId m = 0; m < m_count; ++m) {
+    for (VertexId v : dg.owned(m)) {
+      if (!dg.active(v)) continue;
+      bool hit = in_marked[v];
+      if (!hit) {
+        for (VertexId u : dg.neighbors(v)) {
+          if (dg.active(u) && in_marked[u]) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) {
+        removed[v] = true;
+        frontier.push_back(v);
+      }
+    }
+  }
+  // Hops 2..radius: frontier owners notify neighbors' owners (1 round/hop).
+  for (std::uint32_t hop = 2; hop <= radius; ++hop) {
+    std::vector<std::vector<std::vector<Word>>> out(
+        m_count, std::vector<std::vector<Word>>(m_count));
+    for (VertexId v : frontier) {
+      for (VertexId u : dg.neighbors(v)) {
+        if (dg.active(u) && !removed[u]) {
+          out[dg.owner(v)][dg.owner(u)].push_back(u);
+        }
+      }
+    }
+    const auto in = all_to_all(sim, out, 0xF3);
+    std::vector<VertexId> next;
+    for (MachineId m = 0; m < m_count; ++m) {
+      for (const auto& payload : in[m]) {
+        for (Word w : payload) {
+          const auto u = static_cast<VertexId>(w);
+          if (!removed[u]) {
+            removed[u] = true;
+            next.push_back(u);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  // One deactivation round.
+  std::vector<std::vector<VertexId>> batches(m_count);
+  std::uint64_t count = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (removed[v]) {
+      batches[dg.owner(v)].push_back(v);
+      ++count;
+    }
+  }
+  dg.deactivate(sim, batches);
+  return count;
+}
+
+}  // namespace rsets::detail

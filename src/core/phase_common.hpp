@@ -1,0 +1,36 @@
+// Internal helpers shared by the phase-based MPC ruling-set algorithms
+// (deterministic and randomized): subgraph gather + local MIS, ball removal,
+// and active-edge counting. Not part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mpc/dist_graph.hpp"
+#include "mpc/simulator.hpp"
+
+namespace rsets::detail {
+
+// Total edges of the active subgraph (one u64 allreduce, 2 rounds).
+std::uint64_t count_active_edges(mpc::Simulator& sim,
+                                 const mpc::DistGraph& dg);
+
+// Gathers the `members`-induced active subgraph onto machine 0 (1 round,
+// transient storage charged there), computes a greedy MIS by id order, and
+// broadcasts it (1 round). `in_members` must be the indicator of `members`.
+std::vector<VertexId> gather_and_mis(mpc::Simulator& sim,
+                                     const mpc::DistGraph& dg,
+                                     const std::vector<VertexId>& members,
+                                     const std::vector<bool>& in_members);
+
+// Deactivates every active vertex within `radius` hops of the set indicated
+// by `in_marked`. Hop 1 is evaluated locally by owners (marked membership is
+// cluster-replicated knowledge in both algorithms: seed-evaluable for the
+// deterministic one, announced for the randomized one); hops 2..radius cost
+// one all-to-all each; plus one deactivation round. Returns removals.
+std::uint64_t remove_ball(mpc::Simulator& sim, mpc::DistGraph& dg,
+                          const std::vector<bool>& in_marked,
+                          std::uint32_t radius);
+
+}  // namespace rsets::detail

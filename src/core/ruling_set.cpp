@@ -1,0 +1,78 @@
+#include "core/ruling_set.hpp"
+
+#include <stdexcept>
+
+#include "core/det_luby.hpp"
+#include "core/det_ruling.hpp"
+#include "core/greedy.hpp"
+#include "core/luby.hpp"
+#include "core/sample_gather.hpp"
+
+namespace rsets {
+
+std::string algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kGreedySequential:
+      return "greedy";
+    case Algorithm::kLubyMpc:
+      return "luby_mpc";
+    case Algorithm::kDetLubyMpc:
+      return "det_luby_mpc";
+    case Algorithm::kSampleGatherMpc:
+      return "sample_gather_mpc";
+    case Algorithm::kDetRulingMpc:
+      return "det_ruling_mpc";
+  }
+  return "?";
+}
+
+RulingSetResult compute_ruling_set(const Graph& g,
+                                   const RulingSetOptions& options) {
+  switch (options.algorithm) {
+    case Algorithm::kGreedySequential: {
+      RulingSetResult result;
+      result.ruling_set = greedy_ruling_set(g, options.beta);
+      result.beta = options.beta;
+      return result;
+    }
+    case Algorithm::kLubyMpc: {
+      if (options.beta != 1) {
+        throw std::invalid_argument("luby_mpc computes an MIS: beta must be 1");
+      }
+      return luby_mis_mpc(g, options.mpc);
+    }
+    case Algorithm::kDetLubyMpc: {
+      if (options.beta != 1) {
+        throw std::invalid_argument(
+            "det_luby_mpc computes an MIS: beta must be 1");
+      }
+      DetLubyOptions det;
+      det.chunk_bits = options.chunk_bits;
+      return det_luby_mis_mpc(g, options.mpc, det);
+    }
+    case Algorithm::kSampleGatherMpc: {
+      if (options.beta != 2) {
+        throw std::invalid_argument(
+            "sample_gather_mpc computes a 2-ruling set: beta must be 2");
+      }
+      SampleGatherOptions sg;
+      sg.gather_budget_words = options.gather_budget_words;
+      return sample_gather_2ruling(g, options.mpc, sg);
+    }
+    case Algorithm::kDetRulingMpc: {
+      if (options.beta < 2) {
+        throw std::invalid_argument(
+            "det_ruling_mpc requires beta >= 2 (use det_luby_mpc for MIS)");
+      }
+      DetRulingOptions det;
+      det.beta = options.beta;
+      det.gather_budget_words = options.gather_budget_words;
+      det.chunk_bits = options.chunk_bits;
+      det.max_mark_steps_per_phase = options.max_mark_steps_per_phase;
+      return det_ruling_set_mpc(g, options.mpc, det);
+    }
+  }
+  throw std::invalid_argument("compute_ruling_set: unknown algorithm");
+}
+
+}  // namespace rsets

@@ -1,0 +1,68 @@
+// Public API of the ruling-set library.
+//
+// A beta-ruling set of G is an independent set R such that every vertex of G
+// is within beta hops of R. This header exposes every algorithm in the
+// library behind one options/result pair plus a convenience dispatcher;
+// algorithm-specific entry points live in their own headers (det_ruling.hpp,
+// luby.hpp, sample_gather.hpp, det_luby.hpp, greedy.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mpc/message.hpp"
+
+namespace rsets {
+
+enum class Algorithm {
+  kGreedySequential,   // lexicographic greedy (ground truth; not MPC)
+  kLubyMpc,            // randomized Luby MIS in MPC, O(log n) rounds
+  kDetLubyMpc,         // derandomized Luby MIS in MPC, deterministic
+  kSampleGatherMpc,    // randomized sample-and-gather 2-ruling set
+  kDetRulingMpc,       // deterministic ruling set (the paper's algorithm)
+};
+
+std::string algorithm_name(Algorithm a);
+
+struct RulingSetOptions {
+  Algorithm algorithm = Algorithm::kDetRulingMpc;
+  std::uint32_t beta = 2;
+
+  // MPC configuration (ignored by the sequential algorithm).
+  mpc::MpcConfig mpc;
+
+  // Gather budget in words for sample/mark subgraphs; 0 means 32 * n
+  // (the near-linear-memory regime). Must be <= mpc.memory_words.
+  std::uint64_t gather_budget_words = 0;
+
+  // Seed bits decided per derandomization chunk (deterministic algorithms).
+  int chunk_bits = 4;
+
+  // Safety cap on derandomized marking repetitions within one phase; the
+  // loop normally exits because no high-degree target remains.
+  int max_mark_steps_per_phase = 200;
+};
+
+struct RulingSetResult {
+  std::vector<VertexId> ruling_set;
+  std::uint32_t beta = 0;  // guarantee the algorithm promises
+
+  // MPC accounting (zeroed for the sequential algorithm).
+  mpc::MpcMetrics metrics;
+
+  // Phase structure of the phase-based algorithms (empty otherwise).
+  std::uint64_t phases = 0;        // degree-reduction phases / Luby iters
+  std::uint64_t mark_steps = 0;    // derandomized marking invocations
+  std::uint64_t derand_chunks = 0; // conditional-expectation chunks spent
+  std::vector<std::uint32_t> degree_trajectory;  // max active degree/phase
+};
+
+// Runs the selected algorithm. Throws std::invalid_argument for unsupported
+// (algorithm, beta) combinations: the MIS algorithms require beta == 1 and
+// the 2-ruling machinery requires beta >= 2.
+RulingSetResult compute_ruling_set(const Graph& g,
+                                   const RulingSetOptions& options);
+
+}  // namespace rsets

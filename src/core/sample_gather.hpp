@@ -1,0 +1,28 @@
+// Randomized sample-and-gather 2-ruling sets in MPC
+// (Kothapalli–Pai–Pemmaraju-style) — the randomized counterpart of the
+// paper's deterministic algorithm.
+//
+// Phase: sample each active vertex with probability p = c*ln(n)/d, where d
+// is chosen so the sampled subgraph fits the gather budget w.h.p.; gather
+// G[sample] on one machine, add a local MIS of it to the output, and remove
+// N[sample]. All vertices of active degree >= d are covered w.h.p., so the
+// max degree drops below d and O(log log Delta) phases suffice — the same
+// phase structure as the deterministic algorithm, but bought with random
+// bits instead of seed fixing.
+#pragma once
+
+#include "core/ruling_set.hpp"
+
+namespace rsets {
+
+struct SampleGatherOptions {
+  std::uint64_t gather_budget_words = 0;  // 0 -> 32 * n
+  double sample_scale = 2.0;              // c in p = c*ln(n)/d
+  int max_retries_per_phase = 16;         // re-sample if budget is exceeded
+};
+
+RulingSetResult sample_gather_2ruling(const Graph& g,
+                                      const mpc::MpcConfig& cfg,
+                                      const SampleGatherOptions& options = {});
+
+}  // namespace rsets

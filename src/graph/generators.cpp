@@ -1,0 +1,418 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/bits.hpp"
+
+namespace rsets::gen {
+namespace {
+
+// Packs an undirected pair into one word for dedup sets.
+std::uint64_t pair_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph gnp(VertexId n, double p, std::uint64_t seed) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("gnp: p out of range");
+  GraphBuilder builder(n);
+  if (p > 0.0 && n > 1) {
+    Rng rng(seed);
+    if (p >= 1.0) return complete(n);
+    // Geometric skipping over the lexicographic pair order.
+    const double log1mp = std::log1p(-p);
+    std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    std::uint64_t idx = 0;
+    while (true) {
+      const double r = rng.uniform();
+      const double skip = std::floor(std::log1p(-r) / log1mp);
+      idx += static_cast<std::uint64_t>(skip) + 1;
+      if (idx > total) break;
+      // Decode pair index (1-based) to (u, v), u < v.
+      const std::uint64_t k = idx - 1;
+      const auto u = static_cast<VertexId>(
+          n - 2 -
+          static_cast<std::uint64_t>(std::floor(
+              (std::sqrt(8.0 * static_cast<double>(total - 1 - k) + 1) - 1) /
+              2)));
+      const std::uint64_t before =
+          static_cast<std::uint64_t>(u) * n - static_cast<std::uint64_t>(u) * (u + 1) / 2;
+      const auto v = static_cast<VertexId>(u + 1 + (k - before));
+      builder.add_edge(u, v);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph gnm(VertexId n, std::uint64_t m, std::uint64_t seed) {
+  const std::uint64_t total =
+      n < 2 ? 0 : static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  if (m > total) throw std::invalid_argument("gnm: m exceeds pair count");
+  GraphBuilder builder(n);
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    const auto u = static_cast<VertexId>(rng.below(n));
+    const auto v = static_cast<VertexId>(rng.below(n));
+    if (u == v) continue;
+    if (seen.insert(pair_key(u, v)).second) builder.add_edge(u, v);
+  }
+  return std::move(builder).build();
+}
+
+Graph random_regular(VertexId n, std::uint32_t d, std::uint64_t seed) {
+  if (static_cast<std::uint64_t>(n) * d % 2 != 0) {
+    throw std::invalid_argument("random_regular: n*d must be even");
+  }
+  if (d >= n) throw std::invalid_argument("random_regular: need d < n");
+  // Configuration model: shuffle n*d stubs, pair them up.
+  std::vector<VertexId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+  }
+  Rng rng(seed);
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.below(i)]);
+  }
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    builder.add_edge(stubs[i], stubs[i + 1]);
+  }
+  return std::move(builder).build();
+}
+
+Graph power_law(VertexId n, double beta, double avg_degree,
+                std::uint64_t seed) {
+  if (beta <= 1.0) throw std::invalid_argument("power_law: beta must be > 1");
+  // Chung–Lu weights w_i = c * (i+1)^(-1/(beta-1)).
+  std::vector<double> weights(n);
+  const double exponent = -1.0 / (beta - 1.0);
+  double total = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), exponent);
+    total += weights[i];
+  }
+  const double scale = avg_degree * static_cast<double>(n) / total;
+  for (auto& w : weights) w *= scale;
+  const double weight_sum = avg_degree * static_cast<double>(n);
+
+  // Efficient Chung–Lu sampling (Miller–Hagberg): for each u, walk v with
+  // geometric skips under the bound p_uv <= w_u * w_v / W with weights
+  // sorted descending (they are, by construction).
+  GraphBuilder builder(n);
+  Rng rng(seed);
+  for (VertexId u = 0; u + 1 < n; ++u) {
+    VertexId v = u + 1;
+    double p = std::min(1.0, weights[u] * weights[v] / weight_sum);
+    while (v < n && p > 0.0) {
+      if (p < 1.0) {
+        const double r = rng.uniform();
+        const double skip = std::floor(std::log1p(-r) / std::log1p(-p));
+        v += static_cast<VertexId>(std::min(skip, 1e9));
+      }
+      if (v >= n) break;
+      const double q = std::min(1.0, weights[u] * weights[v] / weight_sum);
+      if (rng.uniform() < q / p) builder.add_edge(u, v);
+      p = q;
+      ++v;
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph barabasi_albert(VertexId n, std::uint32_t attach, std::uint64_t seed) {
+  if (attach == 0 || n <= attach) {
+    throw std::invalid_argument("barabasi_albert: need 0 < attach < n");
+  }
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  // Repeated-endpoint list gives preferential attachment.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * attach * 2);
+  // Seed clique on attach+1 vertices.
+  for (VertexId u = 0; u <= attach; ++u) {
+    for (VertexId v = u + 1; v <= attach; ++v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (VertexId v = attach + 1; v < n; ++v) {
+    std::unordered_set<VertexId> targets;
+    while (targets.size() < attach) {
+      targets.insert(endpoints[rng.below(endpoints.size())]);
+    }
+    for (VertexId t : targets) {
+      builder.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph rmat(VertexId n, std::uint64_t m, double a, double b, double c,
+           std::uint64_t seed) {
+  const double d = 1.0 - a - b - c;
+  if (a < 0 || b < 0 || c < 0 || d < 0) {
+    throw std::invalid_argument("rmat: probabilities must sum to <= 1");
+  }
+  const auto size = static_cast<VertexId>(next_pow2(n));
+  const int levels = ceil_log2(size);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  std::uint64_t made = 0;
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = m * 20 + 1000;
+  while (made < m && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = 0;
+    VertexId v = 0;
+    for (int lvl = 0; lvl < levels; ++lvl) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: nothing to add
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v || u >= n || v >= n) continue;
+    builder.add_edge(u, v);
+    ++made;
+  }
+  return std::move(builder).build();
+}
+
+Graph grid(std::uint32_t rows, std::uint32_t cols) {
+  const auto n = static_cast<VertexId>(rows * cols);
+  GraphBuilder builder(n);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t col = 0; col < cols; ++col) {
+      const VertexId v = r * cols + col;
+      if (col + 1 < cols) builder.add_edge(v, v + 1);
+      if (r + 1 < rows) builder.add_edge(v, v + cols);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph torus(std::uint32_t rows, std::uint32_t cols) {
+  const auto n = static_cast<VertexId>(rows * cols);
+  GraphBuilder builder(n);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t col = 0; col < cols; ++col) {
+      const VertexId v = r * cols + col;
+      builder.add_edge(v, r * cols + (col + 1) % cols);
+      builder.add_edge(v, ((r + 1) % rows) * cols + col);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph path(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
+  return std::move(builder).build();
+}
+
+Graph cycle(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
+  if (n >= 3) builder.add_edge(n - 1, 0);
+  return std::move(builder).build();
+}
+
+Graph complete(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) builder.add_edge(u, v);
+  }
+  return std::move(builder).build();
+}
+
+Graph complete_bipartite(VertexId a, VertexId b) {
+  GraphBuilder builder(a + b);
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) builder.add_edge(u, a + v);
+  }
+  return std::move(builder).build();
+}
+
+Graph random_tree(VertexId n, std::uint64_t seed) {
+  GraphBuilder builder(n);
+  if (n == 2) {
+    builder.add_edge(0, 1);
+    return std::move(builder).build();
+  }
+  if (n < 2) return std::move(builder).build();
+  // Decode a random Pruefer sequence.
+  Rng rng(seed);
+  std::vector<VertexId> pruefer(n - 2);
+  for (auto& x : pruefer) x = static_cast<VertexId>(rng.below(n));
+  std::vector<std::uint32_t> degree(n, 1);
+  for (VertexId x : pruefer) degree[x]++;
+  // Min-leaf extraction via a simple pointer scan (O(n log n)-ish with set).
+  std::vector<bool> used(n, false);
+  VertexId ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  VertexId leaf = ptr;
+  for (VertexId x : pruefer) {
+    builder.add_edge(leaf, x);
+    if (--degree[x] == 1 && x < ptr) {
+      leaf = x;
+    } else {
+      ++ptr;
+      while (ptr < n && degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  builder.add_edge(leaf, n - 1);
+  (void)used;
+  return std::move(builder).build();
+}
+
+Graph star(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId v = 1; v < n; ++v) builder.add_edge(0, v);
+  return std::move(builder).build();
+}
+
+Graph caterpillar(VertexId spine, std::uint32_t legs) {
+  const VertexId n = spine + spine * legs;
+  GraphBuilder builder(n);
+  for (VertexId s = 0; s + 1 < spine; ++s) builder.add_edge(s, s + 1);
+  for (VertexId s = 0; s < spine; ++s) {
+    for (std::uint32_t l = 0; l < legs; ++l) {
+      builder.add_edge(s, spine + s * legs + l);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph clique_blowup(VertexId count, VertexId size) {
+  GraphBuilder builder(count * size);
+  for (VertexId c = 0; c < count; ++c) {
+    const VertexId base = c * size;
+    for (VertexId u = 0; u < size; ++u) {
+      for (VertexId v = u + 1; v < size; ++v) {
+        builder.add_edge(base + u, base + v);
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph hospital_contacts(std::uint32_t wards, std::uint32_t ward_size,
+                        std::uint32_t staff, std::uint32_t visits,
+                        std::uint64_t seed) {
+  const VertexId patients = wards * ward_size;
+  const VertexId n = patients + staff;
+  GraphBuilder builder(n);
+  // Patients in a ward are mutually in contact.
+  for (std::uint32_t w = 0; w < wards; ++w) {
+    const VertexId base = w * ward_size;
+    for (VertexId u = 0; u < ward_size; ++u) {
+      for (VertexId v = u + 1; v < ward_size; ++v) {
+        builder.add_edge(base + u, base + v);
+      }
+    }
+  }
+  // Staff visit random patients across wards.
+  Rng rng(seed);
+  for (std::uint32_t s = 0; s < staff; ++s) {
+    const VertexId sv = patients + s;
+    for (std::uint32_t k = 0; k < visits; ++k) {
+      builder.add_edge(sv, static_cast<VertexId>(rng.below(patients)));
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph watts_strogatz(VertexId n, std::uint32_t k, double p,
+                     std::uint64_t seed) {
+  if (k == 0 || 2 * k >= n) {
+    throw std::invalid_argument("watts_strogatz: need 0 < 2k < n");
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("watts_strogatz: p out of range");
+  }
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::uint32_t j = 1; j <= k; ++j) {
+      VertexId target = static_cast<VertexId>((v + j) % n);
+      if (rng.flip(p)) {
+        // Rewire to a uniform non-self target (duplicates are deduped by
+        // the builder, slightly lowering the realized edge count).
+        target = static_cast<VertexId>(rng.below(n));
+        if (target == v) target = static_cast<VertexId>((v + 1) % n);
+      }
+      builder.add_edge(v, target);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph hypercube(std::uint32_t dims) {
+  if (dims > 24) throw std::invalid_argument("hypercube: dims too large");
+  const auto n = static_cast<VertexId>(std::uint64_t{1} << dims);
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::uint32_t b = 0; b < dims; ++b) {
+      const VertexId u = v ^ (VertexId{1} << b);
+      if (v < u) builder.add_edge(v, u);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph binary_tree(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId v = 1; v < n; ++v) builder.add_edge(v, (v - 1) / 2);
+  return std::move(builder).build();
+}
+
+Graph lollipop(VertexId clique, VertexId tail) {
+  GraphBuilder builder(clique + tail);
+  for (VertexId u = 0; u < clique; ++u) {
+    for (VertexId v = u + 1; v < clique; ++v) builder.add_edge(u, v);
+  }
+  if (clique > 0 && tail > 0) builder.add_edge(clique - 1, clique);
+  for (VertexId v = clique; v + 1 < clique + tail; ++v) {
+    builder.add_edge(v, v + 1);
+  }
+  return std::move(builder).build();
+}
+
+std::vector<NamedGraph> standard_suite(VertexId n, std::uint64_t seed) {
+  std::vector<NamedGraph> suite;
+  const auto side = static_cast<std::uint32_t>(std::sqrt(n));
+  suite.push_back({"gnp_sparse", gnp(n, 4.0 / n, seed)});
+  suite.push_back({"gnp_logdeg",
+                   gnp(n, 2.0 * std::log(std::max<double>(n, 2)) / n, seed)});
+  suite.push_back({"regular16", random_regular(n, 16, seed)});
+  suite.push_back({"power_law", power_law(n, 2.5, 8.0, seed)});
+  suite.push_back({"ba4", barabasi_albert(n, 4, seed)});
+  suite.push_back({"grid", grid(side, side)});
+  suite.push_back({"tree", random_tree(n, seed)});
+  suite.push_back({"caterpillar", caterpillar(n / 9 + 1, 8)});
+  suite.push_back({"small_world", watts_strogatz(n, 4, 0.1, seed)});
+  return suite;
+}
+
+}  // namespace rsets::gen

@@ -1,0 +1,102 @@
+// Synthetic graph generators spanning the degree regimes the ruling-set
+// analysis cares about: bounded degree, polylog degree, polynomial degree,
+// and heavy-tailed (power-law) degree distributions.
+//
+// All generators are deterministic functions of their parameters plus an
+// explicit seed, so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace rsets::gen {
+
+// Erdos–Renyi G(n, p): each pair independently with probability p.
+// Uses geometric skipping, O(n + m) time.
+Graph gnp(VertexId n, double p, std::uint64_t seed);
+
+// G(n, m): exactly m distinct uniform edges.
+Graph gnm(VertexId n, std::uint64_t m, std::uint64_t seed);
+
+// Random d-regular-ish multigraph via the configuration model; self-loops
+// and duplicate edges are dropped, so degrees are <= d (typically =).
+Graph random_regular(VertexId n, std::uint32_t d, std::uint64_t seed);
+
+// Chung–Lu power-law: expected degree of vertex i proportional to
+// (i+1)^(-1/(beta-1)), scaled to the target average degree.
+Graph power_law(VertexId n, double beta, double avg_degree,
+                std::uint64_t seed);
+
+// Barabasi–Albert preferential attachment: each new vertex attaches to
+// `attach` existing vertices.
+Graph barabasi_albert(VertexId n, std::uint32_t attach, std::uint64_t seed);
+
+// R-MAT recursive matrix generator (Chakrabarti–Zhan–Faloutsos) with the
+// usual (a, b, c) corner probabilities; n rounds up to a power of two.
+Graph rmat(VertexId n, std::uint64_t m, double a, double b, double c,
+           std::uint64_t seed);
+
+// 2-D grid, rows x cols, 4-neighbor.
+Graph grid(std::uint32_t rows, std::uint32_t cols);
+
+// 2-D torus (grid with wraparound), 4-regular.
+Graph torus(std::uint32_t rows, std::uint32_t cols);
+
+// Path and cycle on n vertices.
+Graph path(VertexId n);
+Graph cycle(VertexId n);
+
+// Complete graph K_n and complete bipartite K_{a,b}.
+Graph complete(VertexId n);
+Graph complete_bipartite(VertexId a, VertexId b);
+
+// Uniform random labelled tree (Pruefer sequence decode).
+Graph random_tree(VertexId n, std::uint64_t seed);
+
+// Star with n-1 leaves (vertex 0 is the hub).
+Graph star(VertexId n);
+
+// Caterpillar: a spine path of `spine` vertices, each with `legs` leaves.
+Graph caterpillar(VertexId spine, std::uint32_t legs);
+
+// Disjoint union of `count` cliques of size `size` (independent-set torture
+// test: MIS must pick exactly one vertex per clique).
+Graph clique_blowup(VertexId count, VertexId size);
+
+// Hospital-style contact network used by the examples: `wards` cliques of
+// `ward_size` patients, plus `staff` high-degree vertices each visiting
+// `visits` uniformly random patients (a synthetic stand-in for the
+// healthcare-worker mobility data in the authors' applied work).
+Graph hospital_contacts(std::uint32_t wards, std::uint32_t ward_size,
+                        std::uint32_t staff, std::uint32_t visits,
+                        std::uint64_t seed);
+
+// Watts–Strogatz small world: ring lattice with k nearest neighbors per
+// side, each edge rewired with probability p.
+Graph watts_strogatz(VertexId n, std::uint32_t k, double p,
+                     std::uint64_t seed);
+
+// d-dimensional hypercube (n = 2^dims vertices, degree dims).
+Graph hypercube(std::uint32_t dims);
+
+// Complete binary tree on n vertices (heap indexing).
+Graph binary_tree(VertexId n);
+
+// Lollipop: K_{clique} glued to a path of `tail` vertices — a classic
+// bad case for locality (huge degree next to huge diameter).
+Graph lollipop(VertexId clique, VertexId tail);
+
+// A named family registry so tests and benches can sweep generators.
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+// Representative instances at roughly `n` vertices across all families.
+std::vector<NamedGraph> standard_suite(VertexId n, std::uint64_t seed);
+
+}  // namespace rsets::gen

@@ -1,0 +1,75 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rsets {
+
+Graph Graph::from_edges(VertexId num_vertices, std::span<const Edge> edges) {
+  Graph g;
+  std::vector<std::uint64_t> counts(num_vertices + 1, 0);
+  // Symmetrize into a scratch arc list, then sort-dedup per vertex.
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  arcs.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    if (e.u >= num_vertices || e.v >= num_vertices) {
+      throw std::out_of_range("Graph::from_edges: endpoint out of range");
+    }
+    arcs.emplace_back(e.u, e.v);
+    arcs.emplace_back(e.v, e.u);
+  }
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+  for (const auto& [u, v] : arcs) counts[u + 1]++;
+  for (VertexId v = 0; v < num_vertices; ++v) counts[v + 1] += counts[v];
+
+  g.offsets_ = std::move(counts);
+  g.adjacency_.reserve(arcs.size());
+  for (const auto& [u, v] : arcs) g.adjacency_.push_back(v);
+  return g;
+}
+
+std::uint32_t Graph::max_degree() const {
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+double Graph::average_degree() const {
+  if (num_vertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_vertices());
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : neighbors(u)) {
+      if (u < v) out.push_back({u, v});
+    }
+  }
+  return out;
+}
+
+std::uint64_t Graph::degree_square_sum() const {
+  std::uint64_t sum = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const std::uint64_t d = degree(v);
+    sum += d * d;
+  }
+  return sum;
+}
+
+Graph GraphBuilder::build() && {
+  return Graph::from_edges(num_vertices_, edges_);
+}
+
+}  // namespace rsets

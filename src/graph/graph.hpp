@@ -1,0 +1,82 @@
+// Immutable simple undirected graphs in compressed sparse row form.
+//
+// Vertices are dense ids [0, n). Graphs are simple: no self-loops, no
+// parallel edges; the builder deduplicates and symmetrizes. Neighbor lists
+// are sorted, so adjacency tests are O(log d) and set operations are merges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace rsets {
+
+using VertexId = std::uint32_t;
+
+struct Edge {
+  VertexId u;
+  VertexId v;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Builds from an edge list; symmetrizes, drops self-loops and duplicates.
+  static Graph from_edges(VertexId num_vertices, std::span<const Edge> edges);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  std::uint64_t num_edges() const { return adjacency_.size() / 2; }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::uint32_t max_degree() const;
+  double average_degree() const;
+
+  // O(log degree(u)).
+  bool has_edge(VertexId u, VertexId v) const;
+
+  // All edges with u < v, in sorted order.
+  std::vector<Edge> edges() const;
+
+  // Sum over vertices of degree^2 — the cost driver of the pairwise
+  // estimators; benches report it.
+  std::uint64_t degree_square_sum() const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  std::vector<VertexId> adjacency_;     // size 2m, sorted per vertex
+};
+
+// Incremental edge-list accumulator for generators.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  // Ignores self-loops; duplicates are fine (deduplicated at build).
+  void add_edge(VertexId u, VertexId v) {
+    if (u != v) edges_.push_back({u, v});
+  }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  std::size_t pending_edges() const { return edges_.size(); }
+
+  Graph build() &&;
+
+ private:
+  VertexId num_vertices_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace rsets

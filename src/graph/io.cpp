@@ -1,0 +1,83 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rsets {
+
+Graph read_edge_list(std::istream& in) {
+  std::vector<Edge> edges;
+  VertexId n = 0;
+  bool have_header = false;
+  std::string line;
+  bool first_data_line = true;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    if (!(ls >> a >> b)) {
+      throw std::runtime_error("read_edge_list: malformed line: " + line);
+    }
+    std::uint64_t extra;
+    if (first_data_line && !(ls >> extra)) {
+      // Could be a header "n m" or the first edge; heuristic: treat as
+      // header only if a third token is absent AND a second line exists —
+      // ambiguous, so we use the common convention: a line "n m" where the
+      // following lines contain ids < n is a header. We defer: record it
+      // and decide at the end.
+    }
+    first_data_line = false;
+    edges.push_back({static_cast<VertexId>(a), static_cast<VertexId>(b)});
+  }
+  // Header detection: if the first pair's endpoints are never referenced as
+  // an edge consistent with n = first.a, prefer header semantics when
+  // first.a > every other id and first.b == remaining line count.
+  if (edges.size() >= 1) {
+    VertexId max_id = 0;
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+      max_id = std::max({max_id, edges[i].u, edges[i].v});
+    }
+    const Edge first = edges.front();
+    if (edges.size() >= 2 && first.u > max_id &&
+        static_cast<std::uint64_t>(first.v) == edges.size() - 1) {
+      n = first.u;
+      have_header = true;
+      edges.erase(edges.begin());
+    }
+  }
+  if (!have_header) {
+    for (const Edge& e : edges) {
+      n = std::max({n, static_cast<VertexId>(e.u + 1),
+                    static_cast<VertexId>(e.v + 1)});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_edge_list_file: cannot open " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+bool write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_edge_list(g, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace rsets

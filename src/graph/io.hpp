@@ -1,0 +1,21 @@
+// Edge-list I/O.
+//
+// Format: optional comment lines starting with '#' or '%', then an optional
+// header line "n m", then one "u v" pair per line. Vertices are 0-based.
+// If no header is present, n is inferred as max id + 1.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rsets {
+
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+
+void write_edge_list(const Graph& g, std::ostream& out);
+bool write_edge_list_file(const Graph& g, const std::string& path);
+
+}  // namespace rsets

@@ -1,0 +1,118 @@
+#include "graph/verify.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+#include "graph/ops.hpp"
+
+namespace rsets {
+
+bool is_independent_set(const Graph& g, std::span<const VertexId> set) {
+  std::vector<bool> in_set(g.num_vertices(), false);
+  for (VertexId v : set) {
+    if (v >= g.num_vertices()) return false;
+    if (in_set[v]) return false;  // duplicate entries are rejected too
+    in_set[v] = true;
+  }
+  for (VertexId v : set) {
+    for (VertexId u : g.neighbors(v)) {
+      if (in_set[u]) return false;
+    }
+  }
+  return true;
+}
+
+std::uint32_t domination_radius(const Graph& g,
+                                std::span<const VertexId> set) {
+  if (g.num_vertices() == 0) return 0;
+  if (set.empty()) return std::numeric_limits<std::uint32_t>::max();
+  const auto dist = bfs_distances(g, set);
+  std::uint32_t radius = 0;
+  for (std::uint32_t d : dist) {
+    radius = std::max(radius, d);  // unreachable propagates UINT32_MAX
+  }
+  return radius;
+}
+
+bool is_beta_ruling_set(const Graph& g, std::span<const VertexId> set,
+                        std::uint32_t beta) {
+  if (!is_independent_set(g, set)) return false;
+  if (g.num_vertices() == 0) return true;
+  return domination_radius(g, set) <= beta;
+}
+
+bool is_maximal_independent_set(const Graph& g,
+                                std::span<const VertexId> set) {
+  return is_beta_ruling_set(g, set, 1);
+}
+
+std::uint32_t min_pairwise_distance(const Graph& g,
+                                    std::span<const VertexId> set) {
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  if (set.size() < 2) return kInf;
+  // BFS from each member, truncated once another member is met; overall
+  // O(|set| * (n + m)) — an oracle, not a fast path.
+  std::uint32_t best = kInf;
+  std::vector<bool> in_set(g.num_vertices(), false);
+  for (VertexId v : set) in_set[v] = true;
+  std::vector<std::uint32_t> dist(g.num_vertices(), kInf);
+  std::vector<VertexId> touched;
+  for (VertexId s : set) {
+    std::deque<VertexId> queue;
+    dist[s] = 0;
+    touched.push_back(s);
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      if (dist[u] >= best) continue;  // cannot improve
+      for (VertexId w : g.neighbors(u)) {
+        if (dist[w] != kInf) continue;
+        dist[w] = dist[u] + 1;
+        touched.push_back(w);
+        if (in_set[w] && w != s) best = std::min(best, dist[w]);
+        queue.push_back(w);
+      }
+    }
+    for (VertexId t : touched) dist[t] = kInf;
+    touched.clear();
+  }
+  return best;
+}
+
+bool is_alpha_beta_ruling_set(const Graph& g, std::span<const VertexId> set,
+                              std::uint32_t alpha, std::uint32_t beta) {
+  // Reject duplicates/out-of-range via the independence helper's checks.
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (VertexId v : set) {
+    if (v >= g.num_vertices() || seen[v]) return false;
+    seen[v] = true;
+  }
+  if (min_pairwise_distance(g, set) < alpha) return false;
+  if (g.num_vertices() == 0) return true;
+  return domination_radius(g, set) <= beta;
+}
+
+std::string RulingSetReport::to_string() const {
+  std::ostringstream os;
+  os << (valid ? "VALID" : "INVALID") << " beta<=" << beta_claimed
+     << " (independent=" << (independent ? "yes" : "no")
+     << ", radius=" << radius << ", size=" << size << ")";
+  return os.str();
+}
+
+RulingSetReport check_ruling_set(const Graph& g,
+                                 std::span<const VertexId> set,
+                                 std::uint32_t beta) {
+  RulingSetReport report;
+  report.beta_claimed = beta;
+  report.size = set.size();
+  report.independent = is_independent_set(g, set);
+  report.radius = g.num_vertices() == 0 ? 0 : domination_radius(g, set);
+  report.valid = report.independent && report.radius <= beta;
+  return report;
+}
+
+}  // namespace rsets

@@ -1,0 +1,59 @@
+// Independent verification of ruling-set outputs.
+//
+// Every algorithm result in tests, benches, and examples is passed through
+// these checkers; nothing is trusted on the algorithm's say-so. The checkers
+// use plain BFS and adjacency scans, sharing no code with the algorithms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rsets {
+
+// True iff no two vertices of `set` are adjacent in g.
+bool is_independent_set(const Graph& g, std::span<const VertexId> set);
+
+// Max over vertices of the hop distance to the nearest member of `set`;
+// UINT32_MAX if some vertex is unreachable from every member (e.g. empty
+// set on a non-empty graph).
+std::uint32_t domination_radius(const Graph& g,
+                                std::span<const VertexId> set);
+
+// True iff `set` is independent and every vertex is within `beta` hops.
+bool is_beta_ruling_set(const Graph& g, std::span<const VertexId> set,
+                        std::uint32_t beta);
+
+// True iff `set` is an MIS: independent and every vertex is in the set or
+// adjacent to it AND no vertex can be added (equivalent for MIS).
+bool is_maximal_independent_set(const Graph& g,
+                                std::span<const VertexId> set);
+
+// The literature's general notion: an (alpha, beta)-ruling set has members
+// pairwise at distance >= alpha and every vertex within beta hops of one.
+// (alpha = 2 recovers the plain beta-ruling set.)
+bool is_alpha_beta_ruling_set(const Graph& g, std::span<const VertexId> set,
+                              std::uint32_t alpha, std::uint32_t beta);
+
+// Minimum pairwise distance among set members (UINT32_MAX for |set| < 2 or
+// members in different components).
+std::uint32_t min_pairwise_distance(const Graph& g,
+                                    std::span<const VertexId> set);
+
+struct RulingSetReport {
+  bool independent = false;
+  std::uint32_t radius = 0;       // measured domination radius
+  std::uint64_t size = 0;         // |set|
+  bool valid = false;             // independent && radius <= beta
+  std::uint32_t beta_claimed = 0;
+  std::string to_string() const;
+};
+
+RulingSetReport check_ruling_set(const Graph& g,
+                                 std::span<const VertexId> set,
+                                 std::uint32_t beta);
+
+}  // namespace rsets

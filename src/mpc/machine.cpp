@@ -1,0 +1,79 @@
+#include "mpc/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rsets::mpc {
+
+Machine::Machine(MachineId id, const MpcConfig& config)
+    : id_(id),
+      config_(&config),
+      rng_(Rng::for_stream(config.seed, id)) {}
+
+void Machine::charge_storage(std::size_t words) {
+  storage_words_ += words;
+  peak_storage_words_ = std::max(peak_storage_words_, storage_words_);
+  if (storage_words_ > config_->memory_words) {
+    if (config_->enforce) {
+      throw MpcViolation("machine " + std::to_string(id_) +
+                         " exceeded memory budget: " +
+                         std::to_string(storage_words_) + " > " +
+                         std::to_string(config_->memory_words) + " words");
+    }
+    ++violations_;
+  }
+}
+
+void Machine::release_storage(std::size_t words) {
+  if (words > storage_words_) {
+    throw std::logic_error("release_storage: releasing more than charged");
+  }
+  storage_words_ -= words;
+}
+
+void Machine::send(MachineId dst, std::uint32_t tag,
+                   std::vector<Word> payload) {
+  if (dst >= config_->num_machines) {
+    throw std::out_of_range("Machine::send: bad destination");
+  }
+  Message msg;
+  msg.src = id_;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+  sent_words_this_round_ += msg.words();
+  if (sent_words_this_round_ > config_->memory_words) {
+    if (config_->enforce) {
+      throw MpcViolation("machine " + std::to_string(id_) +
+                         " exceeded send bandwidth in one round: " +
+                         std::to_string(sent_words_this_round_) + " > " +
+                         std::to_string(config_->memory_words) + " words");
+    }
+    ++violations_;
+  }
+  outbox_.push_back(std::move(msg));
+}
+
+Inbox::Inbox(std::vector<Message> messages) : messages_(std::move(messages)) {
+  // Sort by (tag, src): tag lookups become contiguous ranges, and delivery
+  // order is deterministic regardless of routing order.
+  std::sort(messages_.begin(), messages_.end(),
+            [](const Message& a, const Message& b) {
+              if (a.tag != b.tag) return a.tag < b.tag;
+              return a.src < b.src;
+            });
+  for (const Message& m : messages_) total_words_ += m.words();
+}
+
+std::span<const Message> Inbox::with_tag(std::uint32_t tag) const {
+  const auto lo = std::lower_bound(
+      messages_.begin(), messages_.end(), tag,
+      [](const Message& m, std::uint32_t t) { return m.tag < t; });
+  const auto hi = std::upper_bound(
+      messages_.begin(), messages_.end(), tag,
+      [](std::uint32_t t, const Message& m) { return t < m.tag; });
+  return {messages_.data() + (lo - messages_.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+}  // namespace rsets::mpc

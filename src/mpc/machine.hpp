@@ -1,0 +1,74 @@
+// A simulated MPC machine: storage accounting, an outbox, and a private
+// deterministic RNG stream.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mpc/message.hpp"
+#include "util/rng.hpp"
+
+namespace rsets::mpc {
+
+class Simulator;
+
+class Machine {
+ public:
+  Machine(MachineId id, const MpcConfig& config);
+
+  MachineId id() const { return id_; }
+
+  // --- persistent storage accounting -------------------------------------
+  // Algorithms charge the words they keep across rounds (adjacency lists,
+  // replicated bitsets, gathered subgraphs, ...). Violations of the memory
+  // budget surface according to MpcConfig::enforce.
+  void charge_storage(std::size_t words);
+  void release_storage(std::size_t words);
+  std::size_t storage_words() const { return storage_words_; }
+
+  // --- sending ------------------------------------------------------------
+  void send(MachineId dst, std::uint32_t tag, std::vector<Word> payload);
+  void send_word(MachineId dst, std::uint32_t tag, Word value) {
+    send(dst, tag, std::vector<Word>{value});
+  }
+
+  // --- randomness ---------------------------------------------------------
+  // Per-machine stream; the simulator aggregates draw counts into metrics
+  // so determinism claims are checkable.
+  Rng& rng() { return rng_; }
+
+ private:
+  friend class Simulator;
+
+  MachineId id_;
+  const MpcConfig* config_;
+  std::size_t storage_words_ = 0;
+  std::size_t peak_storage_words_ = 0;
+  std::uint64_t sent_words_this_round_ = 0;
+  std::uint64_t violations_ = 0;
+  std::vector<Message> outbox_;
+  Rng rng_;
+};
+
+// Messages delivered to one machine in one round, sorted by (src, tag) for
+// deterministic iteration.
+class Inbox {
+ public:
+  explicit Inbox(std::vector<Message> messages);
+
+  std::span<const Message> all() const { return messages_; }
+  bool empty() const { return messages_.empty(); }
+  std::size_t size() const { return messages_.size(); }
+
+  // All messages with the given tag (contiguous thanks to sorting).
+  std::span<const Message> with_tag(std::uint32_t tag) const;
+
+  std::uint64_t total_words() const { return total_words_; }
+
+ private:
+  std::vector<Message> messages_;
+  std::uint64_t total_words_ = 0;
+};
+
+}  // namespace rsets::mpc

@@ -1,0 +1,66 @@
+// Messages and configuration for the MPC round simulator.
+//
+// The Massively Parallel Computation model (Karloff–Suri–Vassilvitskii):
+// M machines, each with S words of memory; computation proceeds in
+// synchronous rounds; per round each machine sends and receives at most S
+// words. The simulator counts every word and (by default) hard-fails on
+// violations, so model conformance (claim C3 in DESIGN.md) is structural.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rsets::mpc {
+
+using Word = std::uint64_t;
+using MachineId = std::uint32_t;
+
+// Every message is charged a fixed header in addition to its payload,
+// modelling addressing overhead and discouraging word-free signalling.
+inline constexpr std::size_t kHeaderWords = 2;
+
+struct Message {
+  MachineId src = 0;
+  MachineId dst = 0;
+  std::uint32_t tag = 0;
+  std::vector<Word> payload;
+
+  std::size_t words() const { return payload.size() + kHeaderWords; }
+};
+
+struct MpcConfig {
+  MachineId num_machines = 8;
+  std::size_t memory_words = std::size_t{1} << 20;  // S
+  // When true (default), exceeding S in storage or per-round bandwidth
+  // throws MpcViolation. When false, violations are counted in metrics —
+  // used by stress benches that chart how close algorithms run to the caps.
+  bool enforce = true;
+  std::uint64_t seed = 1;  // base seed for per-machine RNG streams
+};
+
+struct MpcMetrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t total_words = 0;
+  // Worst per-machine, per-round bandwidth actually used.
+  std::uint64_t max_send_words = 0;
+  std::uint64_t max_recv_words = 0;
+  // Worst persistent storage held by any machine at any time.
+  std::size_t max_storage_words = 0;
+  // Cap violations observed (only counted when enforce == false).
+  std::uint64_t violations = 0;
+  // Random 64-bit words drawn across all machines (0 for deterministic
+  // algorithms — claim C2).
+  std::uint64_t random_words = 0;
+};
+
+class MpcViolation : public std::runtime_error {
+ public:
+  explicit MpcViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace rsets::mpc

@@ -1,0 +1,151 @@
+#include "mpc/primitives.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace rsets::mpc {
+
+Word pack_double(double x) {
+  Word w;
+  static_assert(sizeof(Word) == sizeof(double));
+  std::memcpy(&w, &x, sizeof(w));
+  return w;
+}
+
+double unpack_double(Word w) {
+  double x;
+  std::memcpy(&x, &w, sizeof(x));
+  return x;
+}
+
+std::vector<std::vector<Word>> broadcast(Simulator& sim, MachineId root,
+                                         const std::vector<Word>& payload,
+                                         std::uint32_t tag) {
+  const MachineId m_count = sim.num_machines();
+  std::vector<std::vector<Word>> received(m_count);
+  sim.round([&](Machine& machine, const Inbox& inbox) {
+    if (machine.id() == root) {
+      received[root] = payload;  // local copy, no message
+      for (MachineId dst = 0; dst < m_count; ++dst) {
+        if (dst != root) machine.send(dst, tag, payload);
+      }
+    }
+    (void)inbox;  // messages land next round
+  });
+  sim.drain([&](Machine& machine, const Inbox& inbox) {
+    for (const Message& msg : inbox.with_tag(tag)) {
+      received[machine.id()] = msg.payload;
+    }
+  });
+  return received;
+}
+
+std::vector<std::vector<Word>> gather_to(
+    Simulator& sim, MachineId root,
+    const std::vector<std::vector<Word>>& contributions, std::uint32_t tag) {
+  if (contributions.size() != sim.num_machines()) {
+    throw std::invalid_argument("gather_to: need one contribution/machine");
+  }
+  std::vector<std::vector<Word>> received(sim.num_machines());
+  sim.round([&](Machine& machine, const Inbox&) {
+    if (machine.id() == root) {
+      received[root] = contributions[root];
+    } else {
+      machine.send(root, tag, contributions[machine.id()]);
+    }
+  });
+  sim.drain([&](Machine& machine, const Inbox& inbox) {
+    if (machine.id() != root) return;
+    for (const Message& msg : inbox.with_tag(tag)) {
+      received[msg.src] = msg.payload;
+    }
+  });
+  return received;
+}
+
+std::vector<double> allreduce_sum(
+    Simulator& sim, const std::vector<std::vector<double>>& contributions,
+    std::uint32_t tag) {
+  if (contributions.size() != sim.num_machines()) {
+    throw std::invalid_argument("allreduce_sum: need one vector per machine");
+  }
+  const std::size_t width = contributions.empty() ? 0 : contributions[0].size();
+  std::vector<std::vector<Word>> packed(sim.num_machines());
+  for (MachineId m = 0; m < sim.num_machines(); ++m) {
+    if (contributions[m].size() != width) {
+      throw std::invalid_argument("allreduce_sum: ragged contributions");
+    }
+    packed[m].reserve(width);
+    for (double x : contributions[m]) packed[m].push_back(pack_double(x));
+  }
+  const auto at_root = gather_to(sim, 0, packed, tag);
+  std::vector<double> total(width, 0.0);
+  for (const auto& vec : at_root) {
+    for (std::size_t i = 0; i < width; ++i) {
+      total[i] += unpack_double(vec[i]);
+    }
+  }
+  std::vector<Word> packed_total;
+  packed_total.reserve(width);
+  for (double x : total) packed_total.push_back(pack_double(x));
+  broadcast(sim, 0, packed_total, tag + 1);
+  return total;
+}
+
+std::uint64_t allreduce_max(Simulator& sim,
+                            const std::vector<std::uint64_t>& values,
+                            std::uint32_t tag) {
+  std::vector<std::vector<Word>> contributions(sim.num_machines());
+  for (MachineId m = 0; m < sim.num_machines(); ++m) {
+    contributions[m] = {values.at(m)};
+  }
+  const auto at_root = gather_to(sim, 0, contributions, tag);
+  std::uint64_t best = 0;
+  for (const auto& vec : at_root) best = std::max(best, vec.at(0));
+  broadcast(sim, 0, {best}, tag + 1);
+  return best;
+}
+
+std::uint64_t allreduce_sum_u64(Simulator& sim,
+                                const std::vector<std::uint64_t>& values,
+                                std::uint32_t tag) {
+  std::vector<std::vector<Word>> contributions(sim.num_machines());
+  for (MachineId m = 0; m < sim.num_machines(); ++m) {
+    contributions[m] = {values.at(m)};
+  }
+  const auto at_root = gather_to(sim, 0, contributions, tag);
+  std::uint64_t total = 0;
+  for (const auto& vec : at_root) total += vec.at(0);
+  broadcast(sim, 0, {total}, tag + 1);
+  return total;
+}
+
+std::vector<std::vector<std::vector<Word>>> all_to_all(
+    Simulator& sim, const std::vector<std::vector<std::vector<Word>>>& out,
+    std::uint32_t tag) {
+  const MachineId m_count = sim.num_machines();
+  if (out.size() != m_count) {
+    throw std::invalid_argument("all_to_all: need one row per machine");
+  }
+  std::vector<std::vector<std::vector<Word>>> in(
+      m_count, std::vector<std::vector<Word>>(m_count));
+  sim.round([&](Machine& machine, const Inbox&) {
+    const MachineId src = machine.id();
+    for (MachineId dst = 0; dst < m_count; ++dst) {
+      if (dst == src) {
+        in[src][src] = out[src][src];
+      } else if (!out[src][dst].empty()) {
+        machine.send(dst, tag, out[src][dst]);
+      }
+    }
+  });
+  sim.drain([&](Machine& machine, const Inbox& inbox) {
+    for (const Message& msg : inbox.with_tag(tag)) {
+      in[machine.id()][msg.src] = msg.payload;
+    }
+  });
+  return in;
+}
+
+}  // namespace rsets::mpc

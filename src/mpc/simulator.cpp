@@ -1,0 +1,89 @@
+#include "mpc/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rsets::mpc {
+
+Simulator::Simulator(const MpcConfig& config) : config_(config) {
+  if (config_.num_machines == 0) {
+    throw std::invalid_argument("Simulator: need at least one machine");
+  }
+  machines_.reserve(config_.num_machines);
+  for (MachineId m = 0; m < config_.num_machines; ++m) {
+    machines_.emplace_back(m, config_);
+  }
+}
+
+void Simulator::round(const RoundBody& body) {
+  ++metrics_.rounds;
+  run_phase(body, /*reset_send_budget=*/true);
+}
+
+void Simulator::drain(const RoundBody& body) {
+  // Receipt of the previous round's sends; no new round starts. Sends made
+  // inside a drain body count against the *next* round's budget, so we do
+  // not reset the send accounting here — but drain bodies by convention do
+  // not send (delivery handlers only).
+  run_phase(body, /*reset_send_budget=*/false);
+}
+
+void Simulator::run_phase(const RoundBody& body, bool reset_send_budget) {
+  // Deliver: partition in-flight messages by destination.
+  std::vector<std::vector<Message>> delivery(config_.num_machines);
+  for (Message& msg : in_flight_) {
+    delivery[msg.dst].push_back(std::move(msg));
+  }
+  in_flight_.clear();
+
+  std::vector<std::uint64_t> recv_words(config_.num_machines, 0);
+  for (MachineId m = 0; m < config_.num_machines; ++m) {
+    Machine& machine = machines_[m];
+    if (reset_send_budget) machine.sent_words_this_round_ = 0;
+    const Inbox inbox(std::move(delivery[m]));
+    recv_words[m] = inbox.total_words();
+    if (recv_words[m] > config_.memory_words) {
+      if (config_.enforce) {
+        throw MpcViolation("machine " + std::to_string(m) +
+                           " exceeded receive bandwidth: " +
+                           std::to_string(recv_words[m]) + " > " +
+                           std::to_string(config_.memory_words) + " words");
+      }
+      ++machine.violations_;
+    }
+    body(machine, inbox);
+    // Collect what this machine sent during the round.
+    for (Message& msg : machine.outbox_) {
+      ++metrics_.messages;
+      metrics_.total_words += msg.words();
+      in_flight_.push_back(std::move(msg));
+    }
+    machine.outbox_.clear();
+  }
+
+  refresh_metrics_after_round(recv_words);
+}
+
+void Simulator::sync_metrics() {
+  refresh_metrics_after_round(
+      std::vector<std::uint64_t>(config_.num_machines, 0));
+}
+
+void Simulator::refresh_metrics_after_round(
+    const std::vector<std::uint64_t>& recv_words) {
+  std::uint64_t rng_draws = 0;
+  for (MachineId m = 0; m < config_.num_machines; ++m) {
+    const Machine& machine = machines_[m];
+    metrics_.max_send_words =
+        std::max(metrics_.max_send_words, machine.sent_words_this_round_);
+    metrics_.max_recv_words = std::max(metrics_.max_recv_words, recv_words[m]);
+    metrics_.max_storage_words =
+        std::max(metrics_.max_storage_words, machine.peak_storage_words_);
+    metrics_.violations += machine.violations_;
+    machines_[m].violations_ = 0;
+    rng_draws += machine.rng_.draws();
+  }
+  metrics_.random_words = rng_draws;
+}
+
+}  // namespace rsets::mpc

@@ -1,0 +1,69 @@
+// The synchronous MPC round loop with word-exact accounting.
+//
+// Algorithms are written as drivers: per-machine state lives in arrays owned
+// by the algorithm, and each round executes a callback once per machine in
+// id order. The discipline (not enforceable in-process, but honored by every
+// algorithm in this library and spot-checked in tests) is that the callback
+// for machine i reads and writes only machine i's state slice and its Inbox;
+// all cross-machine information flows through messages, which the simulator
+// counts and caps.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mpc/machine.hpp"
+#include "mpc/message.hpp"
+
+namespace rsets::mpc {
+
+class Simulator {
+ public:
+  explicit Simulator(const MpcConfig& config);
+
+  MachineId num_machines() const { return config_.num_machines; }
+  const MpcConfig& config() const { return config_; }
+  Machine& machine(MachineId m) { return machines_.at(m); }
+  const Machine& machine(MachineId m) const { return machines_.at(m); }
+
+  // Runs one synchronous round: delivers the messages sent in the previous
+  // round, then invokes `body(machine, inbox)` for every machine in id
+  // order, then collects outboxes for the next delivery and enforces the
+  // receive-side bandwidth cap.
+  using RoundBody = std::function<void(Machine&, const Inbox&)>;
+  void round(const RoundBody& body);
+
+  // Delivers all in-flight messages now WITHOUT spending a round: in the BSP
+  // semantics, receipt happens at the start of the next round, so a
+  // send-round followed by drain() models one full MPC round (send + receive
+  // of <= S words each). The receive-side bandwidth cap is enforced here.
+  void drain(const RoundBody& body);
+
+  // True if any message is still awaiting delivery.
+  bool messages_in_flight() const { return !in_flight_.empty(); }
+
+  // Folds per-machine counters (storage peaks, violations, RNG draws) into
+  // the metrics without running a round; call after setup work done outside
+  // `round`, or before reading final metrics.
+  void sync_metrics();
+
+  const MpcMetrics& metrics() const { return metrics_; }
+
+  // Adds `extra` to the round counter without executing anything — used to
+  // charge rounds that the simulation collapses for computational
+  // feasibility but that the real algorithm would spend (documented at each
+  // call site).
+  void charge_rounds(std::uint64_t extra) { metrics_.rounds += extra; }
+
+ private:
+  void run_phase(const RoundBody& body, bool reset_send_budget);
+  void refresh_metrics_after_round(
+      const std::vector<std::uint64_t>& recv_words);
+
+  MpcConfig config_;
+  std::vector<Machine> machines_;
+  std::vector<Message> in_flight_;
+  MpcMetrics metrics_;
+};
+
+}  // namespace rsets::mpc

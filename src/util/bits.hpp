@@ -1,0 +1,34 @@
+// Small bit-manipulation helpers used across the library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace rsets {
+
+// Parity (XOR of all bits) of x: 0 or 1.
+inline int parity64(std::uint64_t x) { return std::popcount(x) & 1; }
+
+// Number of bits needed to represent values in [0, n); at least 1.
+inline int bit_width_for(std::uint64_t n) {
+  if (n <= 1) return 1;
+  return std::bit_width(n - 1);
+}
+
+// Ceiling of log2(n) for n >= 1.
+inline int ceil_log2(std::uint64_t n) {
+  if (n <= 1) return 0;
+  return std::bit_width(n - 1);
+}
+
+// Floor of log2(n) for n >= 1.
+inline int floor_log2(std::uint64_t n) { return std::bit_width(n) - 1; }
+
+// Smallest power of two >= n.
+inline std::uint64_t next_pow2(std::uint64_t n) {
+  return n <= 1 ? 1 : std::uint64_t{1} << ceil_log2(n);
+}
+
+inline bool is_pow2(std::uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace rsets

@@ -1,0 +1,59 @@
+// The method of conditional expectations over MarkingFamily seeds.
+//
+// Given a pessimistic estimator Phi whose conditional expectation under a
+// partially fixed seed is exactly computable (see hash_family.hpp for why it
+// is), `fix_seed` deterministically chooses every seed bit so that the final
+// (fully determined) value of Phi is at least E[Phi] under a uniform seed.
+//
+// Bits are fixed in chunks of `chunk_bits` at a time, enumerating all 2^c
+// assignments of a chunk and keeping the best — this mirrors the distributed
+// implementation, where one chunk costs O(1) MPC aggregation rounds because
+// the 2^c candidate partial sums fit in a machine's bandwidth budget. Chunks
+// never straddle level boundaries so that estimators can maintain per-level
+// survivor structures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash_family.hpp"
+
+namespace rsets {
+
+// Client-provided conditional expectation of the pessimistic estimator.
+class SeedEstimator {
+ public:
+  virtual ~SeedEstimator() = default;
+
+  // E[Phi | family's current partial seed assignment]. Must be exact: the
+  // greedy guarantee (final >= initial expectation) rests on it.
+  virtual double value() const = 0;
+
+  // Notification that level `j` has just become fully and permanently fixed;
+  // estimators typically shrink their survivor sets here.
+  virtual void on_level_fixed(int j);
+};
+
+struct FixOptions {
+  // Seed bits decided per enumeration step (1..16). Each chunk corresponds
+  // to O(1) rounds in the distributed implementation.
+  int chunk_bits = 4;
+};
+
+struct FixReport {
+  double initial_value = 0.0;  // E[Phi] before any bit is fixed
+  double final_value = 0.0;    // Phi under the chosen seed
+  int chunks = 0;              // enumeration steps (-> MPC aggregations)
+  int bits = 0;                // total seed bits fixed
+  // Estimator value after each permanently applied chunk; by the
+  // supermartingale property this sequence is non-decreasing.
+  std::vector<double> trajectory;
+};
+
+// Greedily fixes all remaining seed bits of `family` to MAXIMIZE the
+// estimator. Deterministic: ties break toward the lexicographically smallest
+// chunk assignment. Returns the trajectory for auditing.
+FixReport fix_seed(MarkingFamily& family, SeedEstimator& estimator,
+                   const FixOptions& options = {});
+
+}  // namespace rsets

@@ -1,0 +1,36 @@
+// A tiny --key=value command line parser for examples and benches.
+//
+// Not a general-purpose flags library: no registration, no help generation
+// beyond what the caller prints. Unknown flags are collected so callers can
+// reject them explicitly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rsets {
+
+class Flags {
+ public:
+  // Parses argv entries of the form --key=value or --key (value "true").
+  // Positional arguments are kept in order.
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  // Keys that were parsed; callers can diff against their expected set.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rsets

@@ -1,0 +1,184 @@
+#include "util/hash_family.hpp"
+
+#include <stdexcept>
+
+namespace rsets {
+
+PairwiseBitLevel::PairwiseBitLevel(int bits) : bits_(bits) {
+  if (bits < 1 || bits > 63) {
+    throw std::invalid_argument("PairwiseBitLevel: bits must be in [1, 63]");
+  }
+  id_mask_ = (std::uint64_t{1} << bits) - 1;
+}
+
+void PairwiseBitLevel::fix_bit(int index, int value) {
+  if (index < 0 || index > bits_) {
+    throw std::out_of_range("PairwiseBitLevel::fix_bit: bad index");
+  }
+  if (value != 0 && value != 1) {
+    throw std::invalid_argument("PairwiseBitLevel::fix_bit: bad value");
+  }
+  if (index == bits_) {
+    c_fixed_ = true;
+    c_val_ = value;
+    return;
+  }
+  const std::uint64_t bit = std::uint64_t{1} << index;
+  fixed_mask_ |= bit;
+  if (value) {
+    fixed_vals_ |= bit;
+  } else {
+    fixed_vals_ &= ~bit;
+  }
+}
+
+bool PairwiseBitLevel::bit_fixed(int index) const {
+  if (index == bits_) return c_fixed_;
+  return (fixed_mask_ >> index) & 1;
+}
+
+bool PairwiseBitLevel::fully_fixed() const {
+  return c_fixed_ && fixed_mask_ == id_mask_;
+}
+
+int PairwiseBitLevel::fixed_count() const {
+  return std::popcount(fixed_mask_) + (c_fixed_ ? 1 : 0);
+}
+
+double PairwiseBitLevel::prob_one(std::uint64_t v) const {
+  const std::uint64_t x = v & id_mask_;
+  // The constant c always participates; if it (or any coefficient position
+  // with x-bit 1) is free, the form is uniform.
+  if (!c_fixed_ || free_coeff(x) != 0) return 0.5;
+  return fixed_part(x) ? 1.0 : 0.0;
+}
+
+double PairwiseBitLevel::prob_both_one(std::uint64_t u,
+                                       std::uint64_t v) const {
+  const std::uint64_t xu = u & id_mask_;
+  const std::uint64_t xv = v & id_mask_;
+  const std::uint64_t au = free_coeff(xu);
+  const std::uint64_t av = free_coeff(xv);
+  const bool u_free = !c_fixed_ || au != 0;
+  const bool v_free = !c_fixed_ || av != 0;
+  if (!u_free && !v_free) {
+    return (fixed_part(xu) && fixed_part(xv)) ? 1.0 : 0.0;
+  }
+  if (!u_free) return fixed_part(xu) ? 0.5 : 0.0;
+  if (!v_free) return fixed_part(xv) ? 0.5 : 0.0;
+  // Both forms depend on free seed bits. Including the free constant c, the
+  // free-coefficient vectors are (au, !c_fixed) and (av, !c_fixed); since c's
+  // coefficient is 1 in both forms, the vectors differ iff au != av.
+  if (au != av) return 0.25;  // linearly independent -> jointly uniform
+  // Equal free parts: b(u) XOR b(v) is determined (= XOR of fixed parts; the
+  // constants cancel). Pair is uniform on the corresponding coset.
+  const int diff = parity64((xu ^ xv) & fixed_vals_);
+  return diff == 0 ? 0.5 : 0.0;
+}
+
+int PairwiseBitLevel::eval(std::uint64_t v) const {
+  if (!fully_fixed()) {
+    throw std::logic_error("PairwiseBitLevel::eval: seed not fully fixed");
+  }
+  return fixed_part(v & id_mask_);
+}
+
+int PairwiseBitLevel::seed_bit(int index) const {
+  if (!bit_fixed(index)) {
+    throw std::logic_error("PairwiseBitLevel::seed_bit: bit not fixed");
+  }
+  if (index == bits_) return c_val_;
+  return (fixed_vals_ >> index) & 1;
+}
+
+MarkingFamily::MarkingFamily(std::uint64_t n_ids, int k)
+    : id_bits_(bit_width_for(n_ids)) {
+  if (k < 1) throw std::invalid_argument("MarkingFamily: k must be >= 1");
+  levels_.reserve(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) levels_.emplace_back(id_bits_);
+}
+
+std::pair<int, int> MarkingFamily::locate(int global_bit) const {
+  const int per_level = id_bits_ + 1;
+  if (global_bit < 0 || global_bit >= total_seed_bits()) {
+    throw std::out_of_range("MarkingFamily::locate: bad bit index");
+  }
+  return {global_bit / per_level, global_bit % per_level};
+}
+
+void MarkingFamily::fix_global_bit(int global_bit, int value) {
+  const auto [lvl, idx] = locate(global_bit);
+  levels_[static_cast<std::size_t>(lvl)].fix_bit(idx, value);
+}
+
+bool MarkingFamily::fully_fixed() const {
+  for (const auto& lvl : levels_) {
+    if (!lvl.fully_fixed()) return false;
+  }
+  return true;
+}
+
+int MarkingFamily::fixed_levels() const {
+  int count = 0;
+  for (const auto& lvl : levels_) {
+    if (!lvl.fully_fixed()) break;
+    ++count;
+  }
+  return count;
+}
+
+bool MarkingFamily::mark_depth(std::uint64_t v, int depth) const {
+  for (int j = 0; j < depth; ++j) {
+    if (levels_[static_cast<std::size_t>(j)].eval(v) == 0) return false;
+  }
+  return true;
+}
+
+double MarkingFamily::prob_mark(std::uint64_t v, int depth) const {
+  double p = 1.0;
+  for (int j = 0; j < depth && p > 0.0; ++j) {
+    p *= levels_[static_cast<std::size_t>(j)].prob_one(v);
+  }
+  return p;
+}
+
+double MarkingFamily::prob_mark_both(std::uint64_t u, int du, std::uint64_t v,
+                                     int dv) const {
+  if (u == v) {
+    throw std::invalid_argument("prob_mark_both: ids must differ");
+  }
+  const int shared = du < dv ? du : dv;
+  double p = 1.0;
+  for (int j = 0; j < shared && p > 0.0; ++j) {
+    p *= levels_[static_cast<std::size_t>(j)].prob_both_one(u, v);
+  }
+  const std::uint64_t deeper = du > dv ? u : v;
+  const int hi = du > dv ? du : dv;
+  for (int j = shared; j < hi && p > 0.0; ++j) {
+    p *= levels_[static_cast<std::size_t>(j)].prob_one(deeper);
+  }
+  return p;
+}
+
+std::vector<std::uint8_t> MarkingFamily::seed() const {
+  if (!fully_fixed()) {
+    throw std::logic_error("MarkingFamily::seed: seed not fully fixed");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(total_seed_bits()));
+  for (const auto& lvl : levels_) {
+    for (int i = 0; i <= id_bits_; ++i) {
+      out.push_back(static_cast<std::uint8_t>(lvl.seed_bit(i)));
+    }
+  }
+  return out;
+}
+
+std::uint64_t mix_hash(std::uint64_t x, std::uint64_t salt) {
+  std::uint64_t z = x ^ (salt + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace rsets

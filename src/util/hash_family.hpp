@@ -1,0 +1,130 @@
+// GF(2)-linear pairwise-independent marking families with *exact*
+// conditional probability queries under partially fixed seeds.
+//
+// This is the deterministic-sampling primitive behind the paper's
+// derandomized MPC algorithms. A vertex v in [0, 2^L) is marked iff k
+// independent "level bits" all equal 1, where level j's bit is the affine
+// form
+//
+//     b_j(v) = <r_j, x_v> XOR c_j          (inner product over GF(2))
+//
+// with x_v the L-bit encoding of v and seed (r_j in GF(2)^L, c_j in GF(2)).
+// Over a uniform seed:
+//   * P(mark v) = 2^-k exactly, and the marks are pairwise independent:
+//     for u != v, P(mark u AND mark v) = 4^-k.
+//   * Per-vertex truncation depth k_v <= k yields non-uniform marking
+//     probabilities 2^-k_v from the *same* seed (used by derandomized Luby).
+//
+// The seed has k*(L+1) bits total. The point of this class — and what makes
+// the method of conditional expectations implementable — is that with any
+// subset of seed bits fixed, the marginal P(b_j(v)=1 | fixed bits) and the
+// joint P(b_j(u)=1 AND b_j(v)=1 | fixed bits) are exactly computable in
+// O(1) word operations:
+//   * the free-coefficient vector of b_j(v) is x_v restricted to the unfixed
+//     positions of r_j (plus c_j if unfixed);
+//   * a single affine form with a nonzero free part is uniform;
+//   * two affine forms with nonzero free parts are either equal (then their
+//     XOR is determined and the pair is uniform on a coset) or linearly
+//     independent (then jointly uniform on {0,1}^2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace rsets {
+
+// One level: the affine form b(v) = <r, x_v> XOR c with partial assignment
+// state. Small value type; copyable for tentative chunk evaluation.
+class PairwiseBitLevel {
+ public:
+  // `bits` = L, the id width; ids must lie in [0, 2^L). L <= 63.
+  explicit PairwiseBitLevel(int bits);
+
+  int bits() const { return bits_; }
+  // Total seed bits of this level: L coefficients + 1 constant.
+  int seed_bits() const { return bits_ + 1; }
+
+  // Index i in [0, bits()) fixes coefficient r_i; index bits() fixes c.
+  void fix_bit(int index, int value);
+  bool bit_fixed(int index) const;
+  bool fully_fixed() const;
+  int fixed_count() const;
+
+  // P(b(v) = 1 | fixed bits): one of {0, 0.5, 1}.
+  double prob_one(std::uint64_t v) const;
+
+  // P(b(u) = 1 AND b(v) = 1 | fixed bits) for u != v:
+  // one of {0, 0.25, 0.5, 1}.
+  double prob_both_one(std::uint64_t u, std::uint64_t v) const;
+
+  // Evaluates b(v); requires fully_fixed().
+  int eval(std::uint64_t v) const;
+
+  // Seed bit value; requires bit_fixed(index).
+  int seed_bit(int index) const;
+
+ private:
+  // Determined XOR contribution of already-fixed coefficient bits.
+  int fixed_part(std::uint64_t x) const {
+    return parity64(x & fixed_vals_) ^ (c_fixed_ ? c_val_ : 0);
+  }
+  // Coefficients of v over the free r-bits.
+  std::uint64_t free_coeff(std::uint64_t x) const { return x & ~fixed_mask_; }
+
+  int bits_;
+  std::uint64_t id_mask_;
+  std::uint64_t fixed_mask_ = 0;  // which r-bits are fixed
+  std::uint64_t fixed_vals_ = 0;  // their values (subset of fixed_mask_)
+  bool c_fixed_ = false;
+  int c_val_ = 0;
+};
+
+// A k-level marking family over ids in [0, n_ids). Marking probability is
+// 2^-k, or 2^-depth with per-id truncation depth <= k.
+class MarkingFamily {
+ public:
+  MarkingFamily(std::uint64_t n_ids, int k);
+
+  int levels() const { return static_cast<int>(levels_.size()); }
+  int id_bits() const { return id_bits_; }
+  int total_seed_bits() const { return levels() * (id_bits_ + 1); }
+
+  PairwiseBitLevel& level(int j) { return levels_.at(static_cast<std::size_t>(j)); }
+  const PairwiseBitLevel& level(int j) const {
+    return levels_.at(static_cast<std::size_t>(j));
+  }
+
+  // Global seed-bit index -> (level, index within level).
+  std::pair<int, int> locate(int global_bit) const;
+  void fix_global_bit(int global_bit, int value);
+  bool fully_fixed() const;
+  int fixed_levels() const;
+
+  // Full-depth mark; requires fully_fixed().
+  bool mark(std::uint64_t v) const { return mark_depth(v, levels()); }
+  // Truncated mark: AND of the first `depth` level bits.
+  bool mark_depth(std::uint64_t v, int depth) const;
+
+  // P(mark_depth(v, depth)=1 | current partial assignment), exact.
+  double prob_mark(std::uint64_t v, int depth) const;
+  // Exact pairwise joint for u != v at depths du, dv.
+  double prob_mark_both(std::uint64_t u, int du, std::uint64_t v,
+                        int dv) const;
+
+  // The fixed seed as a bit vector (for logging / replication); requires
+  // fully_fixed().
+  std::vector<std::uint8_t> seed() const;
+
+ private:
+  int id_bits_;
+  std::vector<PairwiseBitLevel> levels_;
+};
+
+// Deterministic stateless 64-bit mixer used for data partitioning in the MPC
+// substrate (NOT for the derandomized sampling — that is what MarkingFamily
+// is for). splitmix64 finalizer over (x ^ salt).
+std::uint64_t mix_hash(std::uint64_t x, std::uint64_t salt);
+
+}  // namespace rsets

@@ -1,0 +1,31 @@
+#include "util/logging.hpp"
+
+namespace rsets {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::emit(LogLevel level, std::string_view msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (*sink_) << "[" << log_level_name(level) << "] " << msg << '\n';
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kTrace:
+      return "TRACE";
+  }
+  return "?";
+}
+
+}  // namespace rsets

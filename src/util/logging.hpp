@@ -1,0 +1,81 @@
+// Minimal leveled logging for the library.
+//
+// Logging is intentionally tiny: a global level, a stream sink, and a
+// printf-free streaming interface. Algorithms in this library log at
+// kDebug/kTrace during phase loops; benches and examples run at kInfo.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rsets {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+// Global logging configuration. Thread-safe for concurrent emission;
+// configuration (set_level/set_sink) is expected at startup only.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Sink defaults to std::clog. Not owned.
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  void emit(LogLevel level, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = &std::clog;
+  std::mutex mu_;
+};
+
+// Streaming helper: builds the message, emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (Logger::instance().enabled(level_)) {
+      Logger::instance().emit(level_, out_.str());
+    }
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (Logger::instance().enabled(level_)) out_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+const char* log_level_name(LogLevel level);
+
+}  // namespace rsets
+
+#define RSETS_LOG(level) ::rsets::LogLine(::rsets::LogLevel::level)
+#define RSETS_ERROR RSETS_LOG(kError)
+#define RSETS_WARN RSETS_LOG(kWarn)
+#define RSETS_INFO RSETS_LOG(kInfo)
+#define RSETS_DEBUG RSETS_LOG(kDebug)
+#define RSETS_TRACE RSETS_LOG(kTrace)

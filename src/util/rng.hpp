@@ -1,0 +1,87 @@
+// Deterministic, counter-friendly random number generation.
+//
+// All randomized algorithms in this library draw from Xoshiro256** streams
+// seeded through SplitMix64 from a single experiment seed, so that a run is
+// reproducible given (seed, machine id). The deterministic algorithms consume
+// *zero* bits from these generators; tests assert that via Rng::draws().
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rsets {
+
+// SplitMix64: used only for seeding; passes BigCrush as a 64-bit mixer.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Xoshiro256** with draw accounting.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+    draws_ = 0;
+  }
+
+  // Derives an independent stream for a (seed, stream) pair, e.g. one per
+  // simulated machine.
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t sm = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    return Rng(splitmix64(sm));
+  }
+
+  std::uint64_t next() {
+    ++draws_;
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  // Uniform in [0, bound) without modulo bias (Lemire rejection).
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli with probability p.
+  bool flip(double p) { return uniform() < p; }
+
+  // Number of 64-bit words drawn since construction/reseed. Deterministic
+  // code paths must leave this untouched.
+  std::uint64_t draws() const { return draws_; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  std::uint64_t draws_ = 0;
+};
+
+}  // namespace rsets

@@ -1,0 +1,97 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace rsets {
+
+void Summary::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (buckets == 0 || !(lo < hi)) {
+    throw std::invalid_argument("Histogram: need lo < hi and buckets > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<long>(std::floor((x - lo_) / width));
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("CsvTable: row width does not match header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvTable::fmt(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+std::string CsvTable::fmt(std::uint64_t v) { return std::to_string(v); }
+
+void CsvTable::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << header_[i];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  }
+}
+
+bool CsvTable::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace rsets

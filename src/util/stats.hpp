@@ -1,0 +1,72 @@
+// Summary statistics, histograms, and CSV emission for experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rsets {
+
+// Online mean/min/max/variance accumulator (Welford).
+class Summary {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Fixed-width bucket histogram over [lo, hi); out-of-range values clamp to
+// the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const { return total_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Row-oriented CSV table with a fixed header; used by benches to emit the
+// experiment series alongside google-benchmark counters.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  // Convenience: formats doubles with 6 significant digits.
+  static std::string fmt(double v);
+  static std::string fmt(std::uint64_t v);
+  void write(std::ostream& os) const;
+  // Writes to path, returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rsets

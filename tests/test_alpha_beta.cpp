@@ -1,0 +1,106 @@
+// Tests for the general (alpha, beta)-ruling-set notion: checker, oracle,
+// and consistency with the algorithms' stronger guarantees.
+#include <gtest/gtest.h>
+
+#include "congest/beta_ruling_congest.hpp"
+#include "core/greedy.hpp"
+#include "graph/generators.hpp"
+#include "graph/verify.hpp"
+
+namespace rsets {
+namespace {
+
+TEST(MinPairwiseDistance, KnownValues) {
+  const Graph g = gen::path(10);
+  EXPECT_EQ(min_pairwise_distance(g, std::vector<VertexId>{0, 4, 9}), 4u);
+  EXPECT_EQ(min_pairwise_distance(g, std::vector<VertexId>{2, 3}), 1u);
+  EXPECT_EQ(min_pairwise_distance(g, std::vector<VertexId>{5}),
+            std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(min_pairwise_distance(g, {}),
+            std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(MinPairwiseDistance, DisconnectedMembersAreInfinitelyApart) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  EXPECT_EQ(min_pairwise_distance(g, std::vector<VertexId>{0, 2}),
+            std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(min_pairwise_distance(g, std::vector<VertexId>{0, 1, 2}), 1u);
+}
+
+TEST(AlphaBeta, CheckerBasics) {
+  const Graph g = gen::path(9);
+  // {0, 4, 8}: pairwise distance 4, radius 2.
+  EXPECT_TRUE(is_alpha_beta_ruling_set(g, std::vector<VertexId>{0, 4, 8}, 4, 2));
+  EXPECT_TRUE(is_alpha_beta_ruling_set(g, std::vector<VertexId>{0, 4, 8}, 2, 2));
+  EXPECT_FALSE(
+      is_alpha_beta_ruling_set(g, std::vector<VertexId>{0, 4, 8}, 5, 2));
+  EXPECT_FALSE(
+      is_alpha_beta_ruling_set(g, std::vector<VertexId>{0, 4, 8}, 2, 1));
+  // alpha = 2 coincides with the plain checker.
+  EXPECT_EQ(is_alpha_beta_ruling_set(g, std::vector<VertexId>{0, 4, 8}, 2, 2),
+            is_beta_ruling_set(g, std::vector<VertexId>{0, 4, 8}, 2));
+}
+
+TEST(AlphaBeta, CheckerRejectsDuplicatesAndOutOfRange) {
+  const Graph g = gen::path(5);
+  EXPECT_FALSE(is_alpha_beta_ruling_set(g, std::vector<VertexId>{1, 1}, 2, 4));
+  EXPECT_FALSE(is_alpha_beta_ruling_set(g, std::vector<VertexId>{7}, 2, 4));
+}
+
+TEST(AlphaBeta, GreedyOracleValidAcrossParameters) {
+  for (const auto& entry : gen::standard_suite(250, 17)) {
+    for (std::uint32_t beta : {1u, 2u, 3u, 4u}) {
+      for (std::uint32_t alpha = 1; alpha <= beta + 1; ++alpha) {
+        const auto set =
+            greedy_alpha_beta_ruling_set(entry.graph, alpha, beta);
+        EXPECT_TRUE(
+            is_alpha_beta_ruling_set(entry.graph, set, alpha, beta))
+            << entry.name << " alpha=" << alpha << " beta=" << beta;
+      }
+    }
+  }
+}
+
+TEST(AlphaBeta, PlainGreedyIsTheMaximalPackingCase) {
+  // greedy_ruling_set(beta) adds a vertex only when every member is more
+  // than beta hops away — that is exactly the (beta+1, beta) instance.
+  const Graph g = gen::gnp(300, 0.03, 7);
+  for (std::uint32_t beta : {1u, 2u, 3u}) {
+    EXPECT_EQ(greedy_alpha_beta_ruling_set(g, beta + 1, beta),
+              greedy_ruling_set(g, beta))
+        << "beta=" << beta;
+  }
+}
+
+TEST(AlphaBeta, GreedyRejectsInfeasibleParameters) {
+  const Graph g = gen::path(5);
+  EXPECT_THROW(greedy_alpha_beta_ruling_set(g, 4, 2), std::invalid_argument);
+  EXPECT_THROW(greedy_alpha_beta_ruling_set(g, 0, 2), std::invalid_argument);
+  EXPECT_THROW(greedy_alpha_beta_ruling_set(g, 1, 0), std::invalid_argument);
+}
+
+TEST(AlphaBeta, DistanceBetaLubyIsBetaPlusOneSeparated) {
+  // The CONGEST distance-beta Luby algorithm promises the *stronger*
+  // (beta+1, beta) guarantee; certify it with the general checker.
+  const Graph g = gen::grid(15, 15);
+  for (std::uint32_t beta : {2u, 3u}) {
+    const auto result = congest::beta_ruling_congest(g, beta);
+    EXPECT_TRUE(
+        is_alpha_beta_ruling_set(g, result.ruling_set, beta + 1, beta))
+        << "beta=" << beta;
+  }
+}
+
+TEST(AlphaBeta, LargerAlphaSparserSets) {
+  const Graph g = gen::grid(20, 20);
+  const std::uint32_t beta = 4;
+  std::size_t prev = g.num_vertices() + 1;
+  for (std::uint32_t alpha = 1; alpha <= beta + 1; ++alpha) {
+    const auto set = greedy_alpha_beta_ruling_set(g, alpha, beta);
+    EXPECT_LE(set.size(), prev) << "alpha=" << alpha;
+    prev = set.size();
+  }
+}
+
+}  // namespace
+}  // namespace rsets

@@ -1,0 +1,72 @@
+#include "core/ruling_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/verify.hpp"
+
+namespace rsets {
+namespace {
+
+TEST(Api, AlgorithmNames) {
+  EXPECT_EQ(algorithm_name(Algorithm::kGreedySequential), "greedy");
+  EXPECT_EQ(algorithm_name(Algorithm::kLubyMpc), "luby_mpc");
+  EXPECT_EQ(algorithm_name(Algorithm::kDetLubyMpc), "det_luby_mpc");
+  EXPECT_EQ(algorithm_name(Algorithm::kSampleGatherMpc), "sample_gather_mpc");
+  EXPECT_EQ(algorithm_name(Algorithm::kDetRulingMpc), "det_ruling_mpc");
+}
+
+TEST(Api, DefaultOptionsComputeDeterministicTwoRuling) {
+  const Graph g = gen::gnp(200, 0.04, 5);
+  const auto result = compute_ruling_set(g, {});
+  EXPECT_TRUE(is_beta_ruling_set(g, result.ruling_set, 2));
+  EXPECT_EQ(result.beta, 2u);
+  EXPECT_EQ(result.metrics.random_words, 0u);
+}
+
+TEST(Api, RejectsBadBetaCombinations) {
+  const Graph g = gen::path(10);
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kLubyMpc;
+  options.beta = 2;
+  EXPECT_THROW(compute_ruling_set(g, options), std::invalid_argument);
+  options.algorithm = Algorithm::kDetLubyMpc;
+  EXPECT_THROW(compute_ruling_set(g, options), std::invalid_argument);
+  options.algorithm = Algorithm::kSampleGatherMpc;
+  options.beta = 3;
+  EXPECT_THROW(compute_ruling_set(g, options), std::invalid_argument);
+  options.algorithm = Algorithm::kDetRulingMpc;
+  options.beta = 1;
+  EXPECT_THROW(compute_ruling_set(g, options), std::invalid_argument);
+}
+
+TEST(Api, GreedyIgnoresMpcConfig) {
+  const Graph g = gen::cycle(30);
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kGreedySequential;
+  options.beta = 2;
+  options.mpc.memory_words = 1;  // would be fatal for an MPC algorithm
+  const auto result = compute_ruling_set(g, options);
+  EXPECT_TRUE(is_beta_ruling_set(g, result.ruling_set, 2));
+  EXPECT_EQ(result.metrics.rounds, 0u);
+}
+
+TEST(Api, OptionsArePlumbedThrough) {
+  const Graph g = gen::gnp(300, 0.05, 7);
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kDetRulingMpc;
+  options.beta = 2;
+  options.chunk_bits = 2;
+  options.gather_budget_words = 2048;  // force derandomized phases to run
+  options.mpc.memory_words = 1 << 22;
+  const auto narrow = compute_ruling_set(g, options);
+  options.chunk_bits = 8;
+  const auto wide = compute_ruling_set(g, options);
+  // Narrower chunks => more chunks for the same seed bits.
+  EXPECT_GT(narrow.derand_chunks, wide.derand_chunks);
+  EXPECT_TRUE(is_beta_ruling_set(g, narrow.ruling_set, 2));
+  EXPECT_TRUE(is_beta_ruling_set(g, wide.ruling_set, 2));
+}
+
+}  // namespace
+}  // namespace rsets

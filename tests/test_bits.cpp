@@ -1,0 +1,66 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsets {
+namespace {
+
+TEST(Bits, Parity) {
+  EXPECT_EQ(parity64(0), 0);
+  EXPECT_EQ(parity64(1), 1);
+  EXPECT_EQ(parity64(0b11), 0);
+  EXPECT_EQ(parity64(0b111), 1);
+  EXPECT_EQ(parity64(~0ULL), 0);
+  EXPECT_EQ(parity64(1ULL << 63), 1);
+}
+
+TEST(Bits, BitWidthFor) {
+  EXPECT_EQ(bit_width_for(0), 1);
+  EXPECT_EQ(bit_width_for(1), 1);
+  EXPECT_EQ(bit_width_for(2), 1);
+  EXPECT_EQ(bit_width_for(3), 2);
+  EXPECT_EQ(bit_width_for(4), 2);
+  EXPECT_EQ(bit_width_for(5), 3);
+  EXPECT_EQ(bit_width_for(1ULL << 32), 32);
+  EXPECT_EQ(bit_width_for((1ULL << 32) + 1), 33);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 50));
+  EXPECT_FALSE(is_pow2((1ULL << 50) + 1));
+}
+
+}  // namespace
+}  // namespace rsets

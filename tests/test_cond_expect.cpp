@@ -1,0 +1,125 @@
+#include "util/cond_expect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rsets {
+namespace {
+
+// Estimator: expected number of marked ids in `targets` (full depth).
+class CountMarkedEstimator : public SeedEstimator {
+ public:
+  CountMarkedEstimator(const MarkingFamily& family,
+                       std::vector<std::uint64_t> targets)
+      : family_(family), targets_(std::move(targets)) {}
+
+  double value() const override {
+    double total = 0.0;
+    for (std::uint64_t v : targets_) {
+      total += family_.prob_mark(v, family_.levels());
+    }
+    return total;
+  }
+
+ private:
+  const MarkingFamily& family_;
+  std::vector<std::uint64_t> targets_;
+};
+
+TEST(FixSeed, FinalValueAtLeastInitialExpectation) {
+  MarkingFamily family(32, 2);
+  CountMarkedEstimator est(family, {1, 5, 9, 14, 27, 31});
+  const FixReport report = fix_seed(family, est, {.chunk_bits = 3});
+  EXPECT_TRUE(family.fully_fixed());
+  EXPECT_NEAR(report.initial_value, 6.0 * 0.25, 1e-12);
+  EXPECT_GE(report.final_value, report.initial_value - 1e-12);
+}
+
+TEST(FixSeed, TrajectoryIsNonDecreasing) {
+  MarkingFamily family(64, 3);
+  CountMarkedEstimator est(family, {0, 7, 21, 33, 40, 41, 63});
+  const FixReport report = fix_seed(family, est, {.chunk_bits = 2});
+  double prev = report.initial_value;
+  for (double v : report.trajectory) {
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(report.trajectory.back(), report.final_value);
+}
+
+TEST(FixSeed, FinalValueEqualsRealizedCount) {
+  // After all bits are fixed, the estimator value must be the actual number
+  // of marked targets — conditional expectation of a constant.
+  MarkingFamily family(16, 2);
+  std::vector<std::uint64_t> targets = {2, 3, 8, 12};
+  CountMarkedEstimator est(family, targets);
+  const FixReport report = fix_seed(family, est, {.chunk_bits = 4});
+  int marked = 0;
+  for (std::uint64_t v : targets) marked += family.mark(v) ? 1 : 0;
+  EXPECT_DOUBLE_EQ(report.final_value, static_cast<double>(marked));
+  EXPECT_GE(marked, 1);  // E = 4/4 = 1, so at least one target is marked
+}
+
+TEST(FixSeed, ChunkAndBitAccounting) {
+  MarkingFamily family(16, 2);  // id_bits = 4, per-level seed = 5 bits
+  CountMarkedEstimator est(family, {1});
+  const FixReport report = fix_seed(family, est, {.chunk_bits = 4});
+  EXPECT_EQ(report.bits, family.total_seed_bits());
+  // Per level: ceil(5/4) = 2 chunks; 2 levels -> 4 chunks.
+  EXPECT_EQ(report.chunks, 4);
+}
+
+TEST(FixSeed, DeterministicAcrossRuns) {
+  std::vector<std::uint8_t> first_seed;
+  for (int run = 0; run < 3; ++run) {
+    MarkingFamily family(32, 2);
+    CountMarkedEstimator est(family, {3, 17, 22});
+    fix_seed(family, est, {.chunk_bits = 3});
+    const auto seed = family.seed();
+    if (run == 0) {
+      first_seed = seed;
+    } else {
+      EXPECT_EQ(seed, first_seed);
+    }
+  }
+}
+
+TEST(FixSeed, ChunkSizeDoesNotBreakGuarantee) {
+  for (int chunk = 1; chunk <= 6; ++chunk) {
+    MarkingFamily family(32, 2);
+    CountMarkedEstimator est(family, {1, 2, 4, 8, 16, 31});
+    const FixReport report =
+        fix_seed(family, est, {.chunk_bits = chunk});
+    EXPECT_GE(report.final_value, report.initial_value - 1e-12)
+        << "chunk_bits " << chunk;
+  }
+}
+
+TEST(FixSeed, RejectsBadChunkBits) {
+  MarkingFamily family(8, 1);
+  CountMarkedEstimator est(family, {1});
+  EXPECT_THROW(fix_seed(family, est, {.chunk_bits = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(fix_seed(family, est, {.chunk_bits = 17}),
+               std::invalid_argument);
+}
+
+// Estimator with a level-transition callback that counts notifications.
+class LevelCountingEstimator : public CountMarkedEstimator {
+ public:
+  using CountMarkedEstimator::CountMarkedEstimator;
+  void on_level_fixed(int j) override { levels_seen.push_back(j); }
+  std::vector<int> levels_seen;
+};
+
+TEST(FixSeed, LevelCallbacksFireInOrder) {
+  MarkingFamily family(16, 3);
+  LevelCountingEstimator est(family, {1, 2});
+  fix_seed(family, est, {.chunk_bits = 2});
+  EXPECT_EQ(est.levels_seen, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace rsets

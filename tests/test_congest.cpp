@@ -1,0 +1,158 @@
+#include "congest/congest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "congest/coloring_mis.hpp"
+#include "congest/luby_congest.hpp"
+#include "graph/generators.hpp"
+#include "graph/verify.hpp"
+
+namespace rsets::congest {
+namespace {
+
+TEST(CongestSim, MessagesDeliverNextRound) {
+  const Graph g = gen::path(3);
+  CongestSim sim(g, {});
+  sim.round([](CongestSim::NodeApi& node, std::span<const NodeMessage>) {
+    if (node.id() == 0) node.send(1, 99);
+  });
+  bool got = false;
+  sim.round([&](CongestSim::NodeApi& node,
+                std::span<const NodeMessage> inbox) {
+    if (node.id() == 1) {
+      ASSERT_EQ(inbox.size(), 1u);
+      EXPECT_EQ(inbox[0].value, 99u);
+      EXPECT_EQ(inbox[0].from, 0u);
+      got = true;
+    }
+  });
+  EXPECT_TRUE(got);
+  EXPECT_EQ(sim.metrics().rounds, 2u);
+  EXPECT_EQ(sim.metrics().messages, 1u);
+}
+
+TEST(CongestSim, RejectsNonNeighborSend) {
+  const Graph g = gen::path(4);  // 0-1-2-3
+  CongestSim sim(g, {});
+  EXPECT_THROW(sim.round([](CongestSim::NodeApi& node,
+                            std::span<const NodeMessage>) {
+    if (node.id() == 0) node.send(3, 1);
+  }),
+               std::invalid_argument);
+}
+
+TEST(CongestSim, EnforcesBitBudget) {
+  const Graph g = gen::path(2);
+  CongestConfig cfg;
+  cfg.bits_per_message = 8;
+  CongestSim sim(g, cfg);
+  EXPECT_THROW(sim.round([](CongestSim::NodeApi& node,
+                            std::span<const NodeMessage>) {
+    if (node.id() == 0) node.send(1, 5, 16);
+  }),
+               CongestViolation);
+}
+
+TEST(CongestSim, EnforcesOneMessagePerEdge) {
+  const Graph g = gen::path(2);
+  CongestSim sim(g, {});
+  EXPECT_THROW(sim.round([](CongestSim::NodeApi& node,
+                            std::span<const NodeMessage>) {
+    if (node.id() == 0) {
+      node.send(1, 1);
+      node.send(1, 2);
+    }
+  }),
+               CongestViolation);
+}
+
+TEST(CongestSim, EnforcesDeclaredWidth) {
+  const Graph g = gen::path(2);
+  CongestSim sim(g, {});
+  EXPECT_THROW(sim.round([](CongestSim::NodeApi& node,
+                            std::span<const NodeMessage>) {
+    if (node.id() == 0) node.send(1, 0xFF, 4);  // 255 needs 8 bits
+  }),
+               CongestViolation);
+}
+
+TEST(CongestSim, CountsBits) {
+  const Graph g = gen::path(2);
+  CongestSim sim(g, {});
+  sim.round([](CongestSim::NodeApi& node, std::span<const NodeMessage>) {
+    if (node.id() == 0) node.send(1, 3, 2);
+  });
+  EXPECT_EQ(sim.metrics().total_bits, 2u);
+}
+
+TEST(LubyCongest, ProducesMisOnSuite) {
+  for (const auto& entry : gen::standard_suite(300, 5)) {
+    const auto result = luby_mis(entry.graph);
+    EXPECT_TRUE(is_maximal_independent_set(entry.graph, result.mis))
+        << entry.name;
+  }
+}
+
+TEST(LubyCongest, IterationsLogarithmic) {
+  const Graph g = gen::gnp(2000, 0.005, 3);
+  const auto result = luby_mis(g);
+  EXPECT_TRUE(is_maximal_independent_set(g, result.mis));
+  EXPECT_LE(result.iterations, 40u);  // ~ c log n, generous cap
+  EXPECT_GT(result.metrics.random_words, 0u);
+}
+
+TEST(LubyCongest, DifferentSeedsBothValid) {
+  const Graph g = gen::power_law(500, 2.5, 6.0, 2);
+  CongestConfig a;
+  a.seed = 1;
+  CongestConfig b;
+  b.seed = 2;
+  EXPECT_TRUE(is_maximal_independent_set(g, luby_mis(g, a).mis));
+  EXPECT_TRUE(is_maximal_independent_set(g, luby_mis(g, b).mis));
+}
+
+TEST(LubyCongest, EdgeCases) {
+  EXPECT_TRUE(luby_mis(Graph::from_edges(0, {})).mis.empty());
+  const auto single = luby_mis(Graph::from_edges(1, {}));
+  EXPECT_EQ(single.mis.size(), 1u);
+  // Complete graph: exactly one vertex.
+  const auto kn = luby_mis(gen::complete(20));
+  EXPECT_EQ(kn.mis.size(), 1u);
+}
+
+TEST(ColoringMis, ProperColoringOnBoundedDegree) {
+  for (const Graph& g :
+       {gen::cycle(200), gen::grid(15, 15), gen::random_tree(300, 1)}) {
+    const auto result = coloring_mis(g);
+    // Proper coloring check.
+    for (const Edge& e : g.edges()) {
+      EXPECT_NE(result.colors[e.u], result.colors[e.v]);
+    }
+    EXPECT_TRUE(is_maximal_independent_set(g, result.mis));
+    EXPECT_EQ(result.metrics.random_words, 0u);  // deterministic
+  }
+}
+
+TEST(ColoringMis, PaletteShrinksWellBelowN) {
+  const Graph g = gen::grid(30, 30);  // n = 900, Delta = 4
+  const auto result = coloring_mis(g);
+  EXPECT_LT(result.palette_size, 200u);
+  EXPECT_GE(result.linial_steps, 1u);
+}
+
+TEST(ColoringMis, DeterministicAcrossRuns) {
+  const Graph g = gen::torus(10, 10);
+  const auto a = coloring_mis(g);
+  const auto b = coloring_mis(g);
+  EXPECT_EQ(a.mis, b.mis);
+  EXPECT_EQ(a.colors, b.colors);
+}
+
+TEST(ColoringMis, EdgeCases) {
+  EXPECT_TRUE(coloring_mis(Graph::from_edges(0, {})).mis.empty());
+  EXPECT_EQ(coloring_mis(Graph::from_edges(1, {})).mis.size(), 1u);
+  EXPECT_EQ(coloring_mis(gen::complete(8)).mis.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rsets::congest

@@ -1,0 +1,188 @@
+// Tests of the derandomized marking step — the paper's core primitive.
+#include "core/derand.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "mpc/dist_graph.hpp"
+#include "util/bits.hpp"
+
+namespace rsets {
+namespace {
+
+mpc::MpcConfig big_config(mpc::MachineId machines = 4) {
+  mpc::MpcConfig cfg;
+  cfg.num_machines = machines;
+  cfg.memory_words = 1 << 22;
+  cfg.seed = 5;
+  return cfg;
+}
+
+struct Harness {
+  mpc::Simulator sim;
+  mpc::DistGraph dg;
+  Harness(const Graph& g, mpc::MachineId machines = 4)
+      : sim(big_config(machines)), dg(sim, g) {}
+};
+
+std::vector<VertexId> high_degree_targets(const Graph& g, std::uint32_t d) {
+  std::vector<VertexId> targets;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) >= d) targets.push_back(v);
+  }
+  return targets;
+}
+
+DerandMarkOptions options_for(std::uint32_t d, std::uint64_t edge_budget,
+                              int chunk_bits = 4) {
+  DerandMarkOptions opt;
+  opt.levels = std::max(ceil_log2(d + 1), 1);
+  opt.edge_budget = edge_budget;
+  opt.chunk_bits = chunk_bits;
+  return opt;
+}
+
+TEST(DerandMark, CoversAtLeastEighthOfTargets) {
+  const Graph g = gen::gnp(600, 0.05, 11);  // avg degree ~30
+  Harness s(g);
+  const std::uint32_t d = 16;
+  const auto targets = high_degree_targets(g, d);
+  ASSERT_GT(targets.size(), 100u);
+  const std::vector<bool> all(g.num_vertices(), true);
+  const auto res =
+      derand_mark(s.sim, s.dg, all, targets, options_for(d, 1 << 20));
+  EXPECT_GE(res.covered_targets, targets.size() / 8);
+  EXPECT_FALSE(res.marked.empty());
+}
+
+TEST(DerandMark, FinalEstimateAtLeastInitial) {
+  const Graph g = gen::random_regular(400, 20, 3);
+  Harness s(g);
+  const auto targets = high_degree_targets(g, 16);
+  const std::vector<bool> all(g.num_vertices(), true);
+  const auto res =
+      derand_mark(s.sim, s.dg, all, targets, options_for(16, 1 << 20));
+  EXPECT_GE(res.final_estimate, res.initial_estimate - 1e-9);
+}
+
+TEST(DerandMark, RespectsEdgeBudget) {
+  // Tight budget: the lambda penalty must keep marked-subgraph edges in
+  // check. By the analysis, final edges <= budget whenever E[X] <= budget/32.
+  const Graph g = gen::gnp(800, 0.04, 7);  // m ~ 12800, avg deg 32
+  Harness s(g);
+  const std::uint32_t d = 64;  // p ~ 1/128 -> E[X] ~ m/16384 ~ tiny
+  const auto targets = high_degree_targets(g, 40);
+  const std::vector<bool> all(g.num_vertices(), true);
+  const std::uint64_t budget = 2048;
+  const auto res = derand_mark(s.sim, s.dg, all, targets,
+                               options_for(d, budget));
+  EXPECT_LE(res.marked_edges, budget);
+}
+
+TEST(DerandMark, MarkedVerticesAreActiveCandidates) {
+  const Graph g = gen::gnp(300, 0.05, 9);
+  Harness s(g);
+  // Restrict candidates to even ids.
+  std::vector<bool> candidates(g.num_vertices(), false);
+  for (VertexId v = 0; v < g.num_vertices(); v += 2) candidates[v] = true;
+  const auto targets = high_degree_targets(g, 8);
+  const auto res = derand_mark(s.sim, s.dg, candidates, targets,
+                               options_for(8, 1 << 20));
+  for (VertexId v : res.marked) EXPECT_EQ(v % 2, 0u);
+}
+
+TEST(DerandMark, DeterministicAcrossRunsAndMachineCounts) {
+  const Graph g = gen::power_law(400, 2.5, 10.0, 13);
+  const auto targets = high_degree_targets(g, 8);
+  const std::vector<bool> all(g.num_vertices(), true);
+  std::vector<VertexId> first;
+  for (mpc::MachineId machines : {2, 4, 7}) {
+    Harness s(g, machines);
+    const auto res = derand_mark(s.sim, s.dg, all, targets,
+                                 options_for(8, 1 << 20));
+    if (first.empty()) {
+      first = res.marked;
+      ASSERT_FALSE(first.empty());
+    } else {
+      EXPECT_EQ(res.marked, first) << machines << " machines";
+    }
+  }
+}
+
+TEST(DerandMark, ConsumesZeroRandomBits) {
+  const Graph g = gen::gnp(300, 0.05, 1);
+  Harness s(g);
+  const auto targets = high_degree_targets(g, 8);
+  const std::vector<bool> all(g.num_vertices(), true);
+  derand_mark(s.sim, s.dg, all, targets, options_for(8, 1 << 20));
+  s.sim.sync_metrics();
+  EXPECT_EQ(s.sim.metrics().random_words, 0u);
+}
+
+TEST(DerandMark, RoundCostIsTwoPerChunk) {
+  const Graph g = gen::gnp(200, 0.08, 2);
+  Harness s(g);
+  const auto targets = high_degree_targets(g, 8);
+  const std::vector<bool> all(g.num_vertices(), true);
+  const auto res =
+      derand_mark(s.sim, s.dg, all, targets, options_for(8, 1 << 20));
+  EXPECT_EQ(res.rounds, 2ull * static_cast<std::uint64_t>(res.chunks));
+}
+
+TEST(DerandMark, ChunkWidthDoesNotAffectGuarantee) {
+  const Graph g = gen::random_regular(300, 12, 8);
+  const auto targets = high_degree_targets(g, 10);
+  const std::vector<bool> all(g.num_vertices(), true);
+  for (int chunk : {1, 2, 5, 8}) {
+    Harness s(g);
+    const auto res = derand_mark(s.sim, s.dg, all, targets,
+                                 options_for(10, 1 << 20, chunk));
+    EXPECT_GE(res.covered_targets, targets.size() / 8) << "chunk " << chunk;
+    EXPECT_GE(res.final_estimate, res.initial_estimate - 1e-9);
+  }
+}
+
+TEST(DerandMark, EmptyTargetsStillSelectsSafely) {
+  const Graph g = gen::gnp(100, 0.05, 4);
+  Harness s(g);
+  const std::vector<bool> all(g.num_vertices(), true);
+  const auto res = derand_mark(s.sim, s.dg, all, {}, options_for(4, 1 << 20));
+  EXPECT_EQ(res.covered_targets, 0u);
+  EXPECT_LE(res.marked_edges, std::uint64_t{1} << 20);
+}
+
+TEST(DerandMark, RejectsBadOptions) {
+  const Graph g = gen::path(10);
+  Harness s(g);
+  const std::vector<bool> all(g.num_vertices(), true);
+  DerandMarkOptions bad;
+  bad.levels = 0;
+  EXPECT_THROW(derand_mark(s.sim, s.dg, all, {}, bad), std::invalid_argument);
+  bad.levels = 1;
+  bad.edge_budget = 0;
+  EXPECT_THROW(derand_mark(s.sim, s.dg, all, {}, bad), std::invalid_argument);
+  bad.edge_budget = 10;
+  bad.chunk_bits = 0;
+  EXPECT_THROW(derand_mark(s.sim, s.dg, all, {}, bad), std::invalid_argument);
+}
+
+TEST(DerandMark, MarkingFractionNearExpectation) {
+  // With k levels the marked fraction should be near 2^-k of candidates
+  // (the estimator only nudges the seed, it does not rewrite marginals).
+  const Graph g = gen::random_regular(2000, 8, 5);
+  Harness s(g);
+  const std::uint32_t d = 8;
+  const auto targets = high_degree_targets(g, d);
+  const std::vector<bool> all(g.num_vertices(), true);
+  const auto opt = options_for(d, 1 << 20);
+  const auto res = derand_mark(s.sim, s.dg, all, targets, opt);
+  const double p = std::exp2(-opt.levels);
+  const double expected = p * g.num_vertices();
+  EXPECT_GT(static_cast<double>(res.marked.size()), expected / 8.0);
+  EXPECT_LT(static_cast<double>(res.marked.size()), expected * 8.0);
+}
+
+}  // namespace
+}  // namespace rsets

@@ -1,0 +1,90 @@
+#include "core/det_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace rsets {
+namespace {
+
+mpc::MpcConfig config_for() {
+  mpc::MpcConfig cfg;
+  cfg.num_machines = 4;
+  cfg.memory_words = 1 << 22;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(MatchingCheckers, Basics) {
+  const Graph g = gen::path(4);  // 0-1-2-3
+  EXPECT_TRUE(is_matching(g, {{0, 1}, {2, 3}}));
+  EXPECT_TRUE(is_maximal_matching(g, {{0, 1}, {2, 3}}));
+  EXPECT_TRUE(is_matching(g, {{1, 2}}));
+  EXPECT_TRUE(is_maximal_matching(g, {{1, 2}}));
+  EXPECT_FALSE(is_maximal_matching(g, {{0, 1}}));  // 2-3 augments
+  EXPECT_FALSE(is_matching(g, {{0, 1}, {1, 2}}));  // shares vertex 1
+  EXPECT_FALSE(is_matching(g, {{0, 2}}));          // not an edge
+  EXPECT_TRUE(is_maximal_matching(Graph::from_edges(3, {}), {}));
+}
+
+TEST(DetMatching, MaximalOnSuite) {
+  for (const auto& entry : gen::standard_suite(250, 31)) {
+    const auto result = det_matching_mpc(entry.graph, config_for());
+    EXPECT_TRUE(is_maximal_matching(entry.graph, result.matching))
+        << entry.name;
+  }
+}
+
+TEST(DetMatching, ZeroRandomWordsAndDeterministic) {
+  const Graph g = gen::gnp(300, 0.03, 7);
+  const auto a = det_matching_mpc(g, config_for());
+  auto cfg = config_for();
+  cfg.seed = 99;
+  cfg.num_machines = 7;
+  const auto b = det_matching_mpc(g, cfg);
+  EXPECT_EQ(a.metrics.random_words, 0u);
+  EXPECT_EQ(a.matching, b.matching);
+}
+
+TEST(DetMatching, IterationsModest) {
+  const Graph g = gen::gnp(800, 0.01, 11);
+  const auto result = det_matching_mpc(g, config_for());
+  EXPECT_TRUE(is_maximal_matching(g, result.matching));
+  // Empirically Luby-like: well below the matching-size worst case.
+  EXPECT_LE(result.iterations, 40u);
+}
+
+TEST(DetMatching, PerfectOnEvenCycle) {
+  const Graph g = gen::cycle(50);
+  const auto result = det_matching_mpc(g, config_for());
+  EXPECT_TRUE(is_maximal_matching(g, result.matching));
+  EXPECT_GE(result.matching.size(), 17u);  // maximal >= 1/3 of perfect (25)
+}
+
+TEST(DetMatching, EdgeCases) {
+  EXPECT_TRUE(
+      det_matching_mpc(Graph::from_edges(0, {}), config_for()).matching.empty());
+  EXPECT_TRUE(
+      det_matching_mpc(Graph::from_edges(5, {}), config_for()).matching.empty());
+  const auto single =
+      det_matching_mpc(Graph::from_edges(2, std::vector<Edge>{{0, 1}}),
+                       config_for());
+  EXPECT_EQ(single.matching, (std::vector<Edge>{{0, 1}}));
+  // Star: exactly one edge can be matched.
+  const auto star = det_matching_mpc(gen::star(20), config_for());
+  EXPECT_EQ(star.matching.size(), 1u);
+  // Complete graph K6: a maximal matching has >= 2 edges (3 if perfect).
+  const auto k6 = det_matching_mpc(gen::complete(6), config_for());
+  EXPECT_GE(k6.matching.size(), 2u);
+  EXPECT_TRUE(is_maximal_matching(gen::complete(6), k6.matching));
+}
+
+TEST(DetMatching, NoModelViolations) {
+  const Graph g = gen::random_regular(200, 8, 13);
+  const auto result = det_matching_mpc(g, config_for());
+  EXPECT_EQ(result.metrics.violations, 0u);
+  EXPECT_GT(result.derand_chunks, 0u);
+}
+
+}  // namespace
+}  // namespace rsets

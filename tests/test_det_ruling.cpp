@@ -1,0 +1,174 @@
+// End-to-end tests of the deterministic MPC ruling-set algorithm.
+#include "core/det_ruling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/verify.hpp"
+
+namespace rsets {
+namespace {
+
+mpc::MpcConfig config_for(std::size_t memory = 1 << 22,
+                          mpc::MachineId machines = 4) {
+  mpc::MpcConfig cfg;
+  cfg.num_machines = machines;
+  cfg.memory_words = memory;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(DetRuling, ValidTwoRulingOnSuite) {
+  for (const auto& entry : gen::standard_suite(400, 21)) {
+    const auto result = det_ruling_set_mpc(entry.graph, config_for());
+    EXPECT_TRUE(is_beta_ruling_set(entry.graph, result.ruling_set, 2))
+        << entry.name;
+    EXPECT_FALSE(result.ruling_set.empty()) << entry.name;
+  }
+}
+
+TEST(DetRuling, ZeroRandomWords) {
+  const Graph g = gen::gnp(500, 0.03, 17);
+  DetRulingOptions opt;
+  opt.gather_budget_words = 2048;  // force derandomized phases to run
+  const auto result = det_ruling_set_mpc(g, config_for(), opt);
+  EXPECT_GT(result.mark_steps, 0u);
+  EXPECT_EQ(result.metrics.random_words, 0u);
+}
+
+TEST(DetRuling, DeterministicAcrossMachineCountsAndSeeds) {
+  const Graph g = gen::power_law(600, 2.5, 8.0, 23);
+  DetRulingOptions opt;
+  opt.gather_budget_words = 2048;  // force derandomized phases to run
+  std::vector<VertexId> first;
+  for (mpc::MachineId machines : {2, 4, 8}) {
+    for (std::uint64_t seed : {1ull, 99ull}) {
+      auto cfg = config_for(1 << 22, machines);
+      cfg.seed = seed;  // must not matter: no random bits consumed
+      const auto result = det_ruling_set_mpc(g, cfg, opt);
+      if (first.empty()) {
+        first = result.ruling_set;
+        ASSERT_FALSE(first.empty());
+      } else {
+        EXPECT_EQ(result.ruling_set, first)
+            << machines << " machines, seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(DetRuling, NoModelViolations) {
+  const Graph g = gen::gnp(800, 0.02, 3);
+  DetRulingOptions opt;
+  opt.gather_budget_words = 4096;  // force derandomized phases to run
+  const auto result = det_ruling_set_mpc(g, config_for(), opt);
+  EXPECT_EQ(result.metrics.violations, 0u);
+  EXPECT_LE(result.metrics.max_storage_words, config_for().memory_words);
+  EXPECT_LE(result.metrics.max_send_words, config_for().memory_words);
+  EXPECT_LE(result.metrics.max_recv_words, config_for().memory_words);
+}
+
+TEST(DetRuling, BetaThreeAndFour) {
+  const Graph g = gen::gnp(500, 0.03, 29);
+  for (std::uint32_t beta : {3u, 4u}) {
+    DetRulingOptions opt;
+    opt.beta = beta;
+    const auto result = det_ruling_set_mpc(g, config_for(), opt);
+    EXPECT_TRUE(is_beta_ruling_set(g, result.ruling_set, beta))
+        << "beta=" << beta;
+  }
+}
+
+TEST(DetRuling, LargerBetaNoMorePhases) {
+  // Radius-(beta-1) removal shrinks the graph at least as fast.
+  const Graph g = gen::gnp(1500, 0.02, 31);
+  DetRulingOptions two;
+  two.beta = 2;
+  DetRulingOptions four;
+  four.beta = 4;
+  const auto r2 = det_ruling_set_mpc(g, config_for(), two);
+  const auto r4 = det_ruling_set_mpc(g, config_for(), four);
+  EXPECT_LE(r4.mark_steps, r2.mark_steps);
+  EXPECT_LE(r4.ruling_set.size(), r2.ruling_set.size());
+}
+
+TEST(DetRuling, EdgeCases) {
+  // Empty graph.
+  const auto empty = det_ruling_set_mpc(Graph::from_edges(0, {}), config_for());
+  EXPECT_TRUE(empty.ruling_set.empty());
+  // Isolated vertices: all belong to the ruling set.
+  const auto isolated =
+      det_ruling_set_mpc(Graph::from_edges(7, {}), config_for());
+  EXPECT_EQ(isolated.ruling_set.size(), 7u);
+  // Complete graph: exactly one member.
+  const auto kn = det_ruling_set_mpc(gen::complete(30), config_for());
+  EXPECT_EQ(kn.ruling_set.size(), 1u);
+  // Star: hub or all leaves — either is a valid 2-ruling set.
+  const Graph star = gen::star(50);
+  const auto st = det_ruling_set_mpc(star, config_for());
+  EXPECT_TRUE(is_beta_ruling_set(star, st.ruling_set, 2));
+  // Rejects beta < 2.
+  DetRulingOptions bad;
+  bad.beta = 1;
+  EXPECT_THROW(det_ruling_set_mpc(gen::path(5), config_for(), bad),
+               std::invalid_argument);
+}
+
+TEST(DetRuling, CliqueBlowupPicksOnePerClique) {
+  const Graph g = gen::clique_blowup(20, 10);
+  const auto result = det_ruling_set_mpc(g, config_for());
+  EXPECT_TRUE(is_beta_ruling_set(g, result.ruling_set, 2));
+  EXPECT_EQ(result.ruling_set.size(), 20u);
+}
+
+TEST(DetRuling, PhasesGrowVerySlowly) {
+  // Doubly-logarithmic phase counts: even a 64x growth in n should add at
+  // most a few phases.
+  auto cfg = config_for(std::size_t{1} << 24);
+  DetRulingOptions opt;
+  opt.gather_budget_words = 0;  // 32n default scales with n
+  const auto small = det_ruling_set_mpc(gen::gnp(250, 16.0 / 250, 7), cfg,
+                                        opt);
+  const auto large =
+      det_ruling_set_mpc(gen::gnp(16000, 16.0 / 16000 * 8, 7), cfg, opt);
+  EXPECT_LE(large.phases, small.phases + 4);
+}
+
+TEST(DetRuling, TightBudgetStillValid) {
+  // Small gather budget forces more phases but never breaks validity.
+  const Graph g = gen::gnp(400, 0.05, 41);
+  DetRulingOptions opt;
+  opt.gather_budget_words = 4096;
+  const auto result = det_ruling_set_mpc(g, config_for(), opt);
+  EXPECT_TRUE(is_beta_ruling_set(g, result.ruling_set, 2));
+}
+
+TEST(DetRuling, ReportsTrajectoryAndCounters) {
+  const Graph g = gen::gnp(1000, 0.03, 43);
+  DetRulingOptions opt;
+  opt.gather_budget_words = 8192;  // force derandomized phases to run
+  const auto result = det_ruling_set_mpc(g, config_for(), opt);
+  EXPECT_GT(result.metrics.rounds, 0u);
+  EXPECT_GE(result.mark_steps, result.phases);
+  EXPECT_GT(result.derand_chunks, 0u);
+  // Degree trajectory is recorded once per non-final phase and decreasing.
+  for (std::size_t i = 1; i < result.degree_trajectory.size(); ++i) {
+    EXPECT_LT(result.degree_trajectory[i], result.degree_trajectory[i - 1]);
+  }
+}
+
+TEST(DetRuling, DisconnectedComponentsAllDominated) {
+  // Union of cliques, paths and isolated vertices.
+  GraphBuilder b(70);
+  for (VertexId u = 0; u < 10; ++u) {
+    for (VertexId v = u + 1; v < 10; ++v) b.add_edge(u, v);
+  }
+  for (VertexId v = 10; v + 1 < 40; ++v) b.add_edge(v, v + 1);
+  // 40..69 isolated.
+  const Graph g = std::move(b).build();
+  const auto result = det_ruling_set_mpc(g, config_for());
+  EXPECT_TRUE(is_beta_ruling_set(g, result.ruling_set, 2));
+}
+
+}  // namespace
+}  // namespace rsets

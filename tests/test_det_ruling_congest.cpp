@@ -1,0 +1,68 @@
+#include "congest/det_ruling_congest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "congest/coloring_mis.hpp"
+#include "graph/generators.hpp"
+#include "graph/verify.hpp"
+
+namespace rsets::congest {
+namespace {
+
+TEST(DetRulingCongest, ValidOnBoundedDegreeFamilies) {
+  for (const Graph& g :
+       {gen::cycle(300), gen::grid(16, 16), gen::torus(12, 12),
+        gen::random_regular(300, 6, 4), gen::caterpillar(40, 4)}) {
+    const auto result = det_2ruling_congest(g);
+    EXPECT_TRUE(is_beta_ruling_set(g, result.ruling_set, 2));
+  }
+}
+
+TEST(DetRulingCongest, DeterministicAndRandomFree) {
+  const Graph g = gen::grid(20, 20);
+  const auto a = det_2ruling_congest(g);
+  const auto b = det_2ruling_congest(g);
+  EXPECT_EQ(a.ruling_set, b.ruling_set);
+  EXPECT_EQ(a.metrics.random_words, 0u);
+}
+
+TEST(DetRulingCongest, SparserThanColoringMis) {
+  // A 2-ruling set may skip vertices an MIS must take.
+  const Graph g = gen::cycle(400);
+  const auto rs = det_2ruling_congest(g);
+  const auto mis = coloring_mis(g);
+  EXPECT_LT(rs.ruling_set.size(), mis.mis.size());
+}
+
+TEST(DetRulingCongest, RoundsBoundedByPalette) {
+  const Graph g = gen::grid(25, 25);
+  const auto result = det_2ruling_congest(g);
+  // Coloring rounds (2/step) + at most 2 rounds per color turn.
+  EXPECT_LE(result.metrics.rounds,
+            2ull * result.palette_size + 20ull);
+}
+
+TEST(DetRulingCongest, EdgeCases) {
+  EXPECT_TRUE(det_2ruling_congest(Graph::from_edges(0, {})).ruling_set.empty());
+  EXPECT_EQ(det_2ruling_congest(Graph::from_edges(3, {})).ruling_set.size(),
+            3u);
+  EXPECT_EQ(det_2ruling_congest(gen::complete(10)).ruling_set.size(), 1u);
+  const Graph p = gen::path(2);
+  EXPECT_EQ(det_2ruling_congest(p).ruling_set.size(), 1u);
+}
+
+TEST(LinialColoring, StandaloneProducesProperColoring) {
+  const Graph g = gen::torus(15, 15);
+  CongestSim sim(g, {});
+  const auto coloring = linial_coloring(sim);
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(coloring.colors[e.u], coloring.colors[e.v]);
+  }
+  for (std::uint32_t c : coloring.colors) {
+    EXPECT_LT(c, coloring.palette_size);
+  }
+  EXPECT_GE(coloring.steps, 1u);
+}
+
+}  // namespace
+}  // namespace rsets::congest

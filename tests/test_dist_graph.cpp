@@ -1,0 +1,121 @@
+#include "mpc/dist_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace rsets::mpc {
+namespace {
+
+MpcConfig config_for(std::size_t memory, MachineId machines = 4) {
+  MpcConfig cfg;
+  cfg.num_machines = machines;
+  cfg.memory_words = memory;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(DistGraph, PartitionCoversAllVertices) {
+  Simulator sim(config_for(1 << 16));
+  const Graph g = gen::gnp(300, 0.02, 1);
+  DistGraph dg(sim, g);
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (MachineId m = 0; m < sim.num_machines(); ++m) {
+    for (VertexId v : dg.owned(m)) {
+      EXPECT_EQ(dg.owner(v), m);
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(DistGraph, PartitionIsBalanced) {
+  Simulator sim(config_for(1 << 18, 8));
+  const Graph g = gen::cycle(8000);
+  DistGraph dg(sim, g);
+  for (MachineId m = 0; m < 8; ++m) {
+    EXPECT_NEAR(static_cast<double>(dg.owned(m).size()), 1000.0, 200.0);
+  }
+}
+
+TEST(DistGraph, LoadingChargesStorageAndARound) {
+  Simulator sim(config_for(1 << 16));
+  const Graph g = gen::gnp(200, 0.05, 2);
+  DistGraph dg(sim, g);
+  EXPECT_EQ(sim.metrics().rounds, 1u);
+  EXPECT_GT(sim.metrics().max_storage_words, 0u);
+}
+
+TEST(DistGraph, UndersizedMemoryFails) {
+  Simulator sim(config_for(/*memory=*/64));
+  const Graph g = gen::gnp(500, 0.1, 2);
+  EXPECT_THROW(DistGraph(sim, g), MpcViolation);
+}
+
+TEST(DistGraph, ActiveDegreeTracksDeactivation) {
+  Simulator sim(config_for(1 << 16));
+  const Graph g = gen::star(10);  // hub 0 with 9 leaves
+  DistGraph dg(sim, g);
+  EXPECT_EQ(dg.active_degree(0), 9u);
+  EXPECT_EQ(dg.active_max_degree(sim), 9u);
+
+  // Deactivate four leaves (announced by their owners).
+  std::vector<std::vector<VertexId>> removals(sim.num_machines());
+  for (VertexId v : {1, 2, 3, 4}) {
+    removals[dg.owner(v)].push_back(v);
+  }
+  dg.deactivate(sim, removals);
+  EXPECT_EQ(dg.active_count(), 6u);
+  EXPECT_EQ(dg.active_degree(0), 5u);
+  EXPECT_FALSE(dg.active(1));
+  EXPECT_TRUE(dg.active(0));
+}
+
+TEST(DistGraph, DeactivateValidatesOwnership) {
+  Simulator sim(config_for(1 << 16));
+  const Graph g = gen::path(10);
+  DistGraph dg(sim, g);
+  std::vector<std::vector<VertexId>> removals(sim.num_machines());
+  const VertexId v = 3;
+  const MachineId wrong = (dg.owner(v) + 1) % sim.num_machines();
+  removals[wrong].push_back(v);
+  EXPECT_THROW(dg.deactivate(sim, removals), std::logic_error);
+}
+
+TEST(DistGraph, DeactivationCostsOneRound) {
+  Simulator sim(config_for(1 << 16));
+  const Graph g = gen::path(20);
+  DistGraph dg(sim, g);
+  const auto before = sim.metrics().rounds;
+  std::vector<std::vector<VertexId>> removals(sim.num_machines());
+  removals[dg.owner(5)].push_back(5);
+  dg.deactivate(sim, removals);
+  EXPECT_EQ(sim.metrics().rounds, before + 1);
+}
+
+TEST(DistGraph, ActiveVerticesListMatchesBitset) {
+  Simulator sim(config_for(1 << 16));
+  const Graph g = gen::cycle(30);
+  DistGraph dg(sim, g);
+  std::vector<std::vector<VertexId>> removals(sim.num_machines());
+  for (VertexId v = 0; v < 30; v += 3) removals[dg.owner(v)].push_back(v);
+  dg.deactivate(sim, removals);
+  const auto active = dg.active_vertices();
+  EXPECT_EQ(active.size(), 20u);
+  for (VertexId v : active) EXPECT_NE(v % 3, 0u);
+}
+
+TEST(DistGraph, ActiveMaxDegreeOnEmptyActiveSet) {
+  Simulator sim(config_for(1 << 16));
+  const Graph g = gen::path(5);
+  DistGraph dg(sim, g);
+  std::vector<std::vector<VertexId>> removals(sim.num_machines());
+  for (VertexId v = 0; v < 5; ++v) removals[dg.owner(v)].push_back(v);
+  dg.deactivate(sim, removals);
+  EXPECT_EQ(dg.active_count(), 0u);
+  EXPECT_EQ(dg.active_max_degree(sim), 0u);
+}
+
+}  // namespace
+}  // namespace rsets::mpc

@@ -1,0 +1,53 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsets {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesKeyValue) {
+  const Flags f = make({"--n=100", "--name=gnp"});
+  EXPECT_EQ(f.get_int("n", 0), 100);
+  EXPECT_EQ(f.get("name", ""), "gnp");
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const Flags f = make({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_TRUE(f.has("verbose"));
+}
+
+TEST(Flags, FallbacksApply) {
+  const Flags f = make({});
+  EXPECT_EQ(f.get_int("n", 7), 7);
+  EXPECT_EQ(f.get("x", "dflt"), "dflt");
+  EXPECT_FALSE(f.get_bool("b", false));
+  EXPECT_DOUBLE_EQ(f.get_double("p", 0.25), 0.25);
+}
+
+TEST(Flags, Positional) {
+  const Flags f = make({"input.txt", "--n=3", "more"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(Flags, DoubleParsing) {
+  const Flags f = make({"--p=0.125"});
+  EXPECT_DOUBLE_EQ(f.get_double("p", 0.0), 0.125);
+}
+
+TEST(Flags, KeysLists) {
+  const Flags f = make({"--a=1", "--b=2"});
+  const auto keys = f.keys();
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rsets

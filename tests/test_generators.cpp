@@ -1,0 +1,156 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/ops.hpp"
+
+namespace rsets {
+namespace {
+
+TEST(Gnp, EdgeCountNearExpectation) {
+  const VertexId n = 2000;
+  const double p = 0.01;
+  const Graph g = gen::gnp(n, p, 1);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              5.0 * std::sqrt(expected));
+}
+
+TEST(Gnp, ZeroAndOneProbability) {
+  EXPECT_EQ(gen::gnp(50, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(gen::gnp(10, 1.0, 1).num_edges(), 45u);
+}
+
+TEST(Gnp, DeterministicInSeed) {
+  const Graph a = gen::gnp(500, 0.02, 7);
+  const Graph b = gen::gnp(500, 0.02, 7);
+  EXPECT_EQ(a.edges(), b.edges());
+  const Graph c = gen::gnp(500, 0.02, 8);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Gnm, ExactEdgeCount) {
+  const Graph g = gen::gnm(100, 250, 3);
+  EXPECT_EQ(g.num_edges(), 250u);
+  EXPECT_THROW(gen::gnm(4, 7, 1), std::invalid_argument);
+}
+
+TEST(RandomRegular, DegreesAtMostD) {
+  const Graph g = gen::random_regular(200, 6, 5);
+  std::uint64_t at_degree = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(g.degree(v), 6u);
+    if (g.degree(v) == 6) ++at_degree;
+  }
+  // Configuration model loses only a few edges to loops/duplicates.
+  EXPECT_GT(at_degree, 150u);
+  EXPECT_THROW(gen::random_regular(5, 3, 1), std::invalid_argument);
+  EXPECT_THROW(gen::random_regular(4, 4, 1), std::invalid_argument);
+}
+
+TEST(PowerLaw, HeavyTail) {
+  const Graph g = gen::power_law(5000, 2.5, 8.0, 11);
+  const auto stats = degree_stats(g);
+  // Average close-ish to target; max far above average (heavy tail).
+  EXPECT_NEAR(stats.mean, 8.0, 3.0);
+  EXPECT_GT(stats.max, 50u);
+}
+
+TEST(BarabasiAlbert, SizeAndHubs) {
+  const Graph g = gen::barabasi_albert(1000, 3, 2);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  // Each non-seed vertex adds up to 3 edges.
+  EXPECT_LE(g.num_edges(), 3u * 1000u + 6u);
+  EXPECT_GT(g.max_degree(), 20u);  // hubs emerge
+  EXPECT_THROW(gen::barabasi_albert(5, 0, 1), std::invalid_argument);
+}
+
+TEST(Rmat, RespectsBounds) {
+  const Graph g = gen::rmat(1000, 4000, 0.57, 0.19, 0.19, 4);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  EXPECT_LE(g.num_edges(), 4000u);
+  EXPECT_GT(g.num_edges(), 2500u);  // some dedup is expected, not collapse
+}
+
+TEST(GridAndTorus, Structure) {
+  const Graph g = gen::grid(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 4u * 4 + 5u * 3);  // 31
+  EXPECT_EQ(g.max_degree(), 4u);
+
+  const Graph t = gen::torus(4, 5);
+  EXPECT_EQ(t.num_edges(), 40u);
+  for (VertexId v = 0; v < t.num_vertices(); ++v) EXPECT_EQ(t.degree(v), 4u);
+}
+
+TEST(PathCycleStar, Structure) {
+  EXPECT_EQ(gen::path(10).num_edges(), 9u);
+  EXPECT_EQ(gen::cycle(10).num_edges(), 10u);
+  const Graph s = gen::star(10);
+  EXPECT_EQ(s.num_edges(), 9u);
+  EXPECT_EQ(s.degree(0), 9u);
+}
+
+TEST(CompleteGraphs, Structure) {
+  EXPECT_EQ(gen::complete(6).num_edges(), 15u);
+  const Graph kb = gen::complete_bipartite(3, 4);
+  EXPECT_EQ(kb.num_edges(), 12u);
+  EXPECT_EQ(kb.degree(0), 4u);
+  EXPECT_EQ(kb.degree(3), 3u);
+}
+
+TEST(RandomTree, IsTree) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = gen::random_tree(200, seed);
+    EXPECT_EQ(g.num_edges(), 199u);
+    const auto comp = connected_components(g);
+    for (std::uint32_t c : comp) EXPECT_EQ(c, 0u);
+  }
+}
+
+TEST(RandomTree, TinyCases) {
+  EXPECT_EQ(gen::random_tree(1, 0).num_edges(), 0u);
+  EXPECT_EQ(gen::random_tree(2, 0).num_edges(), 1u);
+  const Graph g3 = gen::random_tree(3, 1);
+  EXPECT_EQ(g3.num_edges(), 2u);
+}
+
+TEST(Caterpillar, Structure) {
+  const Graph g = gen::caterpillar(5, 3);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 4u + 15u);
+}
+
+TEST(CliqueBlowup, Structure) {
+  const Graph g = gen::clique_blowup(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 4u * 10u);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[4]);
+  EXPECT_NE(comp[0], comp[5]);
+}
+
+TEST(HospitalContacts, Structure) {
+  const Graph g = gen::hospital_contacts(6, 8, 10, 12, 3);
+  EXPECT_EQ(g.num_vertices(), 6u * 8 + 10u);
+  // Staff vertices have high degree.
+  std::uint32_t staff_min = g.num_vertices();
+  for (VertexId v = 48; v < g.num_vertices(); ++v) {
+    staff_min = std::min(staff_min, g.degree(v));
+  }
+  EXPECT_GT(staff_min, 0u);
+}
+
+TEST(StandardSuite, AllFamiliesNonTrivial) {
+  const auto suite = gen::standard_suite(400, 17);
+  EXPECT_GE(suite.size(), 8u);
+  for (const auto& entry : suite) {
+    EXPECT_GT(entry.graph.num_vertices(), 0u) << entry.name;
+    EXPECT_GT(entry.graph.num_edges(), 0u) << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace rsets

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+
+namespace rsets {
+namespace {
+
+TEST(WattsStrogatz, NoRewiringIsRingLattice) {
+  const Graph g = gen::watts_strogatz(100, 3, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 300u);
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(g.degree(v), 6u);
+  // Connected ring.
+  const auto comp = connected_components(g);
+  for (std::uint32_t c : comp) EXPECT_EQ(c, 0u);
+}
+
+TEST(WattsStrogatz, RewiringKeepsEdgeCountClose) {
+  const Graph g = gen::watts_strogatz(500, 4, 0.2, 3);
+  // Rewiring can create duplicates that dedup; stays near n*k.
+  EXPECT_GT(g.num_edges(), 1900u);
+  EXPECT_LE(g.num_edges(), 2000u);
+}
+
+TEST(WattsStrogatz, RejectsBadArguments) {
+  EXPECT_THROW(gen::watts_strogatz(10, 0, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(gen::watts_strogatz(10, 5, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(gen::watts_strogatz(10, 2, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Hypercube, Structure) {
+  const Graph g = gen::hypercube(5);
+  EXPECT_EQ(g.num_vertices(), 32u);
+  EXPECT_EQ(g.num_edges(), 32u * 5 / 2);
+  for (VertexId v = 0; v < 32; ++v) EXPECT_EQ(g.degree(v), 5u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 16));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_THROW(gen::hypercube(30), std::invalid_argument);
+}
+
+TEST(BinaryTree, Structure) {
+  const Graph g = gen::binary_tree(15);  // perfect depth-3 tree
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(14), 1u);
+  EXPECT_EQ(degeneracy(g), 1u);
+}
+
+TEST(Lollipop, Structure) {
+  const Graph g = gen::lollipop(10, 20);
+  EXPECT_EQ(g.num_vertices(), 30u);
+  EXPECT_EQ(g.num_edges(), 45u + 1u + 19u);
+  EXPECT_EQ(g.max_degree(), 10u);  // the glue vertex: 9 clique + 1 tail
+  const auto comp = connected_components(g);
+  for (std::uint32_t c : comp) EXPECT_EQ(c, 0u);
+}
+
+TEST(StandardSuite, IncludesSmallWorld) {
+  const auto suite = gen::standard_suite(300, 2);
+  bool found = false;
+  for (const auto& entry : suite) {
+    if (entry.name == "small_world") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace rsets

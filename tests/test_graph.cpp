@@ -1,0 +1,101 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rsets {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::from_edges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, IsolatedVertices) {
+  const Graph g = Graph::from_edges(5, {});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Graph, TriangleBasics) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, DeduplicatesAndSymmetrizes) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 0}, {0, 1}, {0, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, DropsSelfLoops) {
+  const std::vector<Edge> edges = {{0, 0}, {0, 1}, {1, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  const std::vector<Edge> edges = {{2, 5}, {2, 1}, {2, 9}, {2, 0}};
+  const Graph g = Graph::from_edges(10, edges);
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 1u);
+  EXPECT_EQ(nbrs[2], 5u);
+  EXPECT_EQ(nbrs[3], 9u);
+}
+
+TEST(Graph, EdgesReturnsCanonicalList) {
+  const std::vector<Edge> input = {{3, 1}, {0, 2}};
+  const Graph g = Graph::from_edges(4, input);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (Edge{0, 2}));
+  EXPECT_EQ(edges[1], (Edge{1, 3}));
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  const std::vector<Edge> edges = {{0, 5}};
+  EXPECT_THROW(Graph::from_edges(3, edges), std::out_of_range);
+}
+
+TEST(Graph, DegreeSquareSum) {
+  // Star on 4 vertices: center degree 3, leaves 1. Sum = 9 + 3 = 12.
+  const std::vector<Edge> edges = {{0, 1}, {0, 2}, {0, 3}};
+  const Graph g = Graph::from_edges(4, edges);
+  EXPECT_EQ(g.degree_square_sum(), 12u);
+}
+
+TEST(GraphBuilder, IgnoresSelfLoopsAndBuilds) {
+  GraphBuilder b(3);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  EXPECT_EQ(b.pending_edges(), 2u);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, RoundTripThroughEdges) {
+  const std::vector<Edge> input = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+  const Graph g = Graph::from_edges(4, input);
+  const Graph h = Graph::from_edges(4, g.edges());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(h.degree(v), g.degree(v));
+}
+
+}  // namespace
+}  // namespace rsets

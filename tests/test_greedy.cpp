@@ -1,0 +1,72 @@
+#include "core/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "graph/verify.hpp"
+
+namespace rsets {
+namespace {
+
+TEST(GreedyMis, ValidOnSuite) {
+  for (const auto& entry : gen::standard_suite(500, 3)) {
+    const auto mis = greedy_mis(entry.graph);
+    EXPECT_TRUE(is_maximal_independent_set(entry.graph, mis)) << entry.name;
+  }
+}
+
+TEST(GreedyMis, LexicographicallyFirst) {
+  // On a path 0-1-2-3-4 the greedy MIS is {0, 2, 4}.
+  const auto mis = greedy_mis(gen::path(5));
+  EXPECT_EQ(mis, (std::vector<VertexId>{0, 2, 4}));
+}
+
+TEST(GreedyMis, EdgeCases) {
+  EXPECT_TRUE(greedy_mis(Graph::from_edges(0, {})).empty());
+  EXPECT_EQ(greedy_mis(Graph::from_edges(3, {})).size(), 3u);
+  EXPECT_EQ(greedy_mis(gen::complete(10)).size(), 1u);
+}
+
+TEST(GreedyRulingSet, BetaOneIsMis) {
+  const Graph g = gen::gnp(200, 0.05, 1);
+  EXPECT_EQ(greedy_ruling_set(g, 1), greedy_mis(g));
+}
+
+TEST(GreedyRulingSet, ValidAcrossBetas) {
+  for (const auto& entry : gen::standard_suite(300, 9)) {
+    for (std::uint32_t beta : {1u, 2u, 3u, 4u}) {
+      const auto set = greedy_ruling_set(entry.graph, beta);
+      EXPECT_TRUE(is_beta_ruling_set(entry.graph, set, beta))
+          << entry.name << " beta=" << beta;
+    }
+  }
+}
+
+TEST(GreedyRulingSet, LargerBetaNeverLarger) {
+  const Graph g = gen::grid(20, 20);
+  std::size_t prev = greedy_ruling_set(g, 1).size();
+  for (std::uint32_t beta = 2; beta <= 5; ++beta) {
+    const std::size_t cur = greedy_ruling_set(g, beta).size();
+    EXPECT_LE(cur, prev) << "beta=" << beta;
+    prev = cur;
+  }
+}
+
+TEST(GreedyRulingSet, MatchesPowerGraphMisSemantics) {
+  // A beta-ruling set is exactly an independent set of G that dominates in
+  // G^beta; verify the greedy output against the explicit power graph.
+  const Graph g = gen::random_tree(120, 4);
+  const std::uint32_t beta = 3;
+  const auto set = greedy_ruling_set(g, beta);
+  const Graph gb = power_graph(g, static_cast<int>(beta));
+  // Domination in G^beta:
+  EXPECT_LE(domination_radius(gb, set), 1u);
+}
+
+TEST(GreedyRulingSet, RejectsBetaZero) {
+  EXPECT_THROW(greedy_ruling_set(gen::path(3), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsets

@@ -1,0 +1,68 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace rsets {
+namespace {
+
+TEST(Io, RoundTrip) {
+  const Graph g = gen::gnp(200, 0.05, 9);
+  std::stringstream buffer;
+  write_edge_list(g, buffer);
+  const Graph h = read_edge_list(buffer);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.edges(), g.edges());
+}
+
+TEST(Io, ReadsHeaderlessList) {
+  std::istringstream in("0 1\n1 2\n2 3\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Io, SkipsComments) {
+  std::istringstream in("# comment\n% other comment\n0 1\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Io, HeaderPreservesIsolatedTailVertices) {
+  // 10 vertices but edges touch only 0..2; header keeps n = 10.
+  std::istringstream in("10 2\n0 1\n1 2\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, MalformedLineThrows) {
+  std::istringstream in("0 1\nbogus\n");
+  EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(Io, EmptyInput) {
+  std::istringstream in("");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 0u);
+}
+
+TEST(Io, FileRoundTrip) {
+  const Graph g = gen::cycle(50);
+  const std::string path = testing::TempDir() + "/rsets_io_test.txt";
+  ASSERT_TRUE(write_edge_list_file(g, path));
+  const Graph h = read_edge_list_file(path);
+  EXPECT_EQ(h.edges(), g.edges());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rsets

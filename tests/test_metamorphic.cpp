@@ -1,0 +1,140 @@
+// Metamorphic and failure-injection tests: relationships that must hold
+// between runs on transformed inputs, and behavior at the model's edges.
+#include <gtest/gtest.h>
+
+#include "core/det_ruling.hpp"
+#include "core/greedy.hpp"
+#include "graph/generators.hpp"
+#include "graph/verify.hpp"
+#include "mpc/dist_graph.hpp"
+
+namespace rsets {
+namespace {
+
+mpc::MpcConfig config_for(std::size_t memory = 1 << 22) {
+  mpc::MpcConfig cfg;
+  cfg.num_machines = 4;
+  cfg.memory_words = memory;
+  cfg.seed = 1;
+  return cfg;
+}
+
+// Disjoint-union metamorphism: the ruling set of G1 ⊎ G2 restricted to each
+// part must be a valid ruling set of that part.
+TEST(Metamorphic, DisjointUnionRestrictsToValidSets) {
+  const Graph g1 = gen::gnp(200, 0.04, 3);
+  const Graph g2 = gen::grid(14, 14);
+  const VertexId off = g1.num_vertices();
+  GraphBuilder builder(off + g2.num_vertices());
+  for (const Edge& e : g1.edges()) builder.add_edge(e.u, e.v);
+  for (const Edge& e : g2.edges()) builder.add_edge(off + e.u, off + e.v);
+  const Graph g = std::move(builder).build();
+
+  const auto result = det_ruling_set_mpc(g, config_for());
+  std::vector<VertexId> part1;
+  std::vector<VertexId> part2;
+  for (VertexId v : result.ruling_set) {
+    if (v < off) {
+      part1.push_back(v);
+    } else {
+      part2.push_back(v - off);
+    }
+  }
+  EXPECT_TRUE(is_beta_ruling_set(g1, part1, 2));
+  EXPECT_TRUE(is_beta_ruling_set(g2, part2, 2));
+}
+
+// Adding isolated vertices must add exactly those vertices to the set and
+// change nothing else (they are forced members of any ruling set).
+TEST(Metamorphic, IsolatedVerticesAreForcedMembers) {
+  const Graph g = gen::gnp(300, 0.03, 5);
+  GraphBuilder builder(g.num_vertices() + 10);
+  for (const Edge& e : g.edges()) builder.add_edge(e.u, e.v);
+  const Graph extended = std::move(builder).build();
+
+  const auto result = det_ruling_set_mpc(extended, config_for());
+  for (VertexId v = g.num_vertices(); v < extended.num_vertices(); ++v) {
+    EXPECT_TRUE(std::binary_search(result.ruling_set.begin(),
+                                   result.ruling_set.end(), v))
+        << "isolated vertex " << v << " missing";
+  }
+}
+
+// Subgraph monotonicity of greedy MIS size on vertex-deleted graphs is NOT
+// guaranteed in general — but validity must survive any induced subgraph's
+// recomputation. (Guards against hidden global state between runs.)
+TEST(Metamorphic, RepeatedRunsAreIndependent) {
+  const Graph g = gen::power_law(400, 2.5, 8.0, 7);
+  const auto a = det_ruling_set_mpc(g, config_for());
+  const auto b = det_ruling_set_mpc(g, config_for());
+  const auto c = det_ruling_set_mpc(g, config_for());
+  EXPECT_EQ(a.ruling_set, b.ruling_set);
+  EXPECT_EQ(b.ruling_set, c.ruling_set);
+}
+
+// Failure injection: with enforcement disabled, an undersized configuration
+// must complete and *count* violations instead of throwing.
+TEST(FailureInjection, ViolationsCountedWhenEnforcementOff) {
+  const Graph g = gen::gnp(500, 0.05, 9);
+  mpc::MpcConfig cfg;
+  cfg.num_machines = 4;
+  cfg.memory_words = 2048;  // far too small for n=500, m~6000
+  cfg.enforce = false;
+  mpc::Simulator sim(cfg);
+  mpc::DistGraph dg(sim, g);
+  sim.sync_metrics();
+  EXPECT_GT(sim.metrics().violations, 0u);
+  EXPECT_GT(sim.metrics().max_storage_words, cfg.memory_words);
+}
+
+// Failure injection: with enforcement on, the same configuration throws at
+// load time (not deep inside a phase).
+TEST(FailureInjection, UndersizedEnforcedConfigThrowsEarly) {
+  const Graph g = gen::gnp(500, 0.05, 9);
+  mpc::MpcConfig cfg;
+  cfg.num_machines = 4;
+  cfg.memory_words = 2048;
+  EXPECT_THROW(
+      {
+        mpc::Simulator sim(cfg);
+        mpc::DistGraph dg(sim, g);
+      },
+      mpc::MpcViolation);
+}
+
+// The deterministic algorithm must not depend on the partition salt's
+// *machine assignment* of vertices (ownership is an implementation detail).
+TEST(Metamorphic, OutputIndependentOfMachineCount) {
+  const Graph g = gen::random_regular(300, 10, 11);
+  DetRulingOptions opt;
+  opt.gather_budget_words = 2048;
+  std::vector<VertexId> first;
+  for (mpc::MachineId machines : {1, 3, 5, 16}) {
+    mpc::MpcConfig cfg = config_for();
+    cfg.num_machines = machines;
+    const auto result = det_ruling_set_mpc(g, cfg, opt);
+    if (first.empty()) {
+      first = result.ruling_set;
+    } else {
+      EXPECT_EQ(result.ruling_set, first) << machines << " machines";
+    }
+  }
+}
+
+// Greedy oracle cross-check: on graphs where the optimum is known, both the
+// oracle and the MPC algorithm must land on it.
+TEST(Metamorphic, KnownOptimaCrossCheck) {
+  // Cycle C_9, beta=2: minimum 2-ruling set size is ceil(9/5) = 2; any
+  // valid algorithm returns >= 2 and <= MIS size (4 by greedy).
+  const Graph c9 = gen::cycle(9);
+  const auto det = det_ruling_set_mpc(c9, config_for());
+  EXPECT_GE(det.ruling_set.size(), 2u);
+  EXPECT_LE(det.ruling_set.size(), 4u);
+  // Hypercube Q_4: MIS of size 8 exists (even-parity vertices).
+  const Graph q4 = gen::hypercube(4);
+  const auto mis = greedy_mis(q4);
+  EXPECT_EQ(mis.size(), 8u);
+}
+
+}  // namespace
+}  // namespace rsets

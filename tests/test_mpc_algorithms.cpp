@@ -1,0 +1,135 @@
+// Tests for the MPC baselines: randomized Luby, derandomized Luby, and
+// randomized sample-and-gather.
+#include <gtest/gtest.h>
+
+#include "core/det_luby.hpp"
+#include "core/luby.hpp"
+#include "core/sample_gather.hpp"
+#include "graph/generators.hpp"
+#include "graph/verify.hpp"
+
+namespace rsets {
+namespace {
+
+mpc::MpcConfig config_for(std::uint64_t seed = 1,
+                          mpc::MachineId machines = 4) {
+  mpc::MpcConfig cfg;
+  cfg.num_machines = machines;
+  cfg.memory_words = 1 << 22;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(LubyMpc, ValidMisOnSuite) {
+  for (const auto& entry : gen::standard_suite(300, 7)) {
+    const auto result = luby_mis_mpc(entry.graph, config_for());
+    EXPECT_TRUE(is_maximal_independent_set(entry.graph, result.ruling_set))
+        << entry.name;
+  }
+}
+
+TEST(LubyMpc, ConsumesRandomness) {
+  const Graph g = gen::gnp(300, 0.03, 2);
+  const auto result = luby_mis_mpc(g, config_for());
+  EXPECT_GT(result.metrics.random_words, 0u);
+}
+
+TEST(LubyMpc, IterationsLogarithmic) {
+  const Graph g = gen::gnp(3000, 0.004, 5);
+  const auto result = luby_mis_mpc(g, config_for());
+  EXPECT_TRUE(is_maximal_independent_set(g, result.ruling_set));
+  EXPECT_LE(result.phases, 40u);
+}
+
+TEST(LubyMpc, SeedsChangeOutputButNotValidity) {
+  const Graph g = gen::power_law(400, 2.5, 8.0, 3);
+  const auto a = luby_mis_mpc(g, config_for(1));
+  const auto b = luby_mis_mpc(g, config_for(2));
+  EXPECT_TRUE(is_maximal_independent_set(g, a.ruling_set));
+  EXPECT_TRUE(is_maximal_independent_set(g, b.ruling_set));
+  EXPECT_NE(a.ruling_set, b.ruling_set);  // overwhelmingly likely
+}
+
+TEST(LubyMpc, EdgeCases) {
+  EXPECT_TRUE(luby_mis_mpc(Graph::from_edges(0, {}), config_for())
+                  .ruling_set.empty());
+  EXPECT_EQ(
+      luby_mis_mpc(Graph::from_edges(5, {}), config_for()).ruling_set.size(),
+      5u);
+  EXPECT_EQ(luby_mis_mpc(gen::complete(25), config_for()).ruling_set.size(),
+            1u);
+}
+
+TEST(DetLubyMpc, ValidMisOnSuite) {
+  for (const auto& entry : gen::standard_suite(200, 11)) {
+    const auto result = det_luby_mis_mpc(entry.graph, config_for());
+    EXPECT_TRUE(is_maximal_independent_set(entry.graph, result.ruling_set))
+        << entry.name;
+  }
+}
+
+TEST(DetLubyMpc, ZeroRandomWordsAndDeterministic) {
+  const Graph g = gen::gnp(250, 0.04, 13);
+  const auto a = det_luby_mis_mpc(g, config_for(1, 4));
+  const auto b = det_luby_mis_mpc(g, config_for(77, 3));
+  EXPECT_EQ(a.metrics.random_words, 0u);
+  EXPECT_EQ(a.ruling_set, b.ruling_set);
+}
+
+TEST(DetLubyMpc, MakesProgressEveryIteration) {
+  const Graph g = gen::random_regular(200, 6, 17);
+  const auto result = det_luby_mis_mpc(g, config_for());
+  // >= 1 join per iteration is guaranteed; MIS size bounds iterations.
+  EXPECT_LE(result.phases, result.ruling_set.size() + 1);
+}
+
+TEST(DetLubyMpc, EdgeCases) {
+  EXPECT_TRUE(det_luby_mis_mpc(Graph::from_edges(0, {}), config_for())
+                  .ruling_set.empty());
+  EXPECT_EQ(det_luby_mis_mpc(gen::complete(12), config_for())
+                .ruling_set.size(),
+            1u);
+  const auto star = det_luby_mis_mpc(gen::star(30), config_for());
+  // On a star the MIS is either {hub} or all 29 leaves.
+  EXPECT_TRUE(star.ruling_set.size() == 1u || star.ruling_set.size() == 29u);
+}
+
+TEST(DetLubyMpc, StarMisIsValid) {
+  const Graph g = gen::star(30);
+  const auto result = det_luby_mis_mpc(g, config_for());
+  EXPECT_TRUE(is_maximal_independent_set(g, result.ruling_set));
+}
+
+TEST(SampleGather, ValidTwoRulingOnSuite) {
+  for (const auto& entry : gen::standard_suite(300, 19)) {
+    const auto result = sample_gather_2ruling(entry.graph, config_for());
+    EXPECT_TRUE(is_beta_ruling_set(entry.graph, result.ruling_set, 2))
+        << entry.name;
+  }
+}
+
+TEST(SampleGather, UsesRandomness) {
+  const Graph g = gen::gnp(2000, 0.01, 23);
+  SampleGatherOptions options;
+  options.gather_budget_words = 8192;  // force the sampling phases to run
+  const auto result = sample_gather_2ruling(g, config_for(), options);
+  EXPECT_TRUE(is_beta_ruling_set(g, result.ruling_set, 2));
+  EXPECT_GT(result.metrics.random_words, 0u);
+}
+
+TEST(SampleGather, FewPhases) {
+  const Graph g = gen::gnp(4000, 0.008, 29);
+  const auto result = sample_gather_2ruling(g, config_for());
+  EXPECT_LE(result.phases, 8u);
+}
+
+TEST(SampleGather, EdgeCases) {
+  EXPECT_TRUE(sample_gather_2ruling(Graph::from_edges(0, {}), config_for())
+                  .ruling_set.empty());
+  EXPECT_EQ(sample_gather_2ruling(gen::complete(20), config_for())
+                .ruling_set.size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace rsets

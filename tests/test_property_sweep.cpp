@@ -1,0 +1,99 @@
+// Property-based parameterized sweeps: every algorithm, on every graph
+// family, at several sizes, must produce a verified ruling set with the
+// promised beta, with model conformance and the right randomness profile.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/ruling_set.hpp"
+#include "graph/generators.hpp"
+#include "graph/verify.hpp"
+
+namespace rsets {
+namespace {
+
+struct SweepCase {
+  std::string family;
+  VertexId n;
+  Algorithm algorithm;
+  std::uint32_t beta;
+};
+
+std::string case_name(const testing::TestParamInfo<SweepCase>& info) {
+  return info.param.family + "_n" + std::to_string(info.param.n) + "_" +
+         algorithm_name(info.param.algorithm) + "_b" +
+         std::to_string(info.param.beta);
+}
+
+Graph make_graph(const std::string& family, VertexId n) {
+  const std::uint64_t seed = 1234;
+  if (family == "gnp") return gen::gnp(n, 6.0 / n, seed);
+  if (family == "powerlaw") return gen::power_law(n, 2.5, 6.0, seed);
+  if (family == "regular") return gen::random_regular(n, 8, seed);
+  if (family == "tree") return gen::random_tree(n, seed);
+  if (family == "grid") {
+    const auto side = static_cast<std::uint32_t>(std::sqrt(n));
+    return gen::grid(side, side);
+  }
+  if (family == "cliques") return gen::clique_blowup(n / 8, 8);
+  throw std::invalid_argument("unknown family " + family);
+}
+
+class RulingSetSweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(RulingSetSweep, ProducesVerifiedRulingSet) {
+  const SweepCase& param = GetParam();
+  const Graph g = make_graph(param.family, param.n);
+
+  RulingSetOptions options;
+  options.algorithm = param.algorithm;
+  options.beta = param.beta;
+  options.mpc.num_machines = 4;
+  options.mpc.memory_words = 1 << 22;
+  options.mpc.seed = 9;
+
+  const RulingSetResult result = compute_ruling_set(g, options);
+  const auto report = check_ruling_set(g, result.ruling_set, param.beta);
+  EXPECT_TRUE(report.valid) << report.to_string();
+
+  // Model conformance for the MPC algorithms.
+  if (param.algorithm != Algorithm::kGreedySequential) {
+    EXPECT_EQ(result.metrics.violations, 0u);
+    EXPECT_GT(result.metrics.rounds, 0u);
+  }
+  // Randomness profile.
+  const bool deterministic = param.algorithm == Algorithm::kDetRulingMpc ||
+                             param.algorithm == Algorithm::kDetLubyMpc ||
+                             param.algorithm == Algorithm::kGreedySequential;
+  if (deterministic) {
+    EXPECT_EQ(result.metrics.random_words, 0u);
+  }
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  const std::vector<std::string> families = {"gnp",  "powerlaw", "regular",
+                                             "tree", "grid",     "cliques"};
+  const std::vector<VertexId> sizes = {64, 256, 1024};
+  for (const auto& family : families) {
+    for (VertexId n : sizes) {
+      cases.push_back({family, n, Algorithm::kGreedySequential, 1});
+      cases.push_back({family, n, Algorithm::kGreedySequential, 3});
+      cases.push_back({family, n, Algorithm::kLubyMpc, 1});
+      cases.push_back({family, n, Algorithm::kSampleGatherMpc, 2});
+      cases.push_back({family, n, Algorithm::kDetRulingMpc, 2});
+      cases.push_back({family, n, Algorithm::kDetRulingMpc, 3});
+      if (n <= 256) {
+        cases.push_back({family, n, Algorithm::kDetLubyMpc, 1});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, RulingSetSweep,
+                         testing::ValuesIn(sweep_cases()), case_name);
+
+}  // namespace
+}  // namespace rsets

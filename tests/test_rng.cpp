@@ -1,0 +1,107 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace rsets {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, StreamsAreIndependentlySeeded) {
+  Rng a = Rng::for_stream(7, 0);
+  Rng b = Rng::for_stream(7, 1);
+  EXPECT_NE(a.next(), b.next());
+  // Same (seed, stream) reproduces.
+  Rng a2 = Rng::for_stream(7, 0);
+  Rng a3 = Rng::for_stream(7, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a2.next(), a3.next());
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowZeroBoundReturnsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) counts[rng.below(kBound)]++;
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kSamples / kBound, 600) << "value " << v;
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, FlipMatchesProbability) {
+  Rng rng(9);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) heads += rng.flip(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, DrawAccounting) {
+  Rng rng(1);
+  EXPECT_EQ(rng.draws(), 0u);
+  rng.next();
+  rng.next();
+  EXPECT_EQ(rng.draws(), 2u);
+  rng.reseed(1);
+  EXPECT_EQ(rng.draws(), 0u);
+}
+
+TEST(Rng, NoShortCycles) {
+  Rng rng(123);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.next());
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(SplitMix, KnownGoodMixing) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, 0u);
+}
+
+}  // namespace
+}  // namespace rsets

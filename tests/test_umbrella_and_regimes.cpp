@@ -1,0 +1,77 @@
+// (a) Compilation/integration check of the umbrella header: every public
+// symbol should be reachable from one include.
+// (b) Memory-regime boundary tests: the near-linear-memory algorithms must
+// fail *loudly* outside their regime, not degrade silently — the replicated
+// activity bitset needs Theta(n) words per machine, so strongly sublinear
+// memory must trip the enforcer.
+#include "rsets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rsets {
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  const Graph g = gen::gnp(200, 0.05, 3);
+  // Graph ops.
+  EXPECT_GT(approx_diameter(g), 0u);
+  EXPECT_GT(degeneracy(g), 0u);
+  // Derandomization toolkit.
+  MarkingFamily family(256, 2);
+  EXPECT_EQ(family.total_seed_bits(), 2 * (8 + 1));
+  // CONGEST side.
+  const auto congest_result = congest::luby_mis(g);
+  EXPECT_TRUE(is_maximal_independent_set(g, congest_result.mis));
+  // MPC side through the dispatcher.
+  RulingSetOptions options;
+  options.mpc.memory_words = 1 << 20;
+  const auto mpc_result = compute_ruling_set(g, options);
+  EXPECT_TRUE(is_beta_ruling_set(g, mpc_result.ruling_set, 2));
+  // Sequential oracle.
+  EXPECT_TRUE(is_alpha_beta_ruling_set(
+      g, greedy_alpha_beta_ruling_set(g, 3, 2), 3, 2));
+}
+
+TEST(MemoryRegimes, NearLinearRegimeSucceeds) {
+  const VertexId n = 4000;
+  const Graph g = gen::gnp(n, 8.0 / n, 5);
+  mpc::MpcConfig cfg;
+  cfg.num_machines = 8;
+  // S = 8n words: comfortably fits the n/64-word bitset + a 1/8 slice of
+  // the edges per machine.
+  cfg.memory_words = 8ull * n;
+  const auto result = det_ruling_set_mpc(g, cfg);
+  EXPECT_TRUE(is_beta_ruling_set(g, result.ruling_set, 2));
+  EXPECT_EQ(result.metrics.violations, 0u);
+}
+
+TEST(MemoryRegimes, StronglySublinearMemoryFailsLoudly) {
+  // S = n^0.5 words cannot hold the replicated bitset; the load must throw
+  // rather than let the algorithm silently overrun.
+  const VertexId n = 1 << 16;
+  const Graph g = gen::cycle(n);
+  mpc::MpcConfig cfg;
+  cfg.num_machines = 256;
+  cfg.memory_words =
+      static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  EXPECT_THROW(det_ruling_set_mpc(g, cfg), mpc::MpcViolation);
+}
+
+TEST(MemoryRegimes, BudgetIsClampedToMachineMemory) {
+  // gather_budget_words above S is meaningless; the driver clamps it so a
+  // gather can never be *planned* beyond what machine 0 could hold.
+  const Graph g = gen::gnp(500, 0.05, 7);
+  mpc::MpcConfig cfg;
+  cfg.num_machines = 4;
+  cfg.memory_words = 1 << 16;
+  DetRulingOptions opt;
+  opt.gather_budget_words = 1ull << 40;  // absurd; must clamp to S
+  const auto result = det_ruling_set_mpc(g, cfg, opt);
+  EXPECT_TRUE(is_beta_ruling_set(g, result.ruling_set, 2));
+  EXPECT_LE(result.metrics.max_storage_words, cfg.memory_words);
+}
+
+}  // namespace
+}  // namespace rsets

@@ -1,0 +1,197 @@
+// Command-line front end: run any ruling-set algorithm on an edge-list file
+// or a named synthetic generator, verify the output, and print metrics (and
+// optionally the set itself) in a machine-friendly key=value format.
+//
+// Usage:
+//   rsets_cli --input=graph.txt --algorithm=det_ruling_mpc --beta=2
+//   rsets_cli --gen=gnp --n=10000 --avg_deg=8 --algorithm=luby_mpc --beta=1
+//   rsets_cli --gen=power_law --n=5000 --algorithm=sample_gather_mpc \
+//             --beta=2 --machines=16 --out=set.txt
+//
+// Exit code: 0 if the output verified, 1 otherwise, 2 on usage errors.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "congest/aglp_ruling.hpp"
+#include "congest/beta_ruling_congest.hpp"
+#include "congest/det_ruling_congest.hpp"
+#include "congest/luby_congest.hpp"
+#include "core/ruling_set.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/verify.hpp"
+#include "util/flags.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace rsets;
+
+int usage(const std::string& error) {
+  std::cerr << "error: " << error << "\n\n"
+            << "usage: rsets_cli (--input=FILE | --gen=NAME --n=N)\n"
+            << "  --algorithm=greedy|luby_mpc|det_luby_mpc|"
+               "sample_gather_mpc|det_ruling_mpc\n"
+            << "             |congest_luby|congest_det2|congest_beta|"
+               "congest_aglp   (default det_ruling_mpc)\n"
+            << "  --beta=B           ruling parameter (default 2)\n"
+            << "  --gen=NAME         gnp|gnm|power_law|regular|ba|tree|grid\n"
+            << "  --n=N --avg_deg=D --seed=S   generator parameters\n"
+            << "  --machines=M --memory_words=W --budget=B   MPC knobs\n"
+            << "  --out=FILE         write the set, one vertex per line\n"
+            << "  --print_set        print the set to stdout\n"
+            << "  --verbose          debug logging\n";
+  return 2;
+}
+
+Graph build_graph(const Flags& flags) {
+  if (flags.has("input")) {
+    return read_edge_list_file(flags.get("input", ""));
+  }
+  const std::string name = flags.get("gen", "");
+  const auto n = static_cast<VertexId>(flags.get_int("n", 10000));
+  const double avg_deg = flags.get_double("avg_deg", 8.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  if (name == "gnp") return gen::gnp(n, avg_deg / n, seed);
+  if (name == "gnm") {
+    return gen::gnm(n, static_cast<std::uint64_t>(avg_deg * n / 2), seed);
+  }
+  if (name == "power_law") return gen::power_law(n, 2.5, avg_deg, seed);
+  if (name == "regular") {
+    auto d = static_cast<std::uint32_t>(avg_deg);
+    if ((static_cast<std::uint64_t>(n) * d) % 2 != 0) ++d;
+    return gen::random_regular(n, d, seed);
+  }
+  if (name == "ba") {
+    return gen::barabasi_albert(
+        n, std::max<std::uint32_t>(1, static_cast<std::uint32_t>(avg_deg / 2)),
+        seed);
+  }
+  if (name == "tree") return gen::random_tree(n, seed);
+  if (name == "grid") {
+    const auto side = static_cast<std::uint32_t>(std::sqrt(n));
+    return gen::grid(side, side);
+  }
+  throw std::invalid_argument("unknown generator: " + name);
+}
+
+Algorithm parse_algorithm(const std::string& name) {
+  if (name == "greedy") return Algorithm::kGreedySequential;
+  if (name == "luby_mpc") return Algorithm::kLubyMpc;
+  if (name == "det_luby_mpc") return Algorithm::kDetLubyMpc;
+  if (name == "sample_gather_mpc") return Algorithm::kSampleGatherMpc;
+  if (name == "det_ruling_mpc") return Algorithm::kDetRulingMpc;
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.get_bool("verbose", false)) {
+    Logger::instance().set_level(LogLevel::kDebug);
+  }
+  if (!flags.has("input") && !flags.has("gen")) {
+    return usage("need --input=FILE or --gen=NAME");
+  }
+
+  try {
+    const Graph g = build_graph(flags);
+    const std::string algo_name = flags.get("algorithm", "det_ruling_mpc");
+    const auto beta_flag =
+        static_cast<std::uint32_t>(flags.get_int("beta", 2));
+
+    // CONGEST algorithms report through the same key=value schema.
+    if (algo_name.rfind("congest_", 0) == 0) {
+      congest::CongestConfig ccfg;
+      ccfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+      std::vector<VertexId> set;
+      congest::CongestMetrics metrics;
+      std::uint32_t beta = beta_flag;
+      if (algo_name == "congest_luby") {
+        auto r = congest::luby_mis(g, ccfg);
+        set = std::move(r.mis);
+        metrics = r.metrics;
+        beta = 1;
+      } else if (algo_name == "congest_det2") {
+        auto r = congest::det_2ruling_congest(g, ccfg);
+        set = std::move(r.ruling_set);
+        metrics = r.metrics;
+        beta = 2;
+      } else if (algo_name == "congest_beta") {
+        auto r = congest::beta_ruling_congest(g, beta_flag, ccfg);
+        set = std::move(r.ruling_set);
+        metrics = r.metrics;
+      } else if (algo_name == "congest_aglp") {
+        auto r = congest::aglp_ruling_congest(g, ccfg);
+        set = std::move(r.ruling_set);
+        metrics = r.metrics;
+        beta = r.radius_bound;
+      } else {
+        return usage("unknown algorithm: " + algo_name);
+      }
+      const auto report = check_ruling_set(g, set, beta);
+      std::cout << "algorithm=" << algo_name << "\n"
+                << "model=congest\n"
+                << "n=" << g.num_vertices() << "\n"
+                << "m=" << g.num_edges() << "\n"
+                << "beta=" << beta << "\n"
+                << "size=" << set.size() << "\n"
+                << "radius=" << report.radius << "\n"
+                << "valid=" << (report.valid ? 1 : 0) << "\n"
+                << "rounds=" << metrics.rounds << "\n"
+                << "total_bits=" << metrics.total_bits << "\n"
+                << "random_words=" << metrics.random_words << "\n";
+      if (flags.get_bool("print_set", false)) {
+        for (VertexId v : set) std::cout << v << "\n";
+      }
+      return report.valid ? 0 : 1;
+    }
+
+    RulingSetOptions options;
+    options.algorithm = parse_algorithm(algo_name);
+    options.beta = beta_flag;
+    options.mpc.num_machines =
+        static_cast<mpc::MachineId>(flags.get_int("machines", 8));
+    options.mpc.memory_words = static_cast<std::size_t>(
+        flags.get_int("memory_words", 1 << 24));
+    options.mpc.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    options.gather_budget_words =
+        static_cast<std::uint64_t>(flags.get_int("budget", 0));
+
+    const RulingSetResult result = compute_ruling_set(g, options);
+    const auto report = check_ruling_set(g, result.ruling_set, options.beta);
+
+    std::cout << "algorithm=" << algorithm_name(options.algorithm) << "\n"
+              << "n=" << g.num_vertices() << "\n"
+              << "m=" << g.num_edges() << "\n"
+              << "beta=" << options.beta << "\n"
+              << "size=" << result.ruling_set.size() << "\n"
+              << "radius=" << report.radius << "\n"
+              << "valid=" << (report.valid ? 1 : 0) << "\n"
+              << "rounds=" << result.metrics.rounds << "\n"
+              << "phases=" << result.phases << "\n"
+              << "words=" << result.metrics.total_words << "\n"
+              << "peak_memory_words=" << result.metrics.max_storage_words
+              << "\n"
+              << "random_words=" << result.metrics.random_words << "\n"
+              << "violations=" << result.metrics.violations << "\n";
+
+    if (flags.has("out")) {
+      std::ofstream out(flags.get("out", ""));
+      if (!out) {
+        std::cerr << "error: cannot write " << flags.get("out", "") << "\n";
+        return 2;
+      }
+      for (VertexId v : result.ruling_set) out << v << "\n";
+    }
+    if (flags.get_bool("print_set", false)) {
+      for (VertexId v : result.ruling_set) std::cout << v << "\n";
+    }
+    return report.valid ? 0 : 1;
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+}
