@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_derand_ablation.dir/bench_derand_ablation.cpp.o"
+  "CMakeFiles/bench_derand_ablation.dir/bench_derand_ablation.cpp.o.d"
+  "bench_derand_ablation"
+  "bench_derand_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_derand_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

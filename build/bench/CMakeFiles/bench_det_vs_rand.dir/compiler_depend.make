@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_det_vs_rand.
+# This may be replaced when dependencies are built.

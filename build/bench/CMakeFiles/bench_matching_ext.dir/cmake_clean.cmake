@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matching_ext.dir/bench_matching_ext.cpp.o"
+  "CMakeFiles/bench_matching_ext.dir/bench_matching_ext.cpp.o.d"
+  "bench_matching_ext"
+  "bench_matching_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matching_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

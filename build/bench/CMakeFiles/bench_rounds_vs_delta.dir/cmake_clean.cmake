@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rounds_vs_delta.dir/bench_rounds_vs_delta.cpp.o"
+  "CMakeFiles/bench_rounds_vs_delta.dir/bench_rounds_vs_delta.cpp.o.d"
+  "bench_rounds_vs_delta"
+  "bench_rounds_vs_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rounds_vs_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_contacts.dir/hospital_contacts.cpp.o"
+  "CMakeFiles/hospital_contacts.dir/hospital_contacts.cpp.o.d"
+  "hospital_contacts"
+  "hospital_contacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_contacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineage.dir/lineage.cpp.o"
+  "CMakeFiles/lineage.dir/lineage.cpp.o.d"
+  "lineage"
+  "lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_trace.dir/mpc_trace.cpp.o"
+  "CMakeFiles/mpc_trace.dir/mpc_trace.cpp.o.d"
+  "mpc_trace"
+  "mpc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

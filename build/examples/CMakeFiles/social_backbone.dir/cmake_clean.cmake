@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_backbone.dir/social_backbone.cpp.o"
+  "CMakeFiles/social_backbone.dir/social_backbone.cpp.o.d"
+  "social_backbone"
+  "social_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

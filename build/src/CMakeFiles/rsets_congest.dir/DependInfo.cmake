@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/congest/aglp_ruling.cpp" "src/CMakeFiles/rsets_congest.dir/congest/aglp_ruling.cpp.o" "gcc" "src/CMakeFiles/rsets_congest.dir/congest/aglp_ruling.cpp.o.d"
+  "/root/repo/src/congest/beta_ruling_congest.cpp" "src/CMakeFiles/rsets_congest.dir/congest/beta_ruling_congest.cpp.o" "gcc" "src/CMakeFiles/rsets_congest.dir/congest/beta_ruling_congest.cpp.o.d"
+  "/root/repo/src/congest/coloring_mis.cpp" "src/CMakeFiles/rsets_congest.dir/congest/coloring_mis.cpp.o" "gcc" "src/CMakeFiles/rsets_congest.dir/congest/coloring_mis.cpp.o.d"
+  "/root/repo/src/congest/congest.cpp" "src/CMakeFiles/rsets_congest.dir/congest/congest.cpp.o" "gcc" "src/CMakeFiles/rsets_congest.dir/congest/congest.cpp.o.d"
+  "/root/repo/src/congest/det_ruling_congest.cpp" "src/CMakeFiles/rsets_congest.dir/congest/det_ruling_congest.cpp.o" "gcc" "src/CMakeFiles/rsets_congest.dir/congest/det_ruling_congest.cpp.o.d"
+  "/root/repo/src/congest/luby_congest.cpp" "src/CMakeFiles/rsets_congest.dir/congest/luby_congest.cpp.o" "gcc" "src/CMakeFiles/rsets_congest.dir/congest/luby_congest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rsets_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rsets_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

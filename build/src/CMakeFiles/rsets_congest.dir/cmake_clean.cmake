@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsets_congest.dir/congest/aglp_ruling.cpp.o"
+  "CMakeFiles/rsets_congest.dir/congest/aglp_ruling.cpp.o.d"
+  "CMakeFiles/rsets_congest.dir/congest/beta_ruling_congest.cpp.o"
+  "CMakeFiles/rsets_congest.dir/congest/beta_ruling_congest.cpp.o.d"
+  "CMakeFiles/rsets_congest.dir/congest/coloring_mis.cpp.o"
+  "CMakeFiles/rsets_congest.dir/congest/coloring_mis.cpp.o.d"
+  "CMakeFiles/rsets_congest.dir/congest/congest.cpp.o"
+  "CMakeFiles/rsets_congest.dir/congest/congest.cpp.o.d"
+  "CMakeFiles/rsets_congest.dir/congest/det_ruling_congest.cpp.o"
+  "CMakeFiles/rsets_congest.dir/congest/det_ruling_congest.cpp.o.d"
+  "CMakeFiles/rsets_congest.dir/congest/luby_congest.cpp.o"
+  "CMakeFiles/rsets_congest.dir/congest/luby_congest.cpp.o.d"
+  "librsets_congest.a"
+  "librsets_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsets_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

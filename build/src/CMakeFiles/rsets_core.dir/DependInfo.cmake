@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/derand.cpp" "src/CMakeFiles/rsets_core.dir/core/derand.cpp.o" "gcc" "src/CMakeFiles/rsets_core.dir/core/derand.cpp.o.d"
+  "/root/repo/src/core/det_luby.cpp" "src/CMakeFiles/rsets_core.dir/core/det_luby.cpp.o" "gcc" "src/CMakeFiles/rsets_core.dir/core/det_luby.cpp.o.d"
+  "/root/repo/src/core/det_matching.cpp" "src/CMakeFiles/rsets_core.dir/core/det_matching.cpp.o" "gcc" "src/CMakeFiles/rsets_core.dir/core/det_matching.cpp.o.d"
+  "/root/repo/src/core/det_ruling.cpp" "src/CMakeFiles/rsets_core.dir/core/det_ruling.cpp.o" "gcc" "src/CMakeFiles/rsets_core.dir/core/det_ruling.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/CMakeFiles/rsets_core.dir/core/greedy.cpp.o" "gcc" "src/CMakeFiles/rsets_core.dir/core/greedy.cpp.o.d"
+  "/root/repo/src/core/luby.cpp" "src/CMakeFiles/rsets_core.dir/core/luby.cpp.o" "gcc" "src/CMakeFiles/rsets_core.dir/core/luby.cpp.o.d"
+  "/root/repo/src/core/phase_common.cpp" "src/CMakeFiles/rsets_core.dir/core/phase_common.cpp.o" "gcc" "src/CMakeFiles/rsets_core.dir/core/phase_common.cpp.o.d"
+  "/root/repo/src/core/ruling_set.cpp" "src/CMakeFiles/rsets_core.dir/core/ruling_set.cpp.o" "gcc" "src/CMakeFiles/rsets_core.dir/core/ruling_set.cpp.o.d"
+  "/root/repo/src/core/sample_gather.cpp" "src/CMakeFiles/rsets_core.dir/core/sample_gather.cpp.o" "gcc" "src/CMakeFiles/rsets_core.dir/core/sample_gather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rsets_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rsets_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rsets_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rsets_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

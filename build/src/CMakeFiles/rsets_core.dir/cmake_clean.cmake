@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsets_core.dir/core/derand.cpp.o"
+  "CMakeFiles/rsets_core.dir/core/derand.cpp.o.d"
+  "CMakeFiles/rsets_core.dir/core/det_luby.cpp.o"
+  "CMakeFiles/rsets_core.dir/core/det_luby.cpp.o.d"
+  "CMakeFiles/rsets_core.dir/core/det_matching.cpp.o"
+  "CMakeFiles/rsets_core.dir/core/det_matching.cpp.o.d"
+  "CMakeFiles/rsets_core.dir/core/det_ruling.cpp.o"
+  "CMakeFiles/rsets_core.dir/core/det_ruling.cpp.o.d"
+  "CMakeFiles/rsets_core.dir/core/greedy.cpp.o"
+  "CMakeFiles/rsets_core.dir/core/greedy.cpp.o.d"
+  "CMakeFiles/rsets_core.dir/core/luby.cpp.o"
+  "CMakeFiles/rsets_core.dir/core/luby.cpp.o.d"
+  "CMakeFiles/rsets_core.dir/core/phase_common.cpp.o"
+  "CMakeFiles/rsets_core.dir/core/phase_common.cpp.o.d"
+  "CMakeFiles/rsets_core.dir/core/ruling_set.cpp.o"
+  "CMakeFiles/rsets_core.dir/core/ruling_set.cpp.o.d"
+  "CMakeFiles/rsets_core.dir/core/sample_gather.cpp.o"
+  "CMakeFiles/rsets_core.dir/core/sample_gather.cpp.o.d"
+  "librsets_core.a"
+  "librsets_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsets_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

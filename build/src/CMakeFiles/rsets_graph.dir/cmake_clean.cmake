@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsets_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/rsets_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/rsets_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/rsets_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/rsets_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/rsets_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/rsets_graph.dir/graph/ops.cpp.o"
+  "CMakeFiles/rsets_graph.dir/graph/ops.cpp.o.d"
+  "CMakeFiles/rsets_graph.dir/graph/verify.cpp.o"
+  "CMakeFiles/rsets_graph.dir/graph/verify.cpp.o.d"
+  "librsets_graph.a"
+  "librsets_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsets_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsets_mpc.dir/mpc/dist_graph.cpp.o"
+  "CMakeFiles/rsets_mpc.dir/mpc/dist_graph.cpp.o.d"
+  "CMakeFiles/rsets_mpc.dir/mpc/machine.cpp.o"
+  "CMakeFiles/rsets_mpc.dir/mpc/machine.cpp.o.d"
+  "CMakeFiles/rsets_mpc.dir/mpc/primitives.cpp.o"
+  "CMakeFiles/rsets_mpc.dir/mpc/primitives.cpp.o.d"
+  "CMakeFiles/rsets_mpc.dir/mpc/simulator.cpp.o"
+  "CMakeFiles/rsets_mpc.dir/mpc/simulator.cpp.o.d"
+  "librsets_mpc.a"
+  "librsets_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsets_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

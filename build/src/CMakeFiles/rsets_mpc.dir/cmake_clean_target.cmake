@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librsets_mpc.a"
+)

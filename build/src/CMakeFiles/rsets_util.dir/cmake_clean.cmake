@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsets_util.dir/util/cond_expect.cpp.o"
+  "CMakeFiles/rsets_util.dir/util/cond_expect.cpp.o.d"
+  "CMakeFiles/rsets_util.dir/util/flags.cpp.o"
+  "CMakeFiles/rsets_util.dir/util/flags.cpp.o.d"
+  "CMakeFiles/rsets_util.dir/util/hash_family.cpp.o"
+  "CMakeFiles/rsets_util.dir/util/hash_family.cpp.o.d"
+  "CMakeFiles/rsets_util.dir/util/logging.cpp.o"
+  "CMakeFiles/rsets_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/rsets_util.dir/util/rng.cpp.o"
+  "CMakeFiles/rsets_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/rsets_util.dir/util/stats.cpp.o"
+  "CMakeFiles/rsets_util.dir/util/stats.cpp.o.d"
+  "librsets_util.a"
+  "librsets_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsets_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

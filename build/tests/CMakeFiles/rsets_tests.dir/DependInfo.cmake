@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aglp_ruling.cpp" "tests/CMakeFiles/rsets_tests.dir/test_aglp_ruling.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_aglp_ruling.cpp.o.d"
+  "/root/repo/tests/test_alpha_beta.cpp" "tests/CMakeFiles/rsets_tests.dir/test_alpha_beta.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_alpha_beta.cpp.o.d"
+  "/root/repo/tests/test_api.cpp" "tests/CMakeFiles/rsets_tests.dir/test_api.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_api.cpp.o.d"
+  "/root/repo/tests/test_beta_ruling_congest.cpp" "tests/CMakeFiles/rsets_tests.dir/test_beta_ruling_congest.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_beta_ruling_congest.cpp.o.d"
+  "/root/repo/tests/test_bits.cpp" "tests/CMakeFiles/rsets_tests.dir/test_bits.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_bits.cpp.o.d"
+  "/root/repo/tests/test_cond_expect.cpp" "tests/CMakeFiles/rsets_tests.dir/test_cond_expect.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_cond_expect.cpp.o.d"
+  "/root/repo/tests/test_congest.cpp" "tests/CMakeFiles/rsets_tests.dir/test_congest.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_congest.cpp.o.d"
+  "/root/repo/tests/test_derand.cpp" "tests/CMakeFiles/rsets_tests.dir/test_derand.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_derand.cpp.o.d"
+  "/root/repo/tests/test_det_matching.cpp" "tests/CMakeFiles/rsets_tests.dir/test_det_matching.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_det_matching.cpp.o.d"
+  "/root/repo/tests/test_det_ruling.cpp" "tests/CMakeFiles/rsets_tests.dir/test_det_ruling.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_det_ruling.cpp.o.d"
+  "/root/repo/tests/test_det_ruling_congest.cpp" "tests/CMakeFiles/rsets_tests.dir/test_det_ruling_congest.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_det_ruling_congest.cpp.o.d"
+  "/root/repo/tests/test_dist_graph.cpp" "tests/CMakeFiles/rsets_tests.dir/test_dist_graph.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_dist_graph.cpp.o.d"
+  "/root/repo/tests/test_flags.cpp" "tests/CMakeFiles/rsets_tests.dir/test_flags.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_flags.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/rsets_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_generators_extra.cpp" "tests/CMakeFiles/rsets_tests.dir/test_generators_extra.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_generators_extra.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/rsets_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_greedy.cpp" "tests/CMakeFiles/rsets_tests.dir/test_greedy.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_greedy.cpp.o.d"
+  "/root/repo/tests/test_hash_family.cpp" "tests/CMakeFiles/rsets_tests.dir/test_hash_family.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_hash_family.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/rsets_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_marking_family_exhaustive.cpp" "tests/CMakeFiles/rsets_tests.dir/test_marking_family_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_marking_family_exhaustive.cpp.o.d"
+  "/root/repo/tests/test_metamorphic.cpp" "tests/CMakeFiles/rsets_tests.dir/test_metamorphic.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_metamorphic.cpp.o.d"
+  "/root/repo/tests/test_mpc_algorithms.cpp" "tests/CMakeFiles/rsets_tests.dir/test_mpc_algorithms.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_mpc_algorithms.cpp.o.d"
+  "/root/repo/tests/test_mpc_simulator.cpp" "tests/CMakeFiles/rsets_tests.dir/test_mpc_simulator.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_mpc_simulator.cpp.o.d"
+  "/root/repo/tests/test_ops.cpp" "tests/CMakeFiles/rsets_tests.dir/test_ops.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_ops.cpp.o.d"
+  "/root/repo/tests/test_property_sweep.cpp" "tests/CMakeFiles/rsets_tests.dir/test_property_sweep.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_property_sweep.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/rsets_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/rsets_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_umbrella_and_regimes.cpp" "tests/CMakeFiles/rsets_tests.dir/test_umbrella_and_regimes.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_umbrella_and_regimes.cpp.o.d"
+  "/root/repo/tests/test_verify.cpp" "tests/CMakeFiles/rsets_tests.dir/test_verify.cpp.o" "gcc" "tests/CMakeFiles/rsets_tests.dir/test_verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rsets_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rsets_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rsets_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rsets_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rsets_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

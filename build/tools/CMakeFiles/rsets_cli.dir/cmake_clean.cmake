@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsets_cli.dir/rsets_cli.cpp.o"
+  "CMakeFiles/rsets_cli.dir/rsets_cli.cpp.o.d"
+  "rsets_cli"
+  "rsets_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsets_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
