@@ -25,10 +25,15 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
 
 #include "core/ruling_set.hpp"
 #include "graph/generators.hpp"
 #include "graph/verify.hpp"
+#include "mpc/trace.hpp"
 #include "util/bits.hpp"
 
 namespace rsets::bench {
@@ -40,6 +45,37 @@ inline mpc::MpcConfig default_mpc(mpc::MachineId machines = 8) {
   cfg.seed = 1;
   return cfg;
 }
+
+// Where to dump per-round JSONL traces, or "" to skip. Benches that support
+// tracing (the threaded-scaling sweeps) write one file per configuration
+// into $RSETS_TRACE_DIR when it is set; with it unset they stay quiet so a
+// plain bench run leaves no files behind.
+inline std::string trace_path(const std::string& file_name) {
+  const char* dir = std::getenv("RSETS_TRACE_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  return std::string(dir) + "/" + file_name;
+}
+
+// Owns a JSONL trace file and hands out a hook that appends one JSON object
+// per executed round. Constructed from an empty path it produces an empty
+// hook, so callers can unconditionally assign `trace.hook()`.
+class JsonlTrace {
+ public:
+  explicit JsonlTrace(const std::string& path) {
+    if (!path.empty()) out_ = std::make_shared<std::ofstream>(path);
+  }
+
+  mpc::TraceHook hook() const {
+    if (!out_ || !out_->is_open()) return {};
+    std::shared_ptr<std::ofstream> out = out_;
+    return [out](const mpc::RoundTrace& trace) {
+      *out << mpc::to_json(trace) << "\n";
+    };
+  }
+
+ private:
+  std::shared_ptr<std::ofstream> out_;
+};
 
 inline double model_rounds(const RulingSetResult& result, VertexId n,
                            int chunk_bits) {

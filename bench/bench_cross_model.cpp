@@ -43,45 +43,48 @@ void set_congest_counters(benchmark::State& state, const Graph& g,
 void BM_CongestLuby(benchmark::State& state) {
   const Graph g = workload(static_cast<int>(state.range(1)),
                            static_cast<VertexId>(state.range(0)));
-  congest::LubyResult result;
-  for (auto _ : state) result = congest::luby_mis(g);
-  set_congest_counters(state, g, result.mis, 1, result.metrics);
+  RulingSetResult result;
+  for (auto _ : state) result = congest::luby_mis_congest(g);
+  set_congest_counters(state, g, result.ruling_set, 1,
+                       result.congest_metrics);
 }
 
 void BM_CongestColoring(benchmark::State& state) {
   const Graph g = workload(static_cast<int>(state.range(1)),
                            static_cast<VertexId>(state.range(0)));
-  congest::ColoringMisResult result;
-  for (auto _ : state) result = congest::coloring_mis(g);
-  set_congest_counters(state, g, result.mis, 1, result.metrics);
+  RulingSetResult result;
+  for (auto _ : state) result = congest::coloring_mis_congest(g);
+  set_congest_counters(state, g, result.ruling_set, 1,
+                       result.congest_metrics);
   state.counters["palette"] = static_cast<double>(result.palette_size);
 }
 
 void BM_CongestBeta2(benchmark::State& state) {
   const Graph g = workload(static_cast<int>(state.range(1)),
                            static_cast<VertexId>(state.range(0)));
-  congest::BetaRulingResult result;
-  for (auto _ : state) result = congest::beta_ruling_congest(g, 2);
-  set_congest_counters(state, g, result.ruling_set, 2, result.metrics);
+  RulingSetResult result;
+  for (auto _ : state) result = congest::beta_ruling_set_congest(g, 2);
+  set_congest_counters(state, g, result.ruling_set, 2,
+                       result.congest_metrics);
 }
 
 void BM_CongestAglp(benchmark::State& state) {
   const Graph g = workload(static_cast<int>(state.range(1)),
                            static_cast<VertexId>(state.range(0)));
-  congest::AglpResult result;
-  for (auto _ : state) result = congest::aglp_ruling_congest(g);
-  set_congest_counters(state, g, result.ruling_set, result.radius_bound,
-                       result.metrics);
-  state.counters["radius_bound"] =
-      static_cast<double>(result.radius_bound);
+  RulingSetResult result;
+  for (auto _ : state) result = congest::aglp_ruling_set_congest(g);
+  set_congest_counters(state, g, result.ruling_set, result.beta,
+                       result.congest_metrics);
+  state.counters["radius_bound"] = static_cast<double>(result.beta);
 }
 
 void BM_CongestDetRuling2(benchmark::State& state) {
   const Graph g = workload(static_cast<int>(state.range(1)),
                            static_cast<VertexId>(state.range(0)));
-  congest::DetRulingCongestResult result;
-  for (auto _ : state) result = congest::det_2ruling_congest(g);
-  set_congest_counters(state, g, result.ruling_set, 2, result.metrics);
+  RulingSetResult result;
+  for (auto _ : state) result = congest::det_2ruling_set_congest(g);
+  set_congest_counters(state, g, result.ruling_set, 2,
+                       result.congest_metrics);
   state.counters["palette"] = static_cast<double>(result.palette_size);
 }
 

@@ -9,7 +9,16 @@
 // log n. Compare the `phases` counters across rows; `rounds` additionally
 // carries the derandomization-chunk cost and `model_rounds` rescales that
 // cost to the theoretical chunk width (see bench_common.hpp).
+//
+// E1b (BM_DetRulingThreads) additionally sweeps the simulator's worker
+// thread count at fixed n to measure wall-clock scaling of the threaded
+// round executor; model counters are thread-invariant by construction.
 #include "bench_common.hpp"
+
+#include <chrono>
+#include <map>
+#include <thread>
+#include <utility>
 
 #include "core/det_luby.hpp"
 #include "core/det_ruling.hpp"
@@ -75,6 +84,62 @@ void BM_DetLuby(benchmark::State& state) {
   report(state, g, result);
 }
 
+// E1b — wall-clock scaling of the threaded simulator. Same deterministic
+// ruling-set run as BM_DetRuling, swept over worker-thread counts. The
+// round/word/set counters must be identical across rows of the same n (the
+// simulator is bit-deterministic regardless of num_threads; the `identical`
+// counter asserts it against the threads=1 row) — only wall_ms may move.
+// `speedup` is wall-clock of the threads=1 row over this row, so the
+// threads=1 rows read 1.0 and parallel rows should exceed it on multi-core
+// hosts. Set RSETS_TRACE_DIR=/some/dir to also dump a per-round JSONL trace
+// for every row.
+void BM_DetRulingThreads(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const Graph g = dense_graph(n);
+  RulingSetResult result;
+  double wall_ms = 0.0;
+  for (auto _ : state) {
+    mpc::MpcConfig cfg = default_mpc();
+    cfg.num_threads = threads;
+    const JsonlTrace trace(
+        trace_path("det_ruling_n" + std::to_string(n) + "_t" +
+                   std::to_string(threads) + ".jsonl"));
+    cfg.trace_hook = trace.hook();
+    DetRulingOptions opt;
+    opt.gather_budget_words = kBudgetPerVertex * n;
+    const auto start = std::chrono::steady_clock::now();
+    result = det_ruling_set_mpc(g, cfg, opt);
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  }
+  report(state, g, result);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["wall_ms"] = wall_ms;
+  // google-benchmark runs args in registration order, so the threads=1 row
+  // of each n executes first and seeds the baselines below.
+  static std::map<VertexId, std::pair<double, std::vector<VertexId>>> baseline;
+  if (threads == 1) baseline[n] = {wall_ms, result.ruling_set};
+  const auto it = baseline.find(n);
+  if (it != baseline.end()) {
+    state.counters["speedup"] = it->second.first / std::max(wall_ms, 1e-9);
+    state.counters["identical"] =
+        it->second.second == result.ruling_set ? 1.0 : 0.0;
+  }
+}
+
+void ThreadSweep(benchmark::internal::Benchmark* b) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (VertexId n : {8000, 32000}) {
+    // threads=1 first: it is the baseline the speedup counter divides by.
+    for (unsigned t : {1u, 2u, 4u, 8u}) {
+      if (t != 1 && t > 2 * hw) continue;  // pointless oversubscription
+      b->Args({static_cast<long>(n), static_cast<long>(t)});
+    }
+  }
+}
+
 void SparseAndDenseSizes(benchmark::internal::Benchmark* b) {
   for (int family : {0, 1}) {
     for (VertexId n : {1000, 2000, 4000, 8000, 16000, 32000}) {
@@ -96,6 +161,7 @@ BENCHMARK(BM_DetRuling)->Apply(SparseAndDenseSizes)->Iterations(1)->Unit(benchma
 BENCHMARK(BM_SampleGather)->Apply(SparseAndDenseSizes)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Luby)->Apply(SparseAndDenseSizes)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DetLuby)->Apply(SmallSizes)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DetRulingThreads)->Apply(ThreadSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace rsets::bench

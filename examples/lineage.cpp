@@ -51,17 +51,19 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   {
-    const auto r = congest::aglp_ruling_congest(g);
-    ok &= row("1986 bitwise (CONGEST)", r.ruling_set, r.metrics.rounds, true,
-              r.radius_bound);
+    const auto r = congest::aglp_ruling_set_congest(g);
+    ok &= row("1986 bitwise (CONGEST)", r.ruling_set,
+              r.congest_metrics.rounds, true, r.beta);
   }
   {
-    const auto r = congest::luby_mis(g);
-    ok &= row("1986 Luby MIS (CONGEST)", r.mis, r.metrics.rounds, false, 1);
+    const auto r = congest::luby_mis_congest(g);
+    ok &= row("1986 Luby MIS (CONGEST)", r.ruling_set,
+              r.congest_metrics.rounds, false, 1);
   }
   {
-    const auto r = congest::coloring_mis(g);
-    ok &= row("1992 Linial MIS (CONGEST)", r.mis, r.metrics.rounds, true, 1);
+    const auto r = congest::coloring_mis_congest(g);
+    ok &= row("1992 Linial MIS (CONGEST)", r.ruling_set,
+              r.congest_metrics.rounds, true, 1);
   }
   {
     mpc::MpcConfig cfg;

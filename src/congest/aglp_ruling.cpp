@@ -6,12 +6,14 @@
 
 namespace rsets::congest {
 
-AglpResult aglp_ruling_congest(const Graph& g, const CongestConfig& config) {
+RulingSetResult aglp_ruling_set_congest(const Graph& g,
+                                        const CongestConfig& config) {
   CongestSim sim(g, config);
   const VertexId n = g.num_vertices();
-  AglpResult result;
+  RulingSetResult result;
   const int levels = n <= 1 ? 0 : bit_width_for(n);
-  result.radius_bound = static_cast<std::uint32_t>(levels);
+  result.beta = static_cast<std::uint32_t>(levels);
+  result.phases = static_cast<std::uint64_t>(levels);
 
   std::vector<bool> in_r(n, true);
   const int id_bits = std::max(levels, 1);
@@ -46,8 +48,18 @@ AglpResult aglp_ruling_congest(const Graph& g, const CongestConfig& config) {
   for (VertexId v = 0; v < n; ++v) {
     if (in_r[v]) result.ruling_set.push_back(v);
   }
-  result.metrics = sim.metrics();
+  result.congest_metrics = sim.metrics();
   return result;
+}
+
+AglpResult aglp_ruling_congest(const Graph& g,
+                               const CongestConfig& config) {
+  RulingSetResult unified = aglp_ruling_set_congest(g, config);
+  AglpResult legacy;
+  legacy.ruling_set = std::move(unified.ruling_set);
+  legacy.radius_bound = unified.beta;
+  legacy.metrics = unified.congest_metrics;
+  return legacy;
 }
 
 }  // namespace rsets::congest

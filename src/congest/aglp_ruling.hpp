@@ -20,15 +20,26 @@
 #include <vector>
 
 #include "congest/congest.hpp"
+#include "core/ruling_set.hpp"
 
 namespace rsets::congest {
 
+// Canonical entry point: ruling set in RulingSetResult::ruling_set, the
+// guaranteed domination radius L = ceil(log2 n) in ::beta, bit levels in
+// ::phases, accounting in ::congest_metrics. Also reachable through
+// compute_ruling_set with Algorithm::kAglpCongest.
+RulingSetResult aglp_ruling_set_congest(const Graph& g,
+                                        const CongestConfig& config = {});
+
+// Deprecated pre-unification result/entry pair; removed after one release.
 struct AglpResult {
   std::vector<VertexId> ruling_set;
   std::uint32_t radius_bound = 0;  // L, the guaranteed domination radius
   CongestMetrics metrics;
 };
 
+[[deprecated(
+    "use aglp_ruling_set_congest, which returns rsets::RulingSetResult")]]
 AglpResult aglp_ruling_congest(const Graph& g,
                                const CongestConfig& config = {});
 

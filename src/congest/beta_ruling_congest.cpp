@@ -10,21 +10,24 @@ enum class State : std::uint8_t { kActive, kInSet, kRetired };
 
 }  // namespace
 
-BetaRulingResult beta_ruling_congest(const Graph& g, std::uint32_t beta,
-                                     const CongestConfig& config) {
+RulingSetResult beta_ruling_set_congest(const Graph& g,
+                                        std::uint32_t beta,
+                                        const CongestConfig& config) {
   if (beta == 0) {
-    throw std::invalid_argument("beta_ruling_congest: beta must be >= 1");
+    throw std::invalid_argument(
+        "beta_ruling_set_congest: beta must be >= 1");
   }
   CongestSim sim(g, config);
   const VertexId n = g.num_vertices();
   std::vector<State> state(n, State::kActive);
 
-  BetaRulingResult result;
+  RulingSetResult result;
+  result.beta = beta;
   std::uint64_t active_count = n;
   std::vector<std::uint64_t> best_val(n);
 
   while (active_count > 0) {
-    ++result.iterations;
+    ++result.phases;
     // Draw priorities; initialize each active node's aggregate with itself.
     // The priority word packs (32 random bits, vertex id), a collision-free
     // total order in one O(log n)-bit message word.
@@ -105,8 +108,18 @@ BetaRulingResult beta_ruling_congest(const Graph& g, std::uint32_t beta,
   }
 
   std::sort(result.ruling_set.begin(), result.ruling_set.end());
-  result.metrics = sim.metrics();
+  result.congest_metrics = sim.metrics();
   return result;
+}
+
+BetaRulingResult beta_ruling_congest(const Graph& g, std::uint32_t beta,
+                                     const CongestConfig& config) {
+  RulingSetResult unified = beta_ruling_set_congest(g, beta, config);
+  BetaRulingResult legacy;
+  legacy.ruling_set = std::move(unified.ruling_set);
+  legacy.iterations = unified.phases;
+  legacy.metrics = unified.congest_metrics;
+  return legacy;
 }
 
 }  // namespace rsets::congest

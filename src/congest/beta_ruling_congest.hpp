@@ -14,15 +14,25 @@
 #include <vector>
 
 #include "congest/congest.hpp"
+#include "core/ruling_set.hpp"
 
 namespace rsets::congest {
 
+// Canonical entry point: beta-ruling set in RulingSetResult::ruling_set,
+// iterations in ::phases, accounting in ::congest_metrics. Also reachable
+// through compute_ruling_set with Algorithm::kBetaRulingCongest.
+RulingSetResult beta_ruling_set_congest(const Graph& g, std::uint32_t beta,
+                                        const CongestConfig& config = {});
+
+// Deprecated pre-unification result/entry pair; removed after one release.
 struct BetaRulingResult {
   std::vector<VertexId> ruling_set;
   std::uint64_t iterations = 0;
   CongestMetrics metrics;
 };
 
+[[deprecated(
+    "use beta_ruling_set_congest, which returns rsets::RulingSetResult")]]
 BetaRulingResult beta_ruling_congest(const Graph& g, std::uint32_t beta,
                                      const CongestConfig& config = {});
 

@@ -110,15 +110,17 @@ LinialColoring linial_coloring(CongestSim& sim) {
   return result;
 }
 
-ColoringMisResult coloring_mis(const Graph& g, const CongestConfig& config) {
+RulingSetResult coloring_mis_congest(const Graph& g,
+                                     const CongestConfig& config) {
   CongestSim sim(g, config);
   const VertexId n = g.num_vertices();
-  ColoringMisResult result;
+  RulingSetResult result;
+  result.beta = 1;
   {
     LinialColoring coloring = linial_coloring(sim);
     result.colors = std::move(coloring.colors);
     result.palette_size = coloring.palette_size;
-    result.linial_steps = coloring.steps;
+    result.phases = coloring.steps;
   }
   const std::uint64_t palette = result.palette_size;
 
@@ -155,10 +157,21 @@ ColoringMisResult coloring_mis(const Graph& g, const CongestConfig& config) {
   }
 
   for (VertexId v = 0; v < n; ++v) {
-    if (state[v] == State::kInMis) result.mis.push_back(v);
+    if (state[v] == State::kInMis) result.ruling_set.push_back(v);
   }
-  result.metrics = sim.metrics();
+  result.congest_metrics = sim.metrics();
   return result;
+}
+
+ColoringMisResult coloring_mis(const Graph& g, const CongestConfig& config) {
+  RulingSetResult unified = coloring_mis_congest(g, config);
+  ColoringMisResult legacy;
+  legacy.mis = std::move(unified.ruling_set);
+  legacy.colors = std::move(unified.colors);
+  legacy.palette_size = unified.palette_size;
+  legacy.linial_steps = unified.phases;
+  legacy.metrics = unified.congest_metrics;
+  return legacy;
 }
 
 }  // namespace rsets::congest

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "congest/congest.hpp"
+#include "core/ruling_set.hpp"
 
 namespace rsets::congest {
 
@@ -33,6 +34,16 @@ struct LinialColoring {
 // Runs iterated Linial reduction inside an existing simulation.
 LinialColoring linial_coloring(CongestSim& sim);
 
+// Canonical entry point: computes a proper coloring by iterated Linial
+// reduction, then an MIS by color-class greedy. Fully deterministic (zero
+// random bits). MIS in RulingSetResult::ruling_set (beta = 1), Linial steps
+// in ::phases, coloring in ::colors / ::palette_size, accounting in
+// ::congest_metrics. Also reachable through compute_ruling_set with
+// Algorithm::kColoringMisCongest.
+RulingSetResult coloring_mis_congest(const Graph& g,
+                                     const CongestConfig& config = {});
+
+// Deprecated pre-unification result/entry pair; removed after one release.
 struct ColoringMisResult {
   std::vector<VertexId> mis;
   std::vector<std::uint32_t> colors;   // final proper coloring
@@ -41,8 +52,8 @@ struct ColoringMisResult {
   CongestMetrics metrics;
 };
 
-// Computes a proper coloring by iterated Linial reduction, then an MIS by
-// color-class greedy. Fully deterministic (zero random bits).
+[[deprecated(
+    "use coloring_mis_congest, which returns rsets::RulingSetResult")]]
 ColoringMisResult coloring_mis(const Graph& g,
                                const CongestConfig& config = {});
 

@@ -6,14 +6,16 @@
 
 namespace rsets::congest {
 
-DetRulingCongestResult det_2ruling_congest(const Graph& g,
-                                           const CongestConfig& config) {
+RulingSetResult det_2ruling_set_congest(const Graph& g,
+                                        const CongestConfig& config) {
   CongestSim sim(g, config);
   const VertexId n = g.num_vertices();
-  DetRulingCongestResult result;
+  RulingSetResult result;
+  result.beta = 2;
 
   const LinialColoring coloring = linial_coloring(sim);
   result.palette_size = coloring.palette_size;
+  result.phases = coloring.steps;
 
   // covered[v]: a set member is known to sit within 2 hops of v.
   std::vector<bool> covered(n, false);
@@ -59,8 +61,18 @@ DetRulingCongestResult det_2ruling_congest(const Graph& g,
   for (VertexId v = 0; v < n; ++v) {
     if (in_set[v]) result.ruling_set.push_back(v);
   }
-  result.metrics = sim.metrics();
+  result.congest_metrics = sim.metrics();
   return result;
+}
+
+DetRulingCongestResult det_2ruling_congest(const Graph& g,
+                                           const CongestConfig& config) {
+  RulingSetResult unified = det_2ruling_set_congest(g, config);
+  DetRulingCongestResult legacy;
+  legacy.ruling_set = std::move(unified.ruling_set);
+  legacy.palette_size = unified.palette_size;
+  legacy.metrics = unified.congest_metrics;
+  return legacy;
 }
 
 }  // namespace rsets::congest

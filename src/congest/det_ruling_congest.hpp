@@ -20,15 +20,26 @@
 #include <vector>
 
 #include "congest/congest.hpp"
+#include "core/ruling_set.hpp"
 
 namespace rsets::congest {
 
+// Canonical entry point: 2-ruling set in RulingSetResult::ruling_set
+// (beta = 2), Linial steps in ::phases, coloring bound in ::palette_size,
+// accounting in ::congest_metrics. Also reachable through
+// compute_ruling_set with Algorithm::kDetRulingCongest.
+RulingSetResult det_2ruling_set_congest(const Graph& g,
+                                        const CongestConfig& config = {});
+
+// Deprecated pre-unification result/entry pair; removed after one release.
 struct DetRulingCongestResult {
   std::vector<VertexId> ruling_set;
   std::uint32_t palette_size = 0;
   CongestMetrics metrics;
 };
 
+[[deprecated(
+    "use det_2ruling_set_congest, which returns rsets::RulingSetResult")]]
 DetRulingCongestResult det_2ruling_congest(const Graph& g,
                                            const CongestConfig& config = {});
 

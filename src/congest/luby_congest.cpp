@@ -9,7 +9,8 @@ enum class State : std::uint8_t { kActive, kInMis, kDominated };
 
 }  // namespace
 
-LubyResult luby_mis(const Graph& g, const CongestConfig& config) {
+RulingSetResult luby_mis_congest(const Graph& g,
+                                 const CongestConfig& config) {
   CongestSim sim(g, config);
   const VertexId n = g.num_vertices();
 
@@ -22,10 +23,11 @@ LubyResult luby_mis(const Graph& g, const CongestConfig& config) {
   }
   std::vector<std::uint64_t> priority(n, 0);
 
-  LubyResult result;
+  RulingSetResult result;
+  result.beta = 1;
   std::uint64_t active_count = n;
   while (active_count > 0) {
-    ++result.iterations;
+    ++result.phases;
     // Round 1: draw and exchange priorities.
     sim.round([&](CongestSim::NodeApi& node, std::span<const NodeMessage>) {
       const VertexId v = node.id();
@@ -90,10 +92,19 @@ LubyResult luby_mis(const Graph& g, const CongestConfig& config) {
   }
 
   for (VertexId v = 0; v < n; ++v) {
-    if (state[v] == State::kInMis) result.mis.push_back(v);
+    if (state[v] == State::kInMis) result.ruling_set.push_back(v);
   }
-  result.metrics = sim.metrics();
+  result.congest_metrics = sim.metrics();
   return result;
+}
+
+LubyResult luby_mis(const Graph& g, const CongestConfig& config) {
+  RulingSetResult unified = luby_mis_congest(g, config);
+  LubyResult legacy;
+  legacy.mis = std::move(unified.ruling_set);
+  legacy.iterations = unified.phases;
+  legacy.metrics = unified.congest_metrics;
+  return legacy;
 }
 
 }  // namespace rsets::congest

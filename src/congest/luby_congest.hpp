@@ -11,15 +11,24 @@
 #include <vector>
 
 #include "congest/congest.hpp"
+#include "core/ruling_set.hpp"
 
 namespace rsets::congest {
 
+// Canonical entry point: MIS in RulingSetResult::ruling_set (beta = 1),
+// iterations in ::phases, CONGEST accounting in ::congest_metrics. Also
+// reachable through compute_ruling_set with Algorithm::kLubyCongest.
+RulingSetResult luby_mis_congest(const Graph& g,
+                                 const CongestConfig& config = {});
+
+// Deprecated pre-unification result/entry pair; removed after one release.
 struct LubyResult {
   std::vector<VertexId> mis;
   std::uint64_t iterations = 0;
   CongestMetrics metrics;
 };
 
+[[deprecated("use luby_mis_congest, which returns rsets::RulingSetResult")]]
 LubyResult luby_mis(const Graph& g, const CongestConfig& config = {});
 
 }  // namespace rsets::congest

@@ -152,25 +152,30 @@ DerandMarkResult derand_mark(mpc::Simulator& sim, const mpc::DistGraph& dg,
       todo.resize(static_cast<std::size_t>(take));
       const std::uint32_t assignments = 1u << take;
 
-      // Each machine evaluates its shard for every assignment; the partials
-      // are summed with one width-2*2^c allreduce (2 real MPC rounds).
-      std::vector<std::vector<double>> contributions(
-          m_count, std::vector<double>(2 * assignments, 0.0));
+      // Each machine evaluates its shard for every assignment inside the
+      // gather round's callback (parallel across machines when the simulator
+      // runs threaded); the partials are summed with one width-2*2^c
+      // allreduce (2 real MPC rounds). Each callback works on a private
+      // tentative copy of the level, so `level` itself is only read.
       const int remaining = k - 1 - j;
       const FutureFactors f{std::exp2(-remaining),
                             std::exp2(-2 * remaining)};
-      for (std::uint32_t a = 0; a < assignments; ++a) {
-        PairwiseBitLevel tentative = level;
-        for (int b = 0; b < take; ++b) {
-          tentative.fix_bit(todo[static_cast<std::size_t>(b)], (a >> b) & 1u);
-        }
-        for (MachineId m = 0; m < m_count; ++m) {
-          const auto [c, x] = shard_partial(shards[m], tentative, f);
-          contributions[m][2 * a] = c;
-          contributions[m][2 * a + 1] = x;
-        }
-      }
-      const std::vector<double> totals = allreduce_sum(sim, contributions);
+      const std::vector<double> totals = mpc::allreduce_sum_compute(
+          sim, 2 * static_cast<std::size_t>(assignments),
+          [&](MachineId m) {
+            std::vector<double> partials(2 * assignments, 0.0);
+            for (std::uint32_t a = 0; a < assignments; ++a) {
+              PairwiseBitLevel tentative = level;
+              for (int b = 0; b < take; ++b) {
+                tentative.fix_bit(todo[static_cast<std::size_t>(b)],
+                                  (a >> b) & 1u);
+              }
+              const auto [c, x] = shard_partial(shards[m], tentative, f);
+              partials[2 * a] = c;
+              partials[2 * a + 1] = x;
+            }
+            return partials;
+          });
 
       double best_phi = 0.0;
       std::uint32_t best_a = 0;

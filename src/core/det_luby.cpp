@@ -141,27 +141,31 @@ RulingSetResult det_luby_mis_mpc(const Graph& g, const mpc::MpcConfig& cfg,
           todo.push_back(b);
         }
         const std::uint32_t assignments = 1u << todo.size();
-        std::vector<std::vector<double>> contributions(
-            m_count, std::vector<double>(assignments, 0.0));
-        for (std::uint32_t a = 0; a < assignments; ++a) {
-          // Tentatively fix the chunk on a copy of the level.
-          const PairwiseBitLevel saved = family.level(lvl);
-          for (std::size_t b = 0; b < todo.size(); ++b) {
-            family.fix_global_bit(todo[b], (a >> b) & 1u);
-          }
-          for (MachineId m = 0; m < m_count; ++m) {
-            double psi = 0.0;
-            for (const Singleton& s : singles[m]) {
-              psi += s.w * family.prob_mark(s.v, s.depth);
-            }
-            for (const PairTerm& t : pairs[m]) {
-              psi -= t.w * family.prob_mark_both(t.u, t.du, t.v, t.dv);
-            }
-            contributions[m][a] = psi;
-          }
-          family.level(lvl) = saved;
-        }
-        const auto totals = allreduce_sum(sim, contributions);
+        // Each machine evaluates its shard for every tentative chunk fixing
+        // inside the gather round's callback (parallel across machines when
+        // the simulator runs threaded). Callbacks work on private copies of
+        // the family; the shared `family` is only read.
+        const auto totals = mpc::allreduce_sum_compute(
+            sim, assignments, [&](MachineId m) {
+              MarkingFamily local = family;
+              const PairwiseBitLevel saved = local.level(lvl);
+              std::vector<double> partials(assignments, 0.0);
+              for (std::uint32_t a = 0; a < assignments; ++a) {
+                for (std::size_t b = 0; b < todo.size(); ++b) {
+                  local.fix_global_bit(todo[b], (a >> b) & 1u);
+                }
+                double psi = 0.0;
+                for (const Singleton& s : singles[m]) {
+                  psi += s.w * local.prob_mark(s.v, s.depth);
+                }
+                for (const PairTerm& t : pairs[m]) {
+                  psi -= t.w * local.prob_mark_both(t.u, t.du, t.v, t.dv);
+                }
+                partials[a] = psi;
+                local.level(lvl) = saved;
+              }
+              return partials;
+            });
         std::uint32_t best_a = 0;
         double best = 0.0;
         bool have = false;

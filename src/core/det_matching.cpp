@@ -167,28 +167,32 @@ DetMatchingResult det_matching_mpc(const Graph& g, const mpc::MpcConfig& cfg,
         todo.push_back(b);
       }
       const std::uint32_t assignments = 1u << todo.size();
-      std::vector<std::vector<double>> contributions(
-          m_count, std::vector<double>(assignments, 0.0));
-      for (std::uint32_t a = 0; a < assignments; ++a) {
-        const PairwiseBitLevel saved = family.level(lvl);
-        for (std::size_t b = 0; b < todo.size(); ++b) {
-          family.fix_global_bit(todo[b], (a >> b) & 1u);
-        }
-        for (MachineId m = 0; m < m_count; ++m) {
-          double psi = 0.0;
-          for (std::uint32_t e : singles[m]) {
-            const double w = static_cast<double>(edge_deg[e]) + 1.0;
-            psi += w * family.prob_mark(e, depth_of(e));
-          }
-          for (const PairTerm& t : pairs[m]) {
-            const double w = static_cast<double>(edge_deg[t.e]) + 1.0;
-            psi -= w * family.prob_mark_both(t.f, t.df, t.e, t.de);
-          }
-          contributions[m][a] = psi;
-        }
-        family.level(lvl) = saved;
-      }
-      const auto totals = allreduce_sum(sim, contributions);
+      // Shard evaluation runs inside the gather round's callback (parallel
+      // across machines when the simulator runs threaded); each callback
+      // fixes the chunk on a private copy of the family.
+      const auto totals = mpc::allreduce_sum_compute(
+          sim, assignments, [&](MachineId m) {
+            MarkingFamily local = family;
+            const PairwiseBitLevel saved = local.level(lvl);
+            std::vector<double> partials(assignments, 0.0);
+            for (std::uint32_t a = 0; a < assignments; ++a) {
+              for (std::size_t b = 0; b < todo.size(); ++b) {
+                local.fix_global_bit(todo[b], (a >> b) & 1u);
+              }
+              double psi = 0.0;
+              for (std::uint32_t e : singles[m]) {
+                const double w = static_cast<double>(edge_deg[e]) + 1.0;
+                psi += w * local.prob_mark(e, depth_of(e));
+              }
+              for (const PairTerm& t : pairs[m]) {
+                const double w = static_cast<double>(edge_deg[t.e]) + 1.0;
+                psi -= w * local.prob_mark_both(t.f, t.df, t.e, t.de);
+              }
+              partials[a] = psi;
+              local.level(lvl) = saved;
+            }
+            return partials;
+          });
       std::uint32_t best_a = 0;
       double best = 0.0;
       bool have = false;

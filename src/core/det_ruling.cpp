@@ -54,8 +54,8 @@ RulingSetResult det_ruling_set_mpc(const Graph& g, const mpc::MpcConfig& cfg,
     if (2 * m_active + 2 * dg.active_count() <= budget) {
       // Final gather: solve the small residual exactly.
       const std::vector<VertexId> members = dg.active_vertices();
-      std::vector<bool> mask(n, false);
-      for (VertexId v : members) mask[v] = true;
+      std::vector<std::uint8_t> mask(n, 0);
+      for (VertexId v : members) mask[v] = 1;
       const auto mis = gather_and_mis(sim, dg, members, mask);
       ruling.insert(ruling.end(), mis.begin(), mis.end());
       std::vector<std::vector<VertexId>> batches(sim.num_machines());
@@ -113,8 +113,8 @@ RulingSetResult det_ruling_set_mpc(const Graph& g, const mpc::MpcConfig& cfg,
         throw std::logic_error("det_ruling: empty marked set");
       }
 
-      std::vector<bool> in_marked(n, false);
-      for (VertexId v : mark.marked) in_marked[v] = true;
+      std::vector<std::uint8_t> in_marked(n, 0);
+      for (VertexId v : mark.marked) in_marked[v] = 1;
       const auto mis = gather_and_mis(sim, dg, mark.marked, in_marked);
       ruling.insert(ruling.end(), mis.begin(), mis.end());
       remove_ball(sim, dg, in_marked, options.beta - 1);

@@ -59,12 +59,15 @@ RulingSetResult luby_mis_mpc(const Graph& g, const mpc::MpcConfig& cfg) {
     // decisions (smallest (priority, id) in closed neighborhood wins).
     std::vector<bool> joined(n, false);
     {
-      std::vector<bool> blocked(n, false);
+      // Byte-per-vertex: written from inside the drain callback (each owner
+      // writes only vertices it owns, but bit-packed elements share bytes
+      // across owners).
+      std::vector<std::uint8_t> blocked(n, 0);
       auto consider = [&](VertexId target, std::uint64_t prio,
                           VertexId from) {
         if (prio < priority[target] ||
             (prio == priority[target] && from < target)) {
-          blocked[target] = true;
+          blocked[target] = 1;
         }
       };
       sim.drain([&](mpc::Machine& machine, const mpc::Inbox& inbox) {

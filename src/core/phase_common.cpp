@@ -29,7 +29,7 @@ std::uint64_t count_active_edges(Simulator& sim, const mpc::DistGraph& dg) {
 std::vector<VertexId> gather_and_mis(Simulator& sim,
                                      const mpc::DistGraph& dg,
                                      const std::vector<VertexId>& members,
-                                     const std::vector<bool>& in_members) {
+                                     const std::vector<std::uint8_t>& in_members) {
   const MachineId m_count = sim.num_machines();
   // Owners serialize their members' member-restricted adjacency:
   // v, deg, neighbors...
@@ -107,11 +107,11 @@ std::vector<VertexId> gather_and_mis(Simulator& sim,
 // everywhere; further hops cost one notification round each) and then one
 // deactivation round. Returns the number of removed vertices.
 std::uint64_t remove_ball(Simulator& sim, mpc::DistGraph& dg,
-                          const std::vector<bool>& in_marked,
+                          const std::vector<std::uint8_t>& in_marked,
                           std::uint32_t radius) {
   const MachineId m_count = sim.num_machines();
   const VertexId n = dg.num_vertices();
-  std::vector<bool> removed(n, false);
+  std::vector<std::uint8_t> removed(n, 0);
   std::vector<VertexId> frontier;
   // Hop 0 and 1: local evaluation at each owner.
   for (MachineId m = 0; m < m_count; ++m) {

@@ -1,6 +1,11 @@
 // Internal helpers shared by the phase-based MPC ruling-set algorithms
 // (deterministic and randomized): subgraph gather + local MIS, ball removal,
 // and active-edge counting. Not part of the public API.
+//
+// Membership masks are byte-per-vertex (std::vector<std::uint8_t>), not
+// std::vector<bool>: drivers fill them from inside round callbacks, and the
+// round-parallel simulator requires concurrent writers to touch distinct
+// bytes (bit-packed elements share them).
 #pragma once
 
 #include <cstdint>
@@ -22,7 +27,7 @@ std::uint64_t count_active_edges(mpc::Simulator& sim,
 std::vector<VertexId> gather_and_mis(mpc::Simulator& sim,
                                      const mpc::DistGraph& dg,
                                      const std::vector<VertexId>& members,
-                                     const std::vector<bool>& in_members);
+                                     const std::vector<std::uint8_t>& in_members);
 
 // Deactivates every active vertex within `radius` hops of the set indicated
 // by `in_marked`. Hop 1 is evaluated locally by owners (marked membership is
@@ -30,7 +35,7 @@ std::vector<VertexId> gather_and_mis(mpc::Simulator& sim,
 // deterministic one, announced for the randomized one); hops 2..radius cost
 // one all-to-all each; plus one deactivation round. Returns removals.
 std::uint64_t remove_ball(mpc::Simulator& sim, mpc::DistGraph& dg,
-                          const std::vector<bool>& in_marked,
+                          const std::vector<std::uint8_t>& in_marked,
                           std::uint32_t radius);
 
 }  // namespace rsets::detail

@@ -46,8 +46,8 @@ RulingSetResult sample_gather_2ruling(const Graph& g,
     }
     if (2 * m_active + 2 * dg.active_count() <= budget) {
       const std::vector<VertexId> members = dg.active_vertices();
-      std::vector<bool> mask(n, false);
-      for (VertexId v : members) mask[v] = true;
+      std::vector<std::uint8_t> mask(n, 0);
+      for (VertexId v : members) mask[v] = 1;
       const auto mis = gather_and_mis(sim, dg, members, mask);
       ruling.insert(ruling.end(), mis.begin(), mis.end());
       std::vector<std::vector<VertexId>> batches(m_count);
@@ -76,16 +76,18 @@ RulingSetResult sample_gather_2ruling(const Graph& g,
 
     // Sample (owners flip coins), retry if the realized sample would blow
     // the gather budget — a low-probability event the analysis absorbs.
-    std::vector<bool> sampled(n, false);
+    // Byte-per-vertex mask: owners set their own vertices' entries from
+    // inside the round callback, which may run concurrently per machine.
+    std::vector<std::uint8_t> sampled(n, 0);
     std::vector<VertexId> sample;
     for (int attempt = 0; attempt < options.max_retries_per_phase;
          ++attempt) {
-      std::fill(sampled.begin(), sampled.end(), false);
+      std::fill(sampled.begin(), sampled.end(), std::uint8_t{0});
       sample.clear();
       sim.round([&](mpc::Machine& machine, const mpc::Inbox&) {
         for (VertexId v : dg.owned(machine.id())) {
           if (dg.active(v) && machine.rng().flip(p)) {
-            sampled[v] = true;
+            sampled[v] = 1;
           }
         }
       });

@@ -1,5 +1,14 @@
 // A simulated MPC machine: storage accounting, an outbox, and a private
 // deterministic RNG stream.
+//
+// Thread discipline: when the simulator runs rounds in parallel
+// (MpcConfig::num_threads != 1), each Machine is touched by exactly one
+// worker during a phase — its own callback. Everything here (storage
+// counters, outbox, RNG) is therefore unsynchronized by design; cross-
+// machine state must live in messages or in driver arrays indexed so that
+// machine i's callback writes only slice i (and never through a bit-packed
+// container such as std::vector<bool>, whose neighboring elements share
+// bytes).
 #pragma once
 
 #include <cstddef>

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "mpc/trace.hpp"
+
 namespace rsets::mpc {
 
 using Word = std::uint64_t;
@@ -39,6 +41,17 @@ struct MpcConfig {
   // used by stress benches that chart how close algorithms run to the caps.
   bool enforce = true;
   std::uint64_t seed = 1;  // base seed for per-machine RNG streams
+  // Worker threads executing the per-machine round callbacks: 1 runs them
+  // sequentially on the calling thread (the historical behavior), 0 uses
+  // hardware_concurrency, k > 1 uses k workers. Results and metrics are
+  // bit-identical for every value — see "Threading model" in DESIGN.md —
+  // because callbacks only touch their own machine's state slice and
+  // outboxes are merged in machine-id order.
+  unsigned num_threads = 1;
+  // Optional per-phase observer (see mpc/trace.hpp). Purely observational:
+  // it runs on the simulator's calling thread after the phase completes and
+  // cannot change results or metrics.
+  TraceHook trace_hook;
 };
 
 struct MpcMetrics {

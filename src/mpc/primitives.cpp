@@ -93,6 +93,50 @@ std::vector<double> allreduce_sum(
   return total;
 }
 
+std::vector<double> allreduce_sum_compute(
+    Simulator& sim, std::size_t width,
+    const std::function<std::vector<double>(MachineId)>& compute,
+    std::uint32_t tag) {
+  const MachineId m_count = sim.num_machines();
+  // Indexed by source machine; machine i's callback writes only slot i
+  // (root's local copy) or sends — distinct elements, parallel-safe.
+  std::vector<std::vector<Word>> received(m_count);
+  sim.round([&](Machine& machine, const Inbox&) {
+    const MachineId m = machine.id();
+    const std::vector<double> local = compute(m);
+    if (local.size() != width) {
+      throw std::invalid_argument(
+          "allreduce_sum_compute: compute returned wrong width");
+    }
+    std::vector<Word> packed;
+    packed.reserve(width);
+    for (double x : local) packed.push_back(pack_double(x));
+    if (m == 0) {
+      received[0] = std::move(packed);
+    } else {
+      machine.send(0, tag, std::move(packed));
+    }
+  });
+  sim.drain([&](Machine& machine, const Inbox& inbox) {
+    if (machine.id() != 0) return;
+    for (const Message& msg : inbox.with_tag(tag)) {
+      received[msg.src] = msg.payload;
+    }
+  });
+  // Same summation order as allreduce_sum: machines ascending, then index.
+  std::vector<double> total(width, 0.0);
+  for (const auto& vec : received) {
+    for (std::size_t i = 0; i < width; ++i) {
+      total[i] += unpack_double(vec.at(i));
+    }
+  }
+  std::vector<Word> packed_total;
+  packed_total.reserve(width);
+  for (double x : total) packed_total.push_back(pack_double(x));
+  broadcast(sim, 0, packed_total, tag + 1);
+  return total;
+}
+
 std::uint64_t allreduce_max(Simulator& sim,
                             const std::vector<std::uint64_t>& values,
                             std::uint32_t tag) {

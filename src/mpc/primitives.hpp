@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mpc/simulator.hpp"
@@ -36,6 +37,19 @@ std::vector<double> allreduce_sum(Simulator& sim,
                                   const std::vector<std::vector<double>>&
                                       contributions,
                                   std::uint32_t tag = 0xC0);
+
+// Like allreduce_sum, but each machine's contribution is produced by
+// `compute(machine_id)` from *inside* the gather round's callback, so the
+// per-machine work runs on the simulator's worker pool when
+// MpcConfig::num_threads != 1. `compute` must return exactly `width`
+// doubles, touch only machine-local state, and be safe to invoke
+// concurrently for distinct machine ids. Rounds, message sizes, and the
+// floating-point summation order are identical to allreduce_sum, so the
+// result and MpcMetrics are bit-identical at any thread count.
+std::vector<double> allreduce_sum_compute(
+    Simulator& sim, std::size_t width,
+    const std::function<std::vector<double>(MachineId)>& compute,
+    std::uint32_t tag = 0xC0);
 
 // Max of one uint64 per machine, known to all machines.
 std::uint64_t allreduce_max(Simulator& sim,

@@ -1,23 +1,131 @@
 #include "mpc/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace rsets::mpc {
+namespace {
+
+unsigned resolve_threads(unsigned requested, MachineId num_machines) {
+  unsigned t = requested == 0
+                   ? std::max(1u, std::thread::hardware_concurrency())
+                   : requested;
+  return std::min<unsigned>(std::max(1u, t), std::max<MachineId>(1, num_machines));
+}
+
+}  // namespace
+
+// A persistent pool executing one task index set per generation. Workers
+// claim machine indices through an atomic counter, so scheduling order is
+// arbitrary — correctness does not depend on it because each task touches
+// only its machine's slice; determinism is restored by the caller merging
+// outboxes in machine-id order afterwards.
+class Simulator::WorkerPool {
+ public:
+  explicit WorkerPool(unsigned workers) {
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  // Runs task(0..num_tasks-1) across the workers and the calling thread;
+  // returns after every task has finished. `task` must not throw (callers
+  // capture exceptions per task).
+  void run(std::uint32_t num_tasks,
+           const std::function<void(std::uint32_t)>& task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      task_ = &task;
+      num_tasks_ = num_tasks;
+      next_task_.store(0, std::memory_order_relaxed);
+      idle_workers_ = 0;
+      ++generation_;
+    }
+    work_ready_.notify_all();
+    // The caller participates instead of blocking idle.
+    drain_tasks(task, num_tasks);
+    std::unique_lock<std::mutex> lock(mu_);
+    all_idle_.wait(lock, [&] { return idle_workers_ == threads_.size(); });
+    task_ = nullptr;
+  }
+
+ private:
+  void drain_tasks(const std::function<void(std::uint32_t)>& task,
+                   std::uint32_t num_tasks) {
+    while (true) {
+      const std::uint32_t i =
+          next_task_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_tasks) break;
+      task(i);
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    while (true) {
+      const std::function<void(std::uint32_t)>* task = nullptr;
+      std::uint32_t num_tasks = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_ready_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        task = task_;
+        num_tasks = num_tasks_;
+      }
+      drain_tasks(*task, num_tasks);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (++idle_workers_ == threads_.size()) all_idle_.notify_one();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_idle_;
+  std::vector<std::thread> threads_;
+  const std::function<void(std::uint32_t)>* task_ = nullptr;
+  std::uint32_t num_tasks_ = 0;
+  std::atomic<std::uint32_t> next_task_{0};
+  std::size_t idle_workers_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
 
 Simulator::Simulator(const MpcConfig& config) : config_(config) {
   if (config_.num_machines == 0) {
     throw std::invalid_argument("Simulator: need at least one machine");
   }
+  effective_threads_ =
+      resolve_threads(config_.num_threads, config_.num_machines);
   machines_.reserve(config_.num_machines);
   for (MachineId m = 0; m < config_.num_machines; ++m) {
     machines_.emplace_back(m, config_);
   }
 }
 
+Simulator::~Simulator() = default;
+
 void Simulator::round(const RoundBody& body) {
   ++metrics_.rounds;
-  run_phase(body, /*reset_send_budget=*/true);
+  run_phase(body, /*reset_send_budget=*/true, /*drain=*/false);
 }
 
 void Simulator::drain(const RoundBody& body) {
@@ -25,11 +133,17 @@ void Simulator::drain(const RoundBody& body) {
   // inside a drain body count against the *next* round's budget, so we do
   // not reset the send accounting here — but drain bodies by convention do
   // not send (delivery handlers only).
-  run_phase(body, /*reset_send_budget=*/false);
+  run_phase(body, /*reset_send_budget=*/false, /*drain=*/true);
 }
 
-void Simulator::run_phase(const RoundBody& body, bool reset_send_budget) {
-  // Deliver: partition in-flight messages by destination.
+void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
+                          bool drain) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Deliver: partition in-flight messages by destination. Message order
+  // within a destination follows in_flight_ order, which run_phase fixed by
+  // merging outboxes in machine-id order last phase — so delivery is
+  // identical regardless of how the upcoming callbacks are scheduled.
   std::vector<std::vector<Message>> delivery(config_.num_machines);
   for (Message& msg : in_flight_) {
     delivery[msg.dst].push_back(std::move(msg));
@@ -37,7 +151,7 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget) {
   in_flight_.clear();
 
   std::vector<std::uint64_t> recv_words(config_.num_machines, 0);
-  for (MachineId m = 0; m < config_.num_machines; ++m) {
+  auto run_machine = [&](MachineId m) {
     Machine& machine = machines_[m];
     if (reset_send_budget) machine.sent_words_this_round_ = 0;
     const Inbox inbox(std::move(delivery[m]));
@@ -52,16 +166,67 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget) {
       ++machine.violations_;
     }
     body(machine, inbox);
-    // Collect what this machine sent during the round.
+  };
+
+  if (effective_threads_ <= 1) {
+    // Sequential path: identical to the historical loop, including the
+    // exception point (a violating machine throws before later machines
+    // run).
+    for (MachineId m = 0; m < config_.num_machines; ++m) run_machine(m);
+  } else {
+    if (!pool_) {
+      pool_ = std::make_unique<WorkerPool>(effective_threads_ - 1);
+    }
+    // Parallel path: every callback runs (exceptions are captured, not
+    // propagated mid-phase), then the lowest-machine-id exception is
+    // rethrown — the same exception a sequential run surfaces first.
+    std::vector<std::exception_ptr> errors(config_.num_machines);
+    pool_->run(config_.num_machines, [&](std::uint32_t m) {
+      try {
+        run_machine(static_cast<MachineId>(m));
+      } catch (...) {
+        errors[m] = std::current_exception();
+      }
+    });
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+
+  // Collect sends in machine-id order: the merged in_flight_ sequence (and
+  // with it all downstream delivery, accounting, and tie-breaking) is
+  // independent of callback scheduling.
+  std::uint64_t phase_messages = 0;
+  std::uint64_t phase_words = 0;
+  for (MachineId m = 0; m < config_.num_machines; ++m) {
+    Machine& machine = machines_[m];
     for (Message& msg : machine.outbox_) {
-      ++metrics_.messages;
-      metrics_.total_words += msg.words();
+      ++phase_messages;
+      phase_words += msg.words();
       in_flight_.push_back(std::move(msg));
     }
     machine.outbox_.clear();
   }
+  metrics_.messages += phase_messages;
+  metrics_.total_words += phase_words;
 
   refresh_metrics_after_round(recv_words);
+
+  if (config_.trace_hook) {
+    RoundTrace trace;
+    trace.round = metrics_.rounds;
+    trace.drain = drain;
+    trace.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+    trace.messages = phase_messages;
+    trace.words_sent = phase_words;
+    for (std::uint64_t words : recv_words) {
+      trace.words_recv += words;
+      trace.max_recv_words = std::max(trace.max_recv_words, words);
+    }
+    config_.trace_hook(trace);
+  }
 }
 
 void Simulator::sync_metrics() {

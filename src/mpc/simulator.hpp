@@ -1,15 +1,24 @@
 // The synchronous MPC round loop with word-exact accounting.
 //
 // Algorithms are written as drivers: per-machine state lives in arrays owned
-// by the algorithm, and each round executes a callback once per machine in
-// id order. The discipline (not enforceable in-process, but honored by every
-// algorithm in this library and spot-checked in tests) is that the callback
-// for machine i reads and writes only machine i's state slice and its Inbox;
-// all cross-machine information flows through messages, which the simulator
-// counts and caps.
+// by the algorithm, and each round executes a callback once per machine. The
+// discipline (not enforceable in-process, but honored by every algorithm in
+// this library, spot-checked in tests, and guarded by the TSan build — see
+// tools/check_tsan.sh) is that the callback for machine i reads and writes
+// only machine i's state slice and its Inbox; all cross-machine information
+// flows through messages, which the simulator counts and caps.
+//
+// That discipline is exactly what makes rounds embarrassingly parallel: when
+// MpcConfig::num_threads != 1 the callbacks of one phase execute on a worker
+// pool. Outboxes are still collected and merged in machine-id order after
+// every callback has returned, the receive-side bandwidth check is
+// word-exact, and each machine's RNG stream is private — so results and
+// MpcMetrics are bit-identical to sequential execution (asserted in
+// tests/test_threaded_determinism.cpp).
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "mpc/machine.hpp"
@@ -20,16 +29,25 @@ namespace rsets::mpc {
 class Simulator {
  public:
   explicit Simulator(const MpcConfig& config);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   MachineId num_machines() const { return config_.num_machines; }
   const MpcConfig& config() const { return config_; }
   Machine& machine(MachineId m) { return machines_.at(m); }
   const Machine& machine(MachineId m) const { return machines_.at(m); }
 
+  // Threads the round callbacks actually run on (num_threads resolved
+  // against hardware_concurrency and the machine count).
+  unsigned effective_threads() const { return effective_threads_; }
+
   // Runs one synchronous round: delivers the messages sent in the previous
-  // round, then invokes `body(machine, inbox)` for every machine in id
-  // order, then collects outboxes for the next delivery and enforces the
-  // receive-side bandwidth cap.
+  // round, then invokes `body(machine, inbox)` once per machine (in id order
+  // when sequential, concurrently otherwise), then collects outboxes in
+  // machine-id order for the next delivery and enforces the receive-side
+  // bandwidth cap.
   using RoundBody = std::function<void(Machine&, const Inbox&)>;
   void round(const RoundBody& body);
 
@@ -56,14 +74,18 @@ class Simulator {
   void charge_rounds(std::uint64_t extra) { metrics_.rounds += extra; }
 
  private:
-  void run_phase(const RoundBody& body, bool reset_send_budget);
+  class WorkerPool;
+
+  void run_phase(const RoundBody& body, bool reset_send_budget, bool drain);
   void refresh_metrics_after_round(
       const std::vector<std::uint64_t>& recv_words);
 
   MpcConfig config_;
+  unsigned effective_threads_ = 1;
   std::vector<Machine> machines_;
   std::vector<Message> in_flight_;
   MpcMetrics metrics_;
+  std::unique_ptr<WorkerPool> pool_;  // created on demand, only if parallel
 };
 
 }  // namespace rsets::mpc

@@ -1,0 +1,22 @@
+#include "mpc/trace.hpp"
+
+#include <cstdio>
+
+namespace rsets::mpc {
+
+std::string to_json(const RoundTrace& trace) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"round\":%llu,\"drain\":%d,\"wall_ms\":%.6g,"
+                "\"messages\":%llu,\"words_sent\":%llu,\"words_recv\":%llu,"
+                "\"max_recv_words\":%llu}",
+                static_cast<unsigned long long>(trace.round),
+                trace.drain ? 1 : 0, trace.wall_ms,
+                static_cast<unsigned long long>(trace.messages),
+                static_cast<unsigned long long>(trace.words_sent),
+                static_cast<unsigned long long>(trace.words_recv),
+                static_cast<unsigned long long>(trace.max_recv_words));
+  return buf;
+}
+
+}  // namespace rsets::mpc

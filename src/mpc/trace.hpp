@@ -1,0 +1,48 @@
+// Per-round execution traces for the MPC simulator.
+//
+// When MpcConfig::trace_hook is set, the simulator invokes it once per
+// executed phase (round or drain boundary) with the communication ledger of
+// that phase and the wall time spent running the machine callbacks. The hook
+// observes; it cannot perturb the simulation — metrics and results are
+// identical with or without it.
+//
+// The JSONL encoding (one object per line, stable key order) is the exchange
+// format the CLI (`--trace=FILE`) and the benches emit, so round-level
+// behavior is observable rather than asserted:
+//
+//   {"round":12,"drain":0,"wall_ms":0.41,"messages":96,"words_sent":4032,
+//    "words_recv":4032,"max_recv_words":560}
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rsets::mpc {
+
+struct RoundTrace {
+  // Value of the round counter when the phase ran (1-based; a drain shares
+  // the index of the round whose sends it delivers).
+  std::uint64_t round = 0;
+  // True for a drain boundary (delivery without spending a round).
+  bool drain = false;
+  // Wall time spent executing the machine callbacks of this phase, across
+  // all workers, in milliseconds.
+  double wall_ms = 0.0;
+  // Messages collected from outboxes during this phase.
+  std::uint64_t messages = 0;
+  // Words (payload + headers) those messages carry.
+  std::uint64_t words_sent = 0;
+  // Words delivered to inboxes at the start of this phase.
+  std::uint64_t words_recv = 0;
+  // Largest single inbox delivered this phase (the receive-side peak the
+  // bandwidth cap is checked against).
+  std::uint64_t max_recv_words = 0;
+};
+
+using TraceHook = std::function<void(const RoundTrace&)>;
+
+// One-line JSON object (no trailing newline), stable key order.
+std::string to_json(const RoundTrace& trace);
+
+}  // namespace rsets::mpc

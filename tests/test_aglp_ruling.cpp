@@ -11,56 +11,56 @@ namespace {
 
 TEST(AglpRuling, ValidWithinRadiusBoundOnSuite) {
   for (const auto& entry : gen::standard_suite(300, 13)) {
-    const auto result = aglp_ruling_congest(entry.graph);
+    const auto result = aglp_ruling_set_congest(entry.graph);
     EXPECT_TRUE(is_independent_set(entry.graph, result.ruling_set))
         << entry.name;
     EXPECT_LE(domination_radius(entry.graph, result.ruling_set),
-              result.radius_bound)
+              result.beta)
         << entry.name;
   }
 }
 
 TEST(AglpRuling, RadiusBoundIsLogN) {
   const Graph g = gen::gnp(1000, 0.01, 3);
-  const auto result = aglp_ruling_congest(g);
-  EXPECT_EQ(result.radius_bound, bit_width_for(1000));
+  const auto result = aglp_ruling_set_congest(g);
+  EXPECT_EQ(result.beta, bit_width_for(1000));
 }
 
 TEST(AglpRuling, RoundsEqualIdBits) {
   const Graph g = gen::cycle(256);
-  const auto result = aglp_ruling_congest(g);
-  EXPECT_EQ(result.metrics.rounds,
+  const auto result = aglp_ruling_set_congest(g);
+  EXPECT_EQ(result.congest_metrics.rounds,
             static_cast<std::uint64_t>(bit_width_for(256)));
 }
 
 TEST(AglpRuling, DeterministicAndRandomFree) {
   const Graph g = gen::power_law(400, 2.5, 8.0, 5);
-  const auto a = aglp_ruling_congest(g);
-  const auto b = aglp_ruling_congest(g);
+  const auto a = aglp_ruling_set_congest(g);
+  const auto b = aglp_ruling_set_congest(g);
   EXPECT_EQ(a.ruling_set, b.ruling_set);
-  EXPECT_EQ(a.metrics.random_words, 0u);
+  EXPECT_EQ(a.congest_metrics.random_words, 0u);
 }
 
 TEST(AglpRuling, RealizedRadiusWithinBound) {
   // On a path with consecutive ids the bitwise elimination leaves every
   // second vertex, so the realized radius is tiny; the bound still holds.
   const Graph g = gen::path(4096);
-  const auto result = aglp_ruling_congest(g);
+  const auto result = aglp_ruling_set_congest(g);
   const auto radius = domination_radius(g, result.ruling_set);
-  EXPECT_LE(radius, result.radius_bound);
+  EXPECT_LE(radius, result.beta);
   EXPECT_GE(radius, 1u);
 }
 
 TEST(AglpRuling, EdgeCases) {
-  EXPECT_TRUE(aglp_ruling_congest(Graph::from_edges(0, {})).ruling_set.empty());
-  const auto single = aglp_ruling_congest(Graph::from_edges(1, {}));
+  EXPECT_TRUE(aglp_ruling_set_congest(Graph::from_edges(0, {})).ruling_set.empty());
+  const auto single = aglp_ruling_set_congest(Graph::from_edges(1, {}));
   EXPECT_EQ(single.ruling_set.size(), 1u);
-  EXPECT_EQ(single.radius_bound, 0u);
+  EXPECT_EQ(single.beta, 0u);
   // Complete graph: vertex 0 beats everyone through the bit levels.
-  const auto kn = aglp_ruling_congest(gen::complete(16));
+  const auto kn = aglp_ruling_set_congest(gen::complete(16));
   EXPECT_EQ(kn.ruling_set, (std::vector<VertexId>{0}));
   // Isolated vertices all survive.
-  EXPECT_EQ(aglp_ruling_congest(Graph::from_edges(5, {})).ruling_set.size(),
+  EXPECT_EQ(aglp_ruling_set_congest(Graph::from_edges(5, {})).ruling_set.size(),
             5u);
 }
 

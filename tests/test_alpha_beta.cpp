@@ -84,7 +84,7 @@ TEST(AlphaBeta, DistanceBetaLubyIsBetaPlusOneSeparated) {
   // (beta+1, beta) guarantee; certify it with the general checker.
   const Graph g = gen::grid(15, 15);
   for (std::uint32_t beta : {2u, 3u}) {
-    const auto result = congest::beta_ruling_congest(g, beta);
+    const auto result = congest::beta_ruling_set_congest(g, beta);
     EXPECT_TRUE(
         is_alpha_beta_ruling_set(g, result.ruling_set, beta + 1, beta))
         << "beta=" << beta;

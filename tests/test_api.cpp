@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "congest/aglp_ruling.hpp"
+#include "congest/beta_ruling_congest.hpp"
+#include "congest/coloring_mis.hpp"
+#include "congest/det_ruling_congest.hpp"
+#include "congest/luby_congest.hpp"
 #include "graph/generators.hpp"
 #include "graph/verify.hpp"
 
@@ -14,7 +19,133 @@ TEST(Api, AlgorithmNames) {
   EXPECT_EQ(algorithm_name(Algorithm::kDetLubyMpc), "det_luby_mpc");
   EXPECT_EQ(algorithm_name(Algorithm::kSampleGatherMpc), "sample_gather_mpc");
   EXPECT_EQ(algorithm_name(Algorithm::kDetRulingMpc), "det_ruling_mpc");
+  EXPECT_EQ(algorithm_name(Algorithm::kLubyCongest), "luby_congest");
+  EXPECT_EQ(algorithm_name(Algorithm::kAglpCongest), "aglp_congest");
+  EXPECT_EQ(algorithm_name(Algorithm::kDetRulingCongest),
+            "det_ruling_congest");
+  EXPECT_EQ(algorithm_name(Algorithm::kColoringMisCongest),
+            "coloring_mis_congest");
+  EXPECT_EQ(algorithm_name(Algorithm::kBetaRulingCongest),
+            "beta_ruling_congest");
 }
+
+TEST(Api, RegistryCoversEveryAlgorithmExactlyOnce) {
+  const auto& registry = algorithm_registry();
+  EXPECT_EQ(registry.size(), 10u);
+  for (const AlgorithmInfo& info : registry) {
+    // Round trips: enum -> info -> name -> enum.
+    EXPECT_EQ(algorithm_info(info.algorithm).name, info.name);
+    const auto parsed = algorithm_from_name(info.name);
+    ASSERT_TRUE(parsed.has_value()) << info.name;
+    EXPECT_EQ(*parsed, info.algorithm);
+    EXPECT_FALSE(info.summary.empty());
+    EXPECT_GE(info.min_beta, 1u);
+  }
+  EXPECT_EQ(algorithm_names().size(), registry.size());
+}
+
+TEST(Api, AlgorithmFromNameAcceptsLegacyAliases) {
+  EXPECT_EQ(algorithm_from_name("congest_luby"), Algorithm::kLubyCongest);
+  EXPECT_EQ(algorithm_from_name("congest_det2"),
+            Algorithm::kDetRulingCongest);
+  EXPECT_EQ(algorithm_from_name("congest_beta"),
+            Algorithm::kBetaRulingCongest);
+  EXPECT_EQ(algorithm_from_name("congest_aglp"), Algorithm::kAglpCongest);
+  EXPECT_EQ(algorithm_from_name("no_such_algorithm"), std::nullopt);
+  EXPECT_EQ(algorithm_from_name(""), std::nullopt);
+}
+
+TEST(Api, DispatcherRunsEveryAlgorithm) {
+  const Graph g = gen::gnp(120, 0.05, 9);
+  for (const AlgorithmInfo& info : algorithm_registry()) {
+    RulingSetOptions options;
+    options.algorithm = info.algorithm;
+    options.beta = info.min_beta;
+    const auto result = compute_ruling_set(g, options);
+    // AGLP promises its own radius (ceil(log2 n)); everyone else must
+    // deliver the requested beta.
+    const std::uint32_t beta =
+        info.algorithm == Algorithm::kAglpCongest ? result.beta
+                                                  : info.min_beta;
+    EXPECT_TRUE(is_beta_ruling_set(g, result.ruling_set, beta)) << info.name;
+    EXPECT_EQ(result.beta, beta) << info.name;
+    if (info.deterministic) {
+      EXPECT_EQ(result.metrics.random_words, 0u) << info.name;
+      EXPECT_EQ(result.congest_metrics.random_words, 0u) << info.name;
+    }
+    if (info.model == Model::kCongest) {
+      EXPECT_GT(result.congest_metrics.rounds, 0u) << info.name;
+      EXPECT_EQ(result.metrics.rounds, 0u) << info.name;
+    } else if (info.model == Model::kMpc) {
+      EXPECT_GT(result.metrics.rounds, 0u) << info.name;
+      EXPECT_EQ(result.congest_metrics.rounds, 0u) << info.name;
+    }
+  }
+}
+
+TEST(Api, CongestAlgorithmsRejectBadBeta) {
+  const Graph g = gen::path(10);
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kLubyCongest;
+  options.beta = 2;
+  EXPECT_THROW(compute_ruling_set(g, options), std::invalid_argument);
+  options.algorithm = Algorithm::kColoringMisCongest;
+  EXPECT_THROW(compute_ruling_set(g, options), std::invalid_argument);
+  options.algorithm = Algorithm::kDetRulingCongest;
+  options.beta = 1;
+  EXPECT_THROW(compute_ruling_set(g, options), std::invalid_argument);
+  options.algorithm = Algorithm::kDetRulingCongest;
+  options.beta = 3;
+  EXPECT_THROW(compute_ruling_set(g, options), std::invalid_argument);
+  options.algorithm = Algorithm::kBetaRulingCongest;
+  options.beta = 0;
+  EXPECT_THROW(compute_ruling_set(g, options), std::invalid_argument);
+  // Any beta >= 1 is fine for beta_ruling_congest.
+  options.beta = 3;
+  EXPECT_NO_THROW(compute_ruling_set(g, options));
+}
+
+TEST(Api, ColoringAlgorithmsExposeTheColoring) {
+  const Graph g = gen::grid(12, 12);
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kColoringMisCongest;
+  options.beta = 1;
+  const auto result = compute_ruling_set(g, options);
+  ASSERT_EQ(result.colors.size(), g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(result.colors[e.u], result.colors[e.v]);
+  }
+  EXPECT_GT(result.palette_size, 0u);
+  EXPECT_GT(result.phases, 0u);  // Linial steps
+}
+
+// The pre-unification entry points must keep working for one release.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Api, DeprecatedCongestWrappersStillWork) {
+  const Graph g = gen::cycle(60);
+  const auto luby = congest::luby_mis(g);
+  EXPECT_TRUE(is_maximal_independent_set(g, luby.mis));
+  EXPECT_EQ(luby.metrics.rounds,
+            congest::luby_mis_congest(g).congest_metrics.rounds);
+
+  const auto det2 = congest::det_2ruling_congest(g);
+  EXPECT_TRUE(is_beta_ruling_set(g, det2.ruling_set, 2));
+  EXPECT_EQ(det2.ruling_set, congest::det_2ruling_set_congest(g).ruling_set);
+
+  const auto cmis = congest::coloring_mis(g);
+  EXPECT_TRUE(is_maximal_independent_set(g, cmis.mis));
+  EXPECT_EQ(cmis.palette_size,
+            congest::coloring_mis_congest(g).palette_size);
+
+  const auto beta2 = congest::beta_ruling_congest(g, 2);
+  EXPECT_TRUE(is_beta_ruling_set(g, beta2.ruling_set, 2));
+
+  const auto aglp = congest::aglp_ruling_congest(g);
+  EXPECT_TRUE(is_independent_set(g, aglp.ruling_set));
+  EXPECT_EQ(aglp.radius_bound, congest::aglp_ruling_set_congest(g).beta);
+}
+#pragma GCC diagnostic pop
 
 TEST(Api, DefaultOptionsComputeDeterministicTwoRuling) {
   const Graph g = gen::gnp(200, 0.04, 5);

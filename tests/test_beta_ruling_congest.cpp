@@ -9,68 +9,68 @@
 namespace rsets::congest {
 namespace {
 
-TEST(BetaRulingCongest, ValidAcrossSuiteAndBetas) {
+TEST(BetaRulingSetCongest, ValidAcrossSuiteAndBetas) {
   for (const auto& entry : gen::standard_suite(250, 3)) {
     for (std::uint32_t beta : {1u, 2u, 3u}) {
-      const auto result = beta_ruling_congest(entry.graph, beta);
+      const auto result = beta_ruling_set_congest(entry.graph, beta);
       EXPECT_TRUE(is_beta_ruling_set(entry.graph, result.ruling_set, beta))
           << entry.name << " beta=" << beta;
     }
   }
 }
 
-TEST(BetaRulingCongest, MembersArePairwiseFartherThanBeta) {
+TEST(BetaRulingSetCongest, MembersArePairwiseFartherThanBeta) {
   // Distance-beta Luby yields a (beta+1)-separated set: pairwise distance
   // strictly greater than beta — strictly stronger than independence.
   const Graph g = gen::grid(18, 18);
   const std::uint32_t beta = 3;
-  const auto result = beta_ruling_congest(g, beta);
+  const auto result = beta_ruling_set_congest(g, beta);
   const Graph gb = power_graph(g, static_cast<int>(beta));
   EXPECT_TRUE(is_independent_set(gb, result.ruling_set));
 }
 
-TEST(BetaRulingCongest, BetaOneIsMis) {
+TEST(BetaRulingSetCongest, BetaOneIsMis) {
   const Graph g = gen::gnp(300, 0.02, 5);
-  const auto result = beta_ruling_congest(g, 1);
+  const auto result = beta_ruling_set_congest(g, 1);
   EXPECT_TRUE(is_maximal_independent_set(g, result.ruling_set));
 }
 
-TEST(BetaRulingCongest, LargerBetaSmallerSet) {
+TEST(BetaRulingSetCongest, LargerBetaSmallerSet) {
   const Graph g = gen::grid(25, 25);
-  std::size_t prev = beta_ruling_congest(g, 1).ruling_set.size();
+  std::size_t prev = beta_ruling_set_congest(g, 1).ruling_set.size();
   for (std::uint32_t beta : {2u, 4u}) {
-    const std::size_t cur = beta_ruling_congest(g, beta).ruling_set.size();
+    const std::size_t cur = beta_ruling_set_congest(g, beta).ruling_set.size();
     EXPECT_LT(cur, prev) << "beta=" << beta;
     prev = cur;
   }
 }
 
-TEST(BetaRulingCongest, RoundsScaleWithBeta) {
+TEST(BetaRulingSetCongest, RoundsScaleWithBeta) {
   const Graph g = gen::cycle(400);
-  const auto b1 = beta_ruling_congest(g, 1);
-  const auto b4 = beta_ruling_congest(g, 4);
+  const auto b1 = beta_ruling_set_congest(g, 1);
+  const auto b4 = beta_ruling_set_congest(g, 4);
   // Per iteration: 2*beta + O(1) rounds; fewer iterations at larger beta,
   // but each is proportionally longer.
-  EXPECT_GT(b4.metrics.rounds / std::max<std::uint64_t>(b4.iterations, 1),
-            b1.metrics.rounds / std::max<std::uint64_t>(b1.iterations, 1));
+  EXPECT_GT(b4.congest_metrics.rounds / std::max<std::uint64_t>(b4.phases, 1),
+            b1.congest_metrics.rounds / std::max<std::uint64_t>(b1.phases, 1));
 }
 
-TEST(BetaRulingCongest, EdgeCases) {
-  EXPECT_TRUE(beta_ruling_congest(Graph::from_edges(0, {}), 2)
+TEST(BetaRulingSetCongest, EdgeCases) {
+  EXPECT_TRUE(beta_ruling_set_congest(Graph::from_edges(0, {}), 2)
                   .ruling_set.empty());
   EXPECT_EQ(
-      beta_ruling_congest(Graph::from_edges(4, {}), 2).ruling_set.size(),
+      beta_ruling_set_congest(Graph::from_edges(4, {}), 2).ruling_set.size(),
       4u);
-  EXPECT_EQ(beta_ruling_congest(gen::complete(15), 2).ruling_set.size(), 1u);
-  EXPECT_THROW(beta_ruling_congest(gen::path(3), 0), std::invalid_argument);
+  EXPECT_EQ(beta_ruling_set_congest(gen::complete(15), 2).ruling_set.size(), 1u);
+  EXPECT_THROW(beta_ruling_set_congest(gen::path(3), 0), std::invalid_argument);
 }
 
-TEST(BetaRulingCongest, DifferentSeedsBothValid) {
+TEST(BetaRulingSetCongest, DifferentSeedsBothValid) {
   const Graph g = gen::power_law(300, 2.5, 6.0, 7);
   for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
     CongestConfig cfg;
     cfg.seed = seed;
-    const auto result = beta_ruling_congest(g, 2, cfg);
+    const auto result = beta_ruling_set_congest(g, 2, cfg);
     EXPECT_TRUE(is_beta_ruling_set(g, result.ruling_set, 2))
         << "seed " << seed;
   }

@@ -87,18 +87,18 @@ TEST(CongestSim, CountsBits) {
 
 TEST(LubyCongest, ProducesMisOnSuite) {
   for (const auto& entry : gen::standard_suite(300, 5)) {
-    const auto result = luby_mis(entry.graph);
-    EXPECT_TRUE(is_maximal_independent_set(entry.graph, result.mis))
+    const auto result = luby_mis_congest(entry.graph);
+    EXPECT_TRUE(is_maximal_independent_set(entry.graph, result.ruling_set))
         << entry.name;
   }
 }
 
 TEST(LubyCongest, IterationsLogarithmic) {
   const Graph g = gen::gnp(2000, 0.005, 3);
-  const auto result = luby_mis(g);
-  EXPECT_TRUE(is_maximal_independent_set(g, result.mis));
-  EXPECT_LE(result.iterations, 40u);  // ~ c log n, generous cap
-  EXPECT_GT(result.metrics.random_words, 0u);
+  const auto result = luby_mis_congest(g);
+  EXPECT_TRUE(is_maximal_independent_set(g, result.ruling_set));
+  EXPECT_LE(result.phases, 40u);  // ~ c log n, generous cap
+  EXPECT_GT(result.congest_metrics.random_words, 0u);
 }
 
 TEST(LubyCongest, DifferentSeedsBothValid) {
@@ -107,51 +107,51 @@ TEST(LubyCongest, DifferentSeedsBothValid) {
   a.seed = 1;
   CongestConfig b;
   b.seed = 2;
-  EXPECT_TRUE(is_maximal_independent_set(g, luby_mis(g, a).mis));
-  EXPECT_TRUE(is_maximal_independent_set(g, luby_mis(g, b).mis));
+  EXPECT_TRUE(is_maximal_independent_set(g, luby_mis_congest(g, a).ruling_set));
+  EXPECT_TRUE(is_maximal_independent_set(g, luby_mis_congest(g, b).ruling_set));
 }
 
 TEST(LubyCongest, EdgeCases) {
-  EXPECT_TRUE(luby_mis(Graph::from_edges(0, {})).mis.empty());
-  const auto single = luby_mis(Graph::from_edges(1, {}));
-  EXPECT_EQ(single.mis.size(), 1u);
+  EXPECT_TRUE(luby_mis_congest(Graph::from_edges(0, {})).ruling_set.empty());
+  const auto single = luby_mis_congest(Graph::from_edges(1, {}));
+  EXPECT_EQ(single.ruling_set.size(), 1u);
   // Complete graph: exactly one vertex.
-  const auto kn = luby_mis(gen::complete(20));
-  EXPECT_EQ(kn.mis.size(), 1u);
+  const auto kn = luby_mis_congest(gen::complete(20));
+  EXPECT_EQ(kn.ruling_set.size(), 1u);
 }
 
 TEST(ColoringMis, ProperColoringOnBoundedDegree) {
   for (const Graph& g :
        {gen::cycle(200), gen::grid(15, 15), gen::random_tree(300, 1)}) {
-    const auto result = coloring_mis(g);
+    const auto result = coloring_mis_congest(g);
     // Proper coloring check.
     for (const Edge& e : g.edges()) {
       EXPECT_NE(result.colors[e.u], result.colors[e.v]);
     }
-    EXPECT_TRUE(is_maximal_independent_set(g, result.mis));
-    EXPECT_EQ(result.metrics.random_words, 0u);  // deterministic
+    EXPECT_TRUE(is_maximal_independent_set(g, result.ruling_set));
+    EXPECT_EQ(result.congest_metrics.random_words, 0u);  // deterministic
   }
 }
 
 TEST(ColoringMis, PaletteShrinksWellBelowN) {
   const Graph g = gen::grid(30, 30);  // n = 900, Delta = 4
-  const auto result = coloring_mis(g);
+  const auto result = coloring_mis_congest(g);
   EXPECT_LT(result.palette_size, 200u);
-  EXPECT_GE(result.linial_steps, 1u);
+  EXPECT_GE(result.phases, 1u);
 }
 
 TEST(ColoringMis, DeterministicAcrossRuns) {
   const Graph g = gen::torus(10, 10);
-  const auto a = coloring_mis(g);
-  const auto b = coloring_mis(g);
-  EXPECT_EQ(a.mis, b.mis);
+  const auto a = coloring_mis_congest(g);
+  const auto b = coloring_mis_congest(g);
+  EXPECT_EQ(a.ruling_set, b.ruling_set);
   EXPECT_EQ(a.colors, b.colors);
 }
 
 TEST(ColoringMis, EdgeCases) {
-  EXPECT_TRUE(coloring_mis(Graph::from_edges(0, {})).mis.empty());
-  EXPECT_EQ(coloring_mis(Graph::from_edges(1, {})).mis.size(), 1u);
-  EXPECT_EQ(coloring_mis(gen::complete(8)).mis.size(), 1u);
+  EXPECT_TRUE(coloring_mis_congest(Graph::from_edges(0, {})).ruling_set.empty());
+  EXPECT_EQ(coloring_mis_congest(Graph::from_edges(1, {})).ruling_set.size(), 1u);
+  EXPECT_EQ(coloring_mis_congest(gen::complete(8)).ruling_set.size(), 1u);
 }
 
 }  // namespace

@@ -13,42 +13,42 @@ TEST(DetRulingCongest, ValidOnBoundedDegreeFamilies) {
   for (const Graph& g :
        {gen::cycle(300), gen::grid(16, 16), gen::torus(12, 12),
         gen::random_regular(300, 6, 4), gen::caterpillar(40, 4)}) {
-    const auto result = det_2ruling_congest(g);
+    const auto result = det_2ruling_set_congest(g);
     EXPECT_TRUE(is_beta_ruling_set(g, result.ruling_set, 2));
   }
 }
 
 TEST(DetRulingCongest, DeterministicAndRandomFree) {
   const Graph g = gen::grid(20, 20);
-  const auto a = det_2ruling_congest(g);
-  const auto b = det_2ruling_congest(g);
+  const auto a = det_2ruling_set_congest(g);
+  const auto b = det_2ruling_set_congest(g);
   EXPECT_EQ(a.ruling_set, b.ruling_set);
-  EXPECT_EQ(a.metrics.random_words, 0u);
+  EXPECT_EQ(a.congest_metrics.random_words, 0u);
 }
 
 TEST(DetRulingCongest, SparserThanColoringMis) {
   // A 2-ruling set may skip vertices an MIS must take.
   const Graph g = gen::cycle(400);
-  const auto rs = det_2ruling_congest(g);
-  const auto mis = coloring_mis(g);
-  EXPECT_LT(rs.ruling_set.size(), mis.mis.size());
+  const auto rs = det_2ruling_set_congest(g);
+  const auto mis = coloring_mis_congest(g);
+  EXPECT_LT(rs.ruling_set.size(), mis.ruling_set.size());
 }
 
 TEST(DetRulingCongest, RoundsBoundedByPalette) {
   const Graph g = gen::grid(25, 25);
-  const auto result = det_2ruling_congest(g);
+  const auto result = det_2ruling_set_congest(g);
   // Coloring rounds (2/step) + at most 2 rounds per color turn.
-  EXPECT_LE(result.metrics.rounds,
+  EXPECT_LE(result.congest_metrics.rounds,
             2ull * result.palette_size + 20ull);
 }
 
 TEST(DetRulingCongest, EdgeCases) {
-  EXPECT_TRUE(det_2ruling_congest(Graph::from_edges(0, {})).ruling_set.empty());
-  EXPECT_EQ(det_2ruling_congest(Graph::from_edges(3, {})).ruling_set.size(),
+  EXPECT_TRUE(det_2ruling_set_congest(Graph::from_edges(0, {})).ruling_set.empty());
+  EXPECT_EQ(det_2ruling_set_congest(Graph::from_edges(3, {})).ruling_set.size(),
             3u);
-  EXPECT_EQ(det_2ruling_congest(gen::complete(10)).ruling_set.size(), 1u);
+  EXPECT_EQ(det_2ruling_set_congest(gen::complete(10)).ruling_set.size(), 1u);
   const Graph p = gen::path(2);
-  EXPECT_EQ(det_2ruling_congest(p).ruling_set.size(), 1u);
+  EXPECT_EQ(det_2ruling_set_congest(p).ruling_set.size(), 1u);
 }
 
 TEST(LinialColoring, StandaloneProducesProperColoring) {

@@ -1,0 +1,118 @@
+// Worker threads must be invisible: for every MPC algorithm, running the
+// simulator with 1, 2, or 8 threads must produce bit-identical ruling sets,
+// MpcMetrics, and trace counters (DESIGN.md, "Threading model"). Wall-clock
+// fields are the only thing allowed to differ.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ruling_set.hpp"
+#include "graph/generators.hpp"
+#include "graph/verify.hpp"
+#include "mpc/trace.hpp"
+
+namespace rsets {
+namespace {
+
+struct Trial {
+  RulingSetResult result;
+  std::vector<mpc::RoundTrace> traces;
+};
+
+Trial run_with_threads(const Graph& g, Algorithm algorithm, std::uint32_t beta,
+                     unsigned num_threads) {
+  Trial run;
+  RulingSetOptions options;
+  options.algorithm = algorithm;
+  options.beta = beta;
+  options.mpc.num_machines = 8;
+  options.mpc.num_threads = num_threads;
+  options.mpc.trace_hook = [&run](const mpc::RoundTrace& trace) {
+    run.traces.push_back(trace);
+  };
+  run.result = compute_ruling_set(g, options);
+  return run;
+}
+
+void expect_identical(const Trial& base, const Trial& other) {
+  EXPECT_EQ(base.result.ruling_set, other.result.ruling_set);
+  EXPECT_EQ(base.result.beta, other.result.beta);
+  EXPECT_EQ(base.result.phases, other.result.phases);
+  EXPECT_EQ(base.result.mark_steps, other.result.mark_steps);
+  EXPECT_EQ(base.result.derand_chunks, other.result.derand_chunks);
+  EXPECT_EQ(base.result.degree_trajectory, other.result.degree_trajectory);
+
+  const mpc::MpcMetrics& a = base.result.metrics;
+  const mpc::MpcMetrics& b = other.result.metrics;
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.total_words, b.total_words);
+  EXPECT_EQ(a.max_send_words, b.max_send_words);
+  EXPECT_EQ(a.max_recv_words, b.max_recv_words);
+  EXPECT_EQ(a.max_storage_words, b.max_storage_words);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.random_words, b.random_words);
+
+  ASSERT_EQ(base.traces.size(), other.traces.size());
+  for (std::size_t i = 0; i < base.traces.size(); ++i) {
+    const mpc::RoundTrace& s = base.traces[i];
+    const mpc::RoundTrace& t = other.traces[i];
+    EXPECT_EQ(s.round, t.round);
+    EXPECT_EQ(s.drain, t.drain);
+    EXPECT_EQ(s.messages, t.messages);
+    EXPECT_EQ(s.words_sent, t.words_sent);
+    EXPECT_EQ(s.words_recv, t.words_recv);
+    EXPECT_EQ(s.max_recv_words, t.max_recv_words);
+  }
+}
+
+struct Case {
+  Algorithm algorithm;
+  std::uint32_t beta;
+};
+
+class ThreadedDeterminism : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ThreadedDeterminism, ThreadCountIsInvisible) {
+  const Graph g = gen::gnp(240, 0.035, 17);
+  const Case c = GetParam();
+  const Trial base = run_with_threads(g, c.algorithm, c.beta, 1);
+  EXPECT_TRUE(is_beta_ruling_set(g, base.result.ruling_set, c.beta));
+  EXPECT_FALSE(base.traces.empty());
+  for (unsigned threads : {2u, 8u}) {
+    const Trial threaded = run_with_threads(g, c.algorithm, c.beta, threads);
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    expect_identical(base, threaded);
+  }
+}
+
+TEST_P(ThreadedDeterminism, TraceCountersSumToMetrics) {
+  const Graph g = gen::gnp(240, 0.035, 17);
+  const Case c = GetParam();
+  const Trial run = run_with_threads(g, c.algorithm, c.beta, 2);
+  std::uint64_t messages = 0;
+  std::uint64_t words_sent = 0;
+  std::uint64_t max_recv = 0;
+  for (const mpc::RoundTrace& t : run.traces) {
+    messages += t.messages;
+    words_sent += t.words_sent;
+    max_recv = std::max(max_recv, t.max_recv_words);
+  }
+  EXPECT_EQ(messages, run.result.metrics.messages);
+  EXPECT_EQ(words_sent, run.result.metrics.total_words);
+  EXPECT_EQ(max_recv, run.result.metrics.max_recv_words);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMpcAlgorithms, ThreadedDeterminism,
+    ::testing::Values(Case{Algorithm::kLubyMpc, 1},
+                      Case{Algorithm::kDetLubyMpc, 1},
+                      Case{Algorithm::kSampleGatherMpc, 2},
+                      Case{Algorithm::kDetRulingMpc, 2}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return algorithm_name(info.param.algorithm);
+    });
+
+}  // namespace
+}  // namespace rsets

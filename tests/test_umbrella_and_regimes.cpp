@@ -22,8 +22,8 @@ TEST(Umbrella, EndToEndThroughSingleInclude) {
   MarkingFamily family(256, 2);
   EXPECT_EQ(family.total_seed_bits(), 2 * (8 + 1));
   // CONGEST side.
-  const auto congest_result = congest::luby_mis(g);
-  EXPECT_TRUE(is_maximal_independent_set(g, congest_result.mis));
+  const auto congest_result = congest::luby_mis_congest(g);
+  EXPECT_TRUE(is_maximal_independent_set(g, congest_result.ruling_set));
   // MPC side through the dispatcher.
   RulingSetOptions options;
   options.mpc.memory_words = 1 << 20;

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Builds the test suite under ThreadSanitizer and runs the tests that
+# exercise the round-parallel MPC simulator. Guards the threading contract
+# in DESIGN.md ("Threading model"): round callbacks own their machine, read
+# shared state, and never write across machines.
+#
+# Usage: tools/check_tsan.sh [build-dir]       (default: build-tsan)
+#
+# Notes:
+#   * Uses a dedicated build tree so the regular build stays sanitizer-free.
+#   * The filter covers the simulator unit tests, the cross-thread
+#     determinism sweep (which runs every MPC algorithm at 1/2/8 workers),
+#     and the dispatcher integration tests. Run the full binary under TSan
+#     with: ./build-tsan/tests/rsets_tests
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-tsan"}
+
+cmake -B "$build_dir" -S "$repo_root" -DRSETS_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" --target rsets_tests -j "$(nproc)"
+
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$build_dir/tests/rsets_tests" \
+    --gtest_filter='Simulator*:Primitives*:DistGraph*:ThreadedDeterminism*:*/ThreadedDeterminism*:Api.*'
+
+echo "check_tsan: PASS"

@@ -5,8 +5,12 @@
 // Usage:
 //   rsets_cli --input=graph.txt --algorithm=det_ruling_mpc --beta=2
 //   rsets_cli --gen=gnp --n=10000 --avg_deg=8 --algorithm=luby_mpc --beta=1
-//   rsets_cli --gen=power_law --n=5000 --algorithm=sample_gather_mpc \
-//             --beta=2 --machines=16 --out=set.txt
+//   rsets_cli --gen=power_law --n=5000 --algorithm=sample_gather_mpc
+//             --beta=2 --machines=16 --threads=4 --trace=rounds.jsonl
+//
+// Every algorithm — sequential, MPC, and CONGEST — goes through the unified
+// compute_ruling_set dispatcher; --algorithm accepts any name from
+// rsets::algorithm_registry() (plus the legacy congest_* aliases).
 //
 // Exit code: 0 if the output verified, 1 otherwise, 2 on usage errors.
 #include <cmath>
@@ -14,14 +18,11 @@
 #include <iostream>
 #include <string>
 
-#include "congest/aglp_ruling.hpp"
-#include "congest/beta_ruling_congest.hpp"
-#include "congest/det_ruling_congest.hpp"
-#include "congest/luby_congest.hpp"
 #include "core/ruling_set.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/verify.hpp"
+#include "mpc/trace.hpp"
 #include "util/flags.hpp"
 #include "util/logging.hpp"
 
@@ -29,20 +30,40 @@ namespace {
 
 using namespace rsets;
 
+const char* model_name(Model m) {
+  switch (m) {
+    case Model::kSequential:
+      return "sequential";
+    case Model::kMpc:
+      return "mpc";
+    case Model::kCongest:
+      return "congest";
+  }
+  return "?";
+}
+
 int usage(const std::string& error) {
   std::cerr << "error: " << error << "\n\n"
             << "usage: rsets_cli (--input=FILE | --gen=NAME --n=N)\n"
-            << "  --algorithm=greedy|luby_mpc|det_luby_mpc|"
-               "sample_gather_mpc|det_ruling_mpc\n"
-            << "             |congest_luby|congest_det2|congest_beta|"
-               "congest_aglp   (default det_ruling_mpc)\n"
-            << "  --beta=B           ruling parameter (default 2)\n"
-            << "  --gen=NAME         gnp|gnm|power_law|regular|ba|tree|grid\n"
-            << "  --n=N --avg_deg=D --seed=S   generator parameters\n"
-            << "  --machines=M --memory_words=W --budget=B   MPC knobs\n"
-            << "  --out=FILE         write the set, one vertex per line\n"
-            << "  --print_set        print the set to stdout\n"
-            << "  --verbose          debug logging\n";
+            << "  --algorithm=NAME   one of (default det_ruling_mpc):\n";
+  for (const AlgorithmInfo& info : algorithm_registry()) {
+    std::cerr << "      " << info.name;
+    for (std::size_t pad = info.name.size(); pad < 22; ++pad) std::cerr << ' ';
+    std::cerr << "[" << model_name(info.model) << "] " << info.summary
+              << "\n";
+  }
+  std::cerr
+      << "  --beta=B           ruling parameter (default: the algorithm's "
+         "minimum)\n"
+      << "  --gen=NAME         gnp|gnm|power_law|regular|ba|tree|grid\n"
+      << "  --n=N --avg_deg=D --seed=S   generator parameters\n"
+      << "  --machines=M --memory_words=W --budget=B   MPC knobs\n"
+      << "  --threads=T        MPC simulator worker threads (1 sequential,\n"
+      << "                     0 hardware concurrency; results identical)\n"
+      << "  --trace=FILE       per-round JSONL trace (MPC algorithms)\n"
+      << "  --out=FILE         write the set, one vertex per line\n"
+      << "  --print_set        print the set to stdout\n"
+      << "  --verbose          debug logging\n";
   return 2;
 }
 
@@ -77,15 +98,6 @@ Graph build_graph(const Flags& flags) {
   throw std::invalid_argument("unknown generator: " + name);
 }
 
-Algorithm parse_algorithm(const std::string& name) {
-  if (name == "greedy") return Algorithm::kGreedySequential;
-  if (name == "luby_mpc") return Algorithm::kLubyMpc;
-  if (name == "det_luby_mpc") return Algorithm::kDetLubyMpc;
-  if (name == "sample_gather_mpc") return Algorithm::kSampleGatherMpc;
-  if (name == "det_ruling_mpc") return Algorithm::kDetRulingMpc;
-  throw std::invalid_argument("unknown algorithm: " + name);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,84 +112,70 @@ int main(int argc, char** argv) {
   try {
     const Graph g = build_graph(flags);
     const std::string algo_name = flags.get("algorithm", "det_ruling_mpc");
-    const auto beta_flag =
-        static_cast<std::uint32_t>(flags.get_int("beta", 2));
-
-    // CONGEST algorithms report through the same key=value schema.
-    if (algo_name.rfind("congest_", 0) == 0) {
-      congest::CongestConfig ccfg;
-      ccfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-      std::vector<VertexId> set;
-      congest::CongestMetrics metrics;
-      std::uint32_t beta = beta_flag;
-      if (algo_name == "congest_luby") {
-        auto r = congest::luby_mis(g, ccfg);
-        set = std::move(r.mis);
-        metrics = r.metrics;
-        beta = 1;
-      } else if (algo_name == "congest_det2") {
-        auto r = congest::det_2ruling_congest(g, ccfg);
-        set = std::move(r.ruling_set);
-        metrics = r.metrics;
-        beta = 2;
-      } else if (algo_name == "congest_beta") {
-        auto r = congest::beta_ruling_congest(g, beta_flag, ccfg);
-        set = std::move(r.ruling_set);
-        metrics = r.metrics;
-      } else if (algo_name == "congest_aglp") {
-        auto r = congest::aglp_ruling_congest(g, ccfg);
-        set = std::move(r.ruling_set);
-        metrics = r.metrics;
-        beta = r.radius_bound;
-      } else {
-        return usage("unknown algorithm: " + algo_name);
-      }
-      const auto report = check_ruling_set(g, set, beta);
-      std::cout << "algorithm=" << algo_name << "\n"
-                << "model=congest\n"
-                << "n=" << g.num_vertices() << "\n"
-                << "m=" << g.num_edges() << "\n"
-                << "beta=" << beta << "\n"
-                << "size=" << set.size() << "\n"
-                << "radius=" << report.radius << "\n"
-                << "valid=" << (report.valid ? 1 : 0) << "\n"
-                << "rounds=" << metrics.rounds << "\n"
-                << "total_bits=" << metrics.total_bits << "\n"
-                << "random_words=" << metrics.random_words << "\n";
-      if (flags.get_bool("print_set", false)) {
-        for (VertexId v : set) std::cout << v << "\n";
-      }
-      return report.valid ? 0 : 1;
-    }
+    const auto algorithm = algorithm_from_name(algo_name);
+    if (!algorithm) return usage("unknown algorithm: " + algo_name);
+    const AlgorithmInfo& info = algorithm_info(*algorithm);
 
     RulingSetOptions options;
-    options.algorithm = parse_algorithm(algo_name);
-    options.beta = beta_flag;
+    options.algorithm = *algorithm;
+    // Without an explicit --beta, run at the algorithm's minimum (an MIS
+    // algorithm defaults to 1, the 2-ruling machinery to 2, ...).
+    options.beta = flags.has("beta")
+                       ? static_cast<std::uint32_t>(flags.get_int("beta", 2))
+                       : info.min_beta;
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
     options.mpc.num_machines =
         static_cast<mpc::MachineId>(flags.get_int("machines", 8));
-    options.mpc.memory_words = static_cast<std::size_t>(
-        flags.get_int("memory_words", 1 << 24));
-    options.mpc.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    options.mpc.memory_words =
+        static_cast<std::size_t>(flags.get_int("memory_words", 1 << 24));
+    options.mpc.seed = seed;
+    options.mpc.num_threads =
+        static_cast<unsigned>(flags.get_int("threads", 1));
+    options.congest.seed = seed;
     options.gather_budget_words =
         static_cast<std::uint64_t>(flags.get_int("budget", 0));
 
-    const RulingSetResult result = compute_ruling_set(g, options);
-    const auto report = check_ruling_set(g, result.ruling_set, options.beta);
+    std::ofstream trace_out;
+    if (flags.has("trace")) {
+      trace_out.open(flags.get("trace", ""));
+      if (!trace_out) {
+        std::cerr << "error: cannot write " << flags.get("trace", "") << "\n";
+        return 2;
+      }
+      options.mpc.trace_hook = [&trace_out](const mpc::RoundTrace& trace) {
+        trace_out << mpc::to_json(trace) << "\n";
+      };
+    }
 
-    std::cout << "algorithm=" << algorithm_name(options.algorithm) << "\n"
+    const RulingSetResult result = compute_ruling_set(g, options);
+    // AGLP's guarantee is a function of n; everyone else delivers the
+    // requested beta.
+    const std::uint32_t beta =
+        *algorithm == Algorithm::kAglpCongest ? result.beta : options.beta;
+    const auto report = check_ruling_set(g, result.ruling_set, beta);
+
+    std::cout << "algorithm=" << info.name << "\n"
+              << "model=" << model_name(info.model) << "\n"
               << "n=" << g.num_vertices() << "\n"
               << "m=" << g.num_edges() << "\n"
-              << "beta=" << options.beta << "\n"
+              << "beta=" << beta << "\n"
               << "size=" << result.ruling_set.size() << "\n"
               << "radius=" << report.radius << "\n"
               << "valid=" << (report.valid ? 1 : 0) << "\n"
-              << "rounds=" << result.metrics.rounds << "\n"
-              << "phases=" << result.phases << "\n"
-              << "words=" << result.metrics.total_words << "\n"
-              << "peak_memory_words=" << result.metrics.max_storage_words
-              << "\n"
-              << "random_words=" << result.metrics.random_words << "\n"
-              << "violations=" << result.metrics.violations << "\n";
+              << "phases=" << result.phases << "\n";
+    if (info.model == Model::kCongest) {
+      std::cout << "rounds=" << result.congest_metrics.rounds << "\n"
+                << "total_bits=" << result.congest_metrics.total_bits << "\n"
+                << "random_words=" << result.congest_metrics.random_words
+                << "\n";
+    } else {
+      std::cout << "rounds=" << result.metrics.rounds << "\n"
+                << "words=" << result.metrics.total_words << "\n"
+                << "peak_memory_words=" << result.metrics.max_storage_words
+                << "\n"
+                << "random_words=" << result.metrics.random_words << "\n"
+                << "violations=" << result.metrics.violations << "\n";
+    }
 
     if (flags.has("out")) {
       std::ofstream out(flags.get("out", ""));
