@@ -30,7 +30,7 @@ void BM_DetRuling_Beta(benchmark::State& state) {
     opt.gather_budget_words = 8ull * kN;
     result = det_ruling_set_mpc(g, default_mpc(), opt);
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
   state.counters["beta"] = beta;
   state.counters["mark_steps"] = static_cast<double>(result.mark_steps);
   state.counters["greedy_size"] =

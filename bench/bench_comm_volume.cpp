@@ -26,7 +26,7 @@ void BM_DetRuling_Budget(benchmark::State& state) {
     opt.gather_budget_words = budget;
     result = det_ruling_set_mpc(g, default_mpc(), opt);
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
   state.counters["budget"] = static_cast<double>(budget);
   state.counters["peak_storage"] =
       static_cast<double>(result.metrics.max_storage_words);
@@ -45,7 +45,7 @@ void BM_SampleGather_Budget(benchmark::State& state) {
     opt.gather_budget_words = budget;
     result = sample_gather_2ruling(g, default_mpc(), opt);
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
   state.counters["budget"] = static_cast<double>(budget);
   state.counters["peak_storage"] =
       static_cast<double>(result.metrics.max_storage_words);

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <cstdint>
@@ -90,9 +91,29 @@ inline double model_rounds(const RulingSetResult& result, VertexId n,
          2.0 * static_cast<double>(result.derand_chunks) + 2.0 * wide_chunks;
 }
 
-// Fills the standard counter set from a run.
+// Stamps the host into the benchmark context exactly once per process, so
+// every JSON record a bench emits carries where it ran.
+inline void add_host_context_once() {
+  static const bool added = [] {
+    char host[256] = {};
+    if (gethostname(host, sizeof(host) - 1) != 0) {
+      std::snprintf(host, sizeof(host), "unknown");
+    }
+    benchmark::AddCustomContext("hostname", host);
+    return true;
+  }();
+  (void)added;
+}
+
+// Fills the standard counter set from a run. `cfg` is the MPC configuration
+// the run used — its machine and thread counts go into every record so a
+// result row is interpretable without the invoking script.
 inline void report(benchmark::State& state, const Graph& g,
-                   const RulingSetResult& result, int chunk_bits = 4) {
+                   const RulingSetResult& result, const mpc::MpcConfig& cfg,
+                   int chunk_bits = 4) {
+  add_host_context_once();
+  state.counters["num_machines"] = static_cast<double>(cfg.num_machines);
+  state.counters["num_threads"] = static_cast<double>(cfg.num_threads);
   state.counters["rounds"] =
       static_cast<double>(result.metrics.rounds);
   state.counters["model_rounds"] =

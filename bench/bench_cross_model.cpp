@@ -97,7 +97,7 @@ void BM_MpcDetRuling(benchmark::State& state) {
     opt.gather_budget_words = 8ull * n;
     result = det_ruling_set_mpc(g, default_mpc(), opt);
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
 }
 
 void Sizes(benchmark::internal::Benchmark* b) {

@@ -37,7 +37,7 @@ void BM_ChunkWidth(benchmark::State& state) {
     opt.gather_budget_words = 8ull * kN;
     result = det_ruling_set_mpc(g, default_mpc(), opt);
   }
-  report(state, g, result, chunk_bits);
+  report(state, g, result, default_mpc(), chunk_bits);
   state.counters["chunk_bits"] = chunk_bits;
   state.counters["chunks"] = static_cast<double>(result.derand_chunks);
   state.counters["steps_per_phase"] =

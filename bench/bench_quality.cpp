@@ -51,7 +51,7 @@ void BM_Quality_Det(benchmark::State& state) {
     opt.gather_budget_words = 8ull * kN;
     result = det_ruling_set_mpc(g, default_mpc(), opt);
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
   state.counters["greedy_mis"] = greedy;
   state.counters["ratio_to_greedy"] =
       static_cast<double>(result.ruling_set.size()) / greedy;
@@ -68,7 +68,7 @@ void BM_Quality_SampleGather(benchmark::State& state) {
     opt.gather_budget_words = 8ull * kN;
     result = sample_gather_2ruling(g, default_mpc(), opt);
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
   state.counters["greedy_mis"] = greedy;
   state.counters["ratio_to_greedy"] =
       static_cast<double>(result.ruling_set.size()) / greedy;

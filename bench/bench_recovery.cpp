@@ -1,0 +1,72 @@
+// E9 — Recovery overhead vs. checkpoint cadence.
+//
+// Crashes are injected at a fixed per-machine, per-round probability while
+// the checkpoint interval sweeps {1, 2, 4, 8, 16}. A crash at round r
+// restores the barrier snapshot and charges r - c recovery rounds, where c
+// is the last durable checkpoint — so frequent checkpoints bound recovery
+// at the price of one snapshot per interval, and sparse checkpoints make
+// each crash expensive. Prediction: overhead_rounds grows roughly linearly
+// with the interval at fixed crash rate; the result set never changes
+// (asserted by the validity counter every bench reports).
+#include "bench_common.hpp"
+
+#include "core/det_ruling.hpp"
+
+namespace rsets::bench {
+namespace {
+
+constexpr VertexId kN = 6000;
+constexpr double kCrashProb = 0.02;
+
+Graph family_graph() { return gen::gnp(kN, 16.0 / kN, 13); }
+
+RulingSetResult run_once(const Graph& g, const mpc::MpcConfig& cfg) {
+  DetRulingOptions opt;
+  opt.gather_budget_words = 8ull * kN;
+  return det_ruling_set_mpc(g, cfg, opt);
+}
+
+void BM_RecoveryOverhead(benchmark::State& state) {
+  const auto checkpoint_every = static_cast<std::uint64_t>(state.range(0));
+  const Graph g = family_graph();
+
+  // Fault-free baseline: what the run costs with the subsystem off.
+  const std::uint64_t baseline_rounds =
+      run_once(g, default_mpc()).metrics.rounds;
+
+  mpc::MpcConfig cfg = default_mpc();
+  cfg.faults.enabled = true;
+  cfg.faults.seed = 99;
+  cfg.faults.crash_prob = kCrashProb;
+  cfg.checkpoint_every = checkpoint_every;
+  RulingSetResult result;
+  for (auto _ : state) {
+    result = run_once(g, cfg);
+  }
+  report(state, g, result, cfg);
+  state.counters["checkpoint_every"] =
+      static_cast<double>(checkpoint_every);
+  state.counters["baseline_rounds"] = static_cast<double>(baseline_rounds);
+  state.counters["overhead_rounds"] =
+      static_cast<double>(result.metrics.rounds - baseline_rounds);
+  state.counters["recovery_rounds"] =
+      static_cast<double>(result.metrics.recovery_rounds);
+  state.counters["checkpoints"] =
+      static_cast<double>(result.metrics.checkpoints);
+  state.counters["faults_injected"] =
+      static_cast<double>(result.metrics.faults_injected);
+}
+
+BENCHMARK(BM_RecoveryOverhead)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rsets::bench
+
+BENCHMARK_MAIN();

@@ -29,7 +29,7 @@ void BM_DetRuling_Regular(benchmark::State& state) {
     opt.gather_budget_words = 8ull * kN;
     result = det_ruling_set_mpc(g, default_mpc(), opt);
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
   state.counters["delta"] = g.max_degree();
   state.counters["mark_steps"] = static_cast<double>(result.mark_steps);
 }
@@ -43,7 +43,7 @@ void BM_SampleGather_Regular(benchmark::State& state) {
     opt.gather_budget_words = 8ull * kN;
     result = sample_gather_2ruling(g, default_mpc(), opt);
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
   state.counters["delta"] = g.max_degree();
 }
 
@@ -54,7 +54,7 @@ void BM_Luby_Regular(benchmark::State& state) {
   for (auto _ : state) {
     result = luby_mis_mpc(g, default_mpc());
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
   state.counters["delta"] = g.max_degree();
 }
 
@@ -68,7 +68,7 @@ void BM_DetRuling_PowerLaw(benchmark::State& state) {
     opt.gather_budget_words = 8ull * kN;
     result = det_ruling_set_mpc(g, default_mpc(), opt);
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
   state.counters["delta"] = g.max_degree();
   state.counters["mark_steps"] = static_cast<double>(result.mark_steps);
 }

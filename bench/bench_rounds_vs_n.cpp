@@ -48,7 +48,7 @@ void BM_DetRuling(benchmark::State& state) {
     opt.gather_budget_words = kBudgetPerVertex * n;
     result = det_ruling_set_mpc(g, default_mpc(), opt);
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
   state.counters["mark_steps"] = static_cast<double>(result.mark_steps);
 }
 
@@ -61,7 +61,7 @@ void BM_SampleGather(benchmark::State& state) {
     opt.gather_budget_words = kBudgetPerVertex * n;
     result = sample_gather_2ruling(g, default_mpc(), opt);
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
 }
 
 void BM_Luby(benchmark::State& state) {
@@ -71,7 +71,7 @@ void BM_Luby(benchmark::State& state) {
   for (auto _ : state) {
     result = luby_mis_mpc(g, default_mpc());
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
 }
 
 void BM_DetLuby(benchmark::State& state) {
@@ -81,7 +81,7 @@ void BM_DetLuby(benchmark::State& state) {
   for (auto _ : state) {
     result = det_luby_mis_mpc(g, default_mpc());
   }
-  report(state, g, result);
+  report(state, g, result, default_mpc());
 }
 
 // E1b — wall-clock scaling of the threaded simulator. Same deterministic
@@ -114,7 +114,9 @@ void BM_DetRulingThreads(benchmark::State& state) {
                   std::chrono::steady_clock::now() - start)
                   .count();
   }
-  report(state, g, result);
+  mpc::MpcConfig reported = default_mpc();
+  reported.num_threads = threads;
+  report(state, g, result, reported);
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["wall_ms"] = wall_ms;
   // google-benchmark runs args in registration order, so the threads=1 row

@@ -52,14 +52,4 @@ RulingSetResult aglp_ruling_set_congest(const Graph& g,
   return result;
 }
 
-AglpResult aglp_ruling_congest(const Graph& g,
-                               const CongestConfig& config) {
-  RulingSetResult unified = aglp_ruling_set_congest(g, config);
-  AglpResult legacy;
-  legacy.ruling_set = std::move(unified.ruling_set);
-  legacy.radius_bound = unified.beta;
-  legacy.metrics = unified.congest_metrics;
-  return legacy;
-}
-
 }  // namespace rsets::congest

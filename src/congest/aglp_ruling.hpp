@@ -31,16 +31,4 @@ namespace rsets::congest {
 RulingSetResult aglp_ruling_set_congest(const Graph& g,
                                         const CongestConfig& config = {});
 
-// Deprecated pre-unification result/entry pair; removed after one release.
-struct AglpResult {
-  std::vector<VertexId> ruling_set;
-  std::uint32_t radius_bound = 0;  // L, the guaranteed domination radius
-  CongestMetrics metrics;
-};
-
-[[deprecated(
-    "use aglp_ruling_set_congest, which returns rsets::RulingSetResult")]]
-AglpResult aglp_ruling_congest(const Graph& g,
-                               const CongestConfig& config = {});
-
 }  // namespace rsets::congest

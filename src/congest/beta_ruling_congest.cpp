@@ -112,14 +112,4 @@ RulingSetResult beta_ruling_set_congest(const Graph& g,
   return result;
 }
 
-BetaRulingResult beta_ruling_congest(const Graph& g, std::uint32_t beta,
-                                     const CongestConfig& config) {
-  RulingSetResult unified = beta_ruling_set_congest(g, beta, config);
-  BetaRulingResult legacy;
-  legacy.ruling_set = std::move(unified.ruling_set);
-  legacy.iterations = unified.phases;
-  legacy.metrics = unified.congest_metrics;
-  return legacy;
-}
-
 }  // namespace rsets::congest

@@ -24,16 +24,4 @@ namespace rsets::congest {
 RulingSetResult beta_ruling_set_congest(const Graph& g, std::uint32_t beta,
                                         const CongestConfig& config = {});
 
-// Deprecated pre-unification result/entry pair; removed after one release.
-struct BetaRulingResult {
-  std::vector<VertexId> ruling_set;
-  std::uint64_t iterations = 0;
-  CongestMetrics metrics;
-};
-
-[[deprecated(
-    "use beta_ruling_set_congest, which returns rsets::RulingSetResult")]]
-BetaRulingResult beta_ruling_congest(const Graph& g, std::uint32_t beta,
-                                     const CongestConfig& config = {});
-
 }  // namespace rsets::congest

@@ -163,15 +163,4 @@ RulingSetResult coloring_mis_congest(const Graph& g,
   return result;
 }
 
-ColoringMisResult coloring_mis(const Graph& g, const CongestConfig& config) {
-  RulingSetResult unified = coloring_mis_congest(g, config);
-  ColoringMisResult legacy;
-  legacy.mis = std::move(unified.ruling_set);
-  legacy.colors = std::move(unified.colors);
-  legacy.palette_size = unified.palette_size;
-  legacy.linial_steps = unified.phases;
-  legacy.metrics = unified.congest_metrics;
-  return legacy;
-}
-
 }  // namespace rsets::congest

@@ -43,18 +43,4 @@ LinialColoring linial_coloring(CongestSim& sim);
 RulingSetResult coloring_mis_congest(const Graph& g,
                                      const CongestConfig& config = {});
 
-// Deprecated pre-unification result/entry pair; removed after one release.
-struct ColoringMisResult {
-  std::vector<VertexId> mis;
-  std::vector<std::uint32_t> colors;   // final proper coloring
-  std::uint32_t palette_size = 0;      // final number of colors (bound)
-  std::uint64_t linial_steps = 0;
-  CongestMetrics metrics;
-};
-
-[[deprecated(
-    "use coloring_mis_congest, which returns rsets::RulingSetResult")]]
-ColoringMisResult coloring_mis(const Graph& g,
-                               const CongestConfig& config = {});
-
 }  // namespace rsets::congest

@@ -65,14 +65,4 @@ RulingSetResult det_2ruling_set_congest(const Graph& g,
   return result;
 }
 
-DetRulingCongestResult det_2ruling_congest(const Graph& g,
-                                           const CongestConfig& config) {
-  RulingSetResult unified = det_2ruling_set_congest(g, config);
-  DetRulingCongestResult legacy;
-  legacy.ruling_set = std::move(unified.ruling_set);
-  legacy.palette_size = unified.palette_size;
-  legacy.metrics = unified.congest_metrics;
-  return legacy;
-}
-
 }  // namespace rsets::congest

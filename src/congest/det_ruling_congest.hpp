@@ -31,16 +31,4 @@ namespace rsets::congest {
 RulingSetResult det_2ruling_set_congest(const Graph& g,
                                         const CongestConfig& config = {});
 
-// Deprecated pre-unification result/entry pair; removed after one release.
-struct DetRulingCongestResult {
-  std::vector<VertexId> ruling_set;
-  std::uint32_t palette_size = 0;
-  CongestMetrics metrics;
-};
-
-[[deprecated(
-    "use det_2ruling_set_congest, which returns rsets::RulingSetResult")]]
-DetRulingCongestResult det_2ruling_congest(const Graph& g,
-                                           const CongestConfig& config = {});
-
 }  // namespace rsets::congest

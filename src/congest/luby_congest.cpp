@@ -98,13 +98,4 @@ RulingSetResult luby_mis_congest(const Graph& g,
   return result;
 }
 
-LubyResult luby_mis(const Graph& g, const CongestConfig& config) {
-  RulingSetResult unified = luby_mis_congest(g, config);
-  LubyResult legacy;
-  legacy.mis = std::move(unified.ruling_set);
-  legacy.iterations = unified.phases;
-  legacy.metrics = unified.congest_metrics;
-  return legacy;
-}
-
 }  // namespace rsets::congest

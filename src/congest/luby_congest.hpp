@@ -21,14 +21,4 @@ namespace rsets::congest {
 RulingSetResult luby_mis_congest(const Graph& g,
                                  const CongestConfig& config = {});
 
-// Deprecated pre-unification result/entry pair; removed after one release.
-struct LubyResult {
-  std::vector<VertexId> mis;
-  std::uint64_t iterations = 0;
-  CongestMetrics metrics;
-};
-
-[[deprecated("use luby_mis_congest, which returns rsets::RulingSetResult")]]
-LubyResult luby_mis(const Graph& g, const CongestConfig& config = {});
-
 }  // namespace rsets::congest

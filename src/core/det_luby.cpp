@@ -41,6 +41,13 @@ RulingSetResult det_luby_mis_mpc(const Graph& g, const mpc::MpcConfig& cfg,
 
   std::vector<std::uint32_t> adeg(n, 0);
 
+  // Checkpointable driver state: everything that survives across rounds.
+  sim.register_snapshotable("dist_graph", &dg);
+  auto driver_state =
+      mpc::snapshot_of(result.ruling_set, result.phases, result.mark_steps,
+                       result.derand_chunks, adeg);
+  sim.register_snapshotable("det_luby", &driver_state);
+
   while (dg.active_count() > 0) {
     ++result.phases;
     // Degrees: owners compute their own; one all-to-all ships each active

@@ -86,6 +86,13 @@ DetMatchingResult det_matching_mpc(const Graph& g, const mpc::MpcConfig& cfg,
 
   std::vector<std::uint32_t> edge_deg(num_edges, 0);
 
+  // Checkpointable driver state: everything that survives across rounds.
+  sim.register_snapshotable("dist_graph", &dg);
+  auto driver_state =
+      mpc::snapshot_of(result.matching, result.iterations,
+                       result.derand_chunks, vertex_matched, edge_active);
+  sim.register_snapshotable("det_matching", &driver_state);
+
   std::uint64_t active_edges = num_edges;
   while (active_edges > 0) {
     ++result.iterations;

@@ -38,6 +38,13 @@ RulingSetResult det_ruling_set_mpc(const Graph& g, const mpc::MpcConfig& cfg,
   result.beta = options.beta;
   std::vector<VertexId>& ruling = result.ruling_set;
 
+  // Checkpointable driver state: everything that survives across rounds.
+  sim.register_snapshotable("dist_graph", &dg);
+  auto driver_state =
+      mpc::snapshot_of(result.ruling_set, result.phases, result.mark_steps,
+                       result.derand_chunks, result.degree_trajectory);
+  sim.register_snapshotable("det_ruling", &driver_state);
+
   while (dg.active_count() > 0) {
     const std::uint64_t m_active = count_active_edges(sim, dg);
     if (m_active == 0) {

@@ -26,6 +26,12 @@ RulingSetResult luby_mis_mpc(const Graph& g, const mpc::MpcConfig& cfg) {
 
   std::vector<std::uint64_t> priority(n, 0);
 
+  // Checkpointable driver state: everything that survives across rounds.
+  sim.register_snapshotable("dist_graph", &dg);
+  auto driver_state =
+      mpc::snapshot_of(result.ruling_set, result.phases, priority);
+  sim.register_snapshotable("luby", &driver_state);
+
   while (dg.active_count() > 0) {
     ++result.phases;
     // Round A: owners draw priorities and route each owned active vertex's

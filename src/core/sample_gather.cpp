@@ -32,6 +32,12 @@ RulingSetResult sample_gather_2ruling(const Graph& g,
   std::vector<VertexId>& ruling = result.ruling_set;
   const double log_n = std::log(std::max<double>(n, 2.0));
 
+  // Checkpointable driver state: everything that survives across rounds.
+  sim.register_snapshotable("dist_graph", &dg);
+  auto driver_state = mpc::snapshot_of(result.ruling_set, result.phases,
+                                       result.degree_trajectory);
+  sim.register_snapshotable("sample_gather", &driver_state);
+
   while (dg.active_count() > 0) {
     const std::uint64_t m_active = count_active_edges(sim, dg);
     if (m_active == 0) {

@@ -102,6 +102,22 @@ void DistGraph::deactivate(
   }
 }
 
+void DistGraph::save(SnapshotWriter& w) const {
+  w.vec(active_);
+  w.u64(active_count_);
+}
+
+void DistGraph::restore(SnapshotReader& r) {
+  std::vector<bool> active;
+  r.vec(active);
+  const std::uint64_t count = r.u64();
+  if (active.size() != num_vertices_) {
+    throw CheckpointError("DistGraph::restore: vertex count mismatch");
+  }
+  active_ = std::move(active);
+  active_count_ = count;
+}
+
 std::vector<VertexId> DistGraph::active_vertices() const {
   std::vector<VertexId> out;
   out.reserve(active_count_);

@@ -24,7 +24,7 @@
 
 namespace rsets::mpc {
 
-class DistGraph {
+class DistGraph : public Snapshotable {
  public:
   // Loads `g` into `sim`, charging storage and the distribution round.
   DistGraph(Simulator& sim, const Graph& g, std::uint64_t partition_salt = 0);
@@ -68,6 +68,13 @@ class DistGraph {
   // All currently active vertices (driver-side convenience; owners know
   // their own, and the replicated bitset makes this consistent).
   std::vector<VertexId> active_vertices() const;
+
+  // --- Snapshotable --------------------------------------------------------
+  // The mutable state is the replicated activity bitset; the graph itself,
+  // ownership map, and storage charges are immutable after construction and
+  // reconstructible from the input, so they stay out of checkpoints.
+  void save(SnapshotWriter& w) const override;
+  void restore(SnapshotReader& r) override;
 
  private:
   const Graph* graph_;  // simulation backing store; per-machine slices are

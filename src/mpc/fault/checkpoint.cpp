@@ -1,0 +1,45 @@
+#include "mpc/fault/checkpoint.hpp"
+
+#include <fstream>
+
+namespace rsets::mpc {
+
+void write_checkpoint_file(const Checkpoint& checkpoint,
+                           const std::string& path) {
+  if (checkpoint.empty()) {
+    throw CheckpointError("write_checkpoint_file: empty checkpoint");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw CheckpointError("write_checkpoint_file: cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(checkpoint.bytes.data()),
+            static_cast<std::streamsize>(checkpoint.bytes.size()));
+  if (!out) {
+    throw CheckpointError("write_checkpoint_file: short write to " + path);
+  }
+}
+
+Checkpoint read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("read_checkpoint_file: cannot open " + path);
+  }
+  Checkpoint checkpoint;
+  checkpoint.bytes.assign(std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>());
+  // Validate the header and recover the barrier round without decoding the
+  // full state (that needs the simulator's registered hooks).
+  SnapshotReader r(checkpoint.bytes.data(), checkpoint.bytes.size());
+  if (r.u64() != kCheckpointMagic) {
+    throw CheckpointError("read_checkpoint_file: bad magic in " + path);
+  }
+  if (r.u64() != kCheckpointVersion) {
+    throw CheckpointError("read_checkpoint_file: unsupported version in " +
+                          path);
+  }
+  checkpoint.round = r.u64();
+  return checkpoint;
+}
+
+}  // namespace rsets::mpc

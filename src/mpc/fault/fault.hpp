@@ -1,0 +1,110 @@
+// Fault model for the MPC simulator (configuration + event records).
+//
+// Real MPC deployments run on clusters where stragglers and worker failures
+// are the norm; the simulator models them as *transport- and barrier-level*
+// perturbations that are deterministic given FaultConfig::seed and never
+// change algorithm results — only the cost ledger (rounds, words) and the
+// trace. The four kinds:
+//
+//   crash      a machine loses its volatile state at a superstep barrier and
+//              is restored from the last checkpoint; the supersteps between
+//              that checkpoint and the crash are re-executed (charged as
+//              recovery rounds — re-execution is bit-deterministic, so the
+//              simulator restores the barrier image byte-for-byte from the
+//              snapshot and charges the delta instead of recomputing it).
+//   straggler  a machine finishes its superstep `delay_rounds` late; the BSP
+//              barrier makes everyone wait, so the whole round is charged.
+//   drop       a message copy is lost in transit; the reliable-delivery
+//              layer retransmits within the barrier (words charged twice,
+//              content delivered intact).
+//   duplicate  a message is transmitted twice; the receiver deduplicates
+//              (words charged twice, inbox unchanged).
+//
+// Faults are drawn from the injector's own RNG stream (see
+// fault/injector.hpp), never from the per-machine algorithm streams, so a
+// fault-free run is bit-identical to a build without this subsystem and
+// MpcMetrics::random_words still counts algorithm randomness only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsets::mpc {
+
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,
+  kStraggler = 1,
+  kDrop = 2,
+  kDuplicate = 3,
+  // Not a fault: records that a durable checkpoint was taken this round.
+  kCheckpoint = 4,
+};
+
+// Stable spelling used in traces and CLI specs.
+const char* fault_kind_name(FaultKind kind);
+
+// One injected fault (or checkpoint), as recorded in RoundTrace::faults.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  // Round counter value when the event fired.
+  std::uint64_t round = 0;
+  // Machine hit (crash/straggler) or message source (drop/duplicate);
+  // unused for checkpoints.
+  std::uint32_t machine = 0;
+  // Straggler: barrier stall charged. Crash: supersteps re-executed from the
+  // last durable checkpoint.
+  std::uint64_t delay_rounds = 0;
+  // Crash: round of the durable checkpoint recovery started from.
+  // Checkpoint: size of the snapshot in bytes.
+  std::uint64_t checkpoint = 0;
+  // Drop/duplicate: words retransmitted.
+  std::uint64_t words = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+// A crash or straggler pinned to a specific round and machine, independent
+// of the probability knobs — the way chaos tests and the CLI express
+// deterministic plans. Rounds are 1-based values of MpcMetrics::rounds at
+// injection time. Transport faults (drop/duplicate) are per-message and only
+// exist as probabilities.
+struct ScheduledFault {
+  FaultKind kind = FaultKind::kCrash;
+  std::uint64_t round = 0;
+  std::uint32_t machine = 0;
+  std::uint64_t delay_rounds = 1;  // stragglers only
+};
+
+struct FaultConfig {
+  // Master switch; when false the simulator takes the historical code path
+  // (no injector is constructed, no fault RNG exists).
+  bool enabled = false;
+  // Seed of the injector's private RNG stream. Independent from
+  // MpcConfig::seed so enabling faults never perturbs algorithm randomness.
+  std::uint64_t seed = 0xFA017;
+  // Per-machine, per-round probabilities.
+  double crash_prob = 0.0;
+  double straggler_prob = 0.0;
+  // Per-message, per-delivery probabilities.
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  // Straggler delays are drawn uniformly from [1, max_straggler_rounds].
+  std::uint64_t max_straggler_rounds = 4;
+  // Deterministic plan, applied in addition to the probability draws.
+  std::vector<ScheduledFault> schedule;
+};
+
+// Parses the CLI/bench fault spec: comma-separated tokens
+//
+//   crash@R:M            crash machine M at round R
+//   straggler@R:M:D      machine M stalls D rounds at round R (D default 1)
+//   crash~P straggler~P  per-machine, per-round probabilities
+//   drop~P dup~P         per-message probabilities
+//   seed=X               injector RNG seed
+//
+// An empty spec returns a disabled config; any token enables injection.
+// Throws std::invalid_argument on malformed tokens.
+FaultConfig parse_fault_spec(const std::string& spec);
+
+}  // namespace rsets::mpc

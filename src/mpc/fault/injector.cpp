@@ -1,0 +1,207 @@
+#include "mpc/fault/injector.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rsets::mpc {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& s, const std::string& token) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size()) {
+    throw std::invalid_argument("fault spec: bad number in token '" + token +
+                                "'");
+  }
+  return v;
+}
+
+double parse_prob(const std::string& s, const std::string& token) {
+  char* end = nullptr;
+  const double p = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size() || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("fault spec: bad probability in token '" +
+                                token + "'");
+  }
+  return p;
+}
+
+}  // namespace
+
+FaultConfig parse_fault_spec(const std::string& spec) {
+  FaultConfig config;
+  if (spec.empty()) return config;
+  config.enabled = true;
+  for (const std::string& token : split(spec, ',')) {
+    if (token.empty()) continue;
+    if (const std::size_t at = token.find('@'); at != std::string::npos) {
+      const std::string kind = token.substr(0, at);
+      const std::vector<std::string> parts = split(token.substr(at + 1), ':');
+      ScheduledFault f;
+      if (kind == "crash" && parts.size() == 2) {
+        f.kind = FaultKind::kCrash;
+      } else if (kind == "straggler" &&
+                 (parts.size() == 2 || parts.size() == 3)) {
+        f.kind = FaultKind::kStraggler;
+        if (parts.size() == 3) f.delay_rounds = parse_u64(parts[2], token);
+      } else {
+        throw std::invalid_argument("fault spec: bad scheduled token '" +
+                                    token + "' (want crash@R:M or "
+                                    "straggler@R:M[:D])");
+      }
+      f.round = parse_u64(parts[0], token);
+      f.machine = static_cast<std::uint32_t>(parse_u64(parts[1], token));
+      config.schedule.push_back(f);
+      continue;
+    }
+    if (const std::size_t tilde = token.find('~'); tilde != std::string::npos) {
+      const std::string kind = token.substr(0, tilde);
+      const double p = parse_prob(token.substr(tilde + 1), token);
+      if (kind == "crash") {
+        config.crash_prob = p;
+      } else if (kind == "straggler") {
+        config.straggler_prob = p;
+      } else if (kind == "drop") {
+        config.drop_prob = p;
+      } else if (kind == "dup") {
+        config.duplicate_prob = p;
+      } else {
+        throw std::invalid_argument("fault spec: unknown probability token '" +
+                                    token + "'");
+      }
+      continue;
+    }
+    if (token.rfind("seed=", 0) == 0) {
+      config.seed = parse_u64(token.substr(5), token);
+      continue;
+    }
+    throw std::invalid_argument("fault spec: unrecognized token '" + token +
+                                "'");
+  }
+  return config;
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kStraggler:
+      return "straggler";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kCheckpoint:
+      return "checkpoint";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config,
+                             std::uint32_t num_machines)
+    : config_(config),
+      num_machines_(num_machines),
+      rng_(Rng::for_stream(config.seed, 0xFA17)) {
+  auto check_prob = [](double p, const char* name) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument(std::string("FaultInjector: ") + name +
+                                  " must be in [0, 1]");
+    }
+  };
+  check_prob(config_.crash_prob, "crash_prob");
+  check_prob(config_.straggler_prob, "straggler_prob");
+  check_prob(config_.drop_prob, "drop_prob");
+  check_prob(config_.duplicate_prob, "duplicate_prob");
+  if (config_.max_straggler_rounds == 0) {
+    throw std::invalid_argument(
+        "FaultInjector: max_straggler_rounds must be >= 1");
+  }
+  for (const ScheduledFault& f : config_.schedule) {
+    if (f.kind == FaultKind::kCheckpoint) {
+      throw std::invalid_argument(
+          "FaultInjector: checkpoints are driven by "
+          "MpcConfig::checkpoint_every, not the fault schedule");
+    }
+    if (f.kind == FaultKind::kDrop || f.kind == FaultKind::kDuplicate) {
+      throw std::invalid_argument(
+          "FaultInjector: transport faults are per-message; use "
+          "drop_prob/duplicate_prob instead of the schedule");
+    }
+    if (f.machine >= num_machines_) {
+      throw std::invalid_argument(
+          "FaultInjector: scheduled fault names a machine out of range");
+    }
+  }
+}
+
+std::vector<FaultEvent> FaultInjector::barrier_faults(std::uint64_t round) {
+  std::vector<FaultEvent> events;
+  // Probability draws first, machines in id order, one flip per kind per
+  // machine — a fixed consumption pattern keeps the stream aligned across
+  // replays regardless of outcomes.
+  if (config_.crash_prob > 0.0 || config_.straggler_prob > 0.0) {
+    for (std::uint32_t m = 0; m < num_machines_; ++m) {
+      const bool crash =
+          config_.crash_prob > 0.0 && rng_.flip(config_.crash_prob);
+      const bool straggle =
+          config_.straggler_prob > 0.0 && rng_.flip(config_.straggler_prob);
+      if (crash) {
+        FaultEvent e;
+        e.kind = FaultKind::kCrash;
+        e.round = round;
+        e.machine = m;
+        events.push_back(e);
+      } else if (straggle) {
+        FaultEvent e;
+        e.kind = FaultKind::kStraggler;
+        e.round = round;
+        e.machine = m;
+        e.delay_rounds = 1 + rng_.below(config_.max_straggler_rounds);
+        events.push_back(e);
+      }
+    }
+  }
+  for (const ScheduledFault& f : config_.schedule) {
+    if (f.round != round) continue;
+    FaultEvent e;
+    e.kind = f.kind;
+    e.round = round;
+    e.machine = f.machine;
+    if (f.kind == FaultKind::kStraggler) e.delay_rounds = f.delay_rounds;
+    events.push_back(e);
+  }
+  return events;
+}
+
+bool FaultInjector::transport_fault(std::uint64_t round, std::uint32_t src,
+                                    std::uint64_t words, FaultEvent& event) {
+  if (!has_transport_faults()) return false;
+  // One flip per knob per message, always consumed, so the stream stays
+  // aligned whether or not a fault fires.
+  const bool drop = config_.drop_prob > 0.0 && rng_.flip(config_.drop_prob);
+  const bool dup =
+      config_.duplicate_prob > 0.0 && rng_.flip(config_.duplicate_prob);
+  if (!drop && !dup) return false;
+  event.kind = drop ? FaultKind::kDrop : FaultKind::kDuplicate;
+  event.round = round;
+  event.machine = src;
+  event.words = words;
+  return true;
+}
+
+}  // namespace rsets::mpc

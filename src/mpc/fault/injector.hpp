@@ -1,0 +1,49 @@
+// Seeded fault injection for the MPC simulator.
+//
+// The injector owns a private RNG stream and is consulted only on the
+// simulator's calling thread, in a fixed order (machines in id order at
+// every round barrier, in-flight messages in merged outbox order at every
+// delivery), so the injected fault sequence is a pure function of
+// (FaultConfig, round structure) — identical at any MpcConfig::num_threads
+// and reproducible for trace replay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/fault/fault.hpp"
+#include "util/rng.hpp"
+
+namespace rsets::mpc {
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& config, std::uint32_t num_machines);
+
+  // Crash/straggler draws for the barrier entering `round`: one flip per
+  // machine per kind, plus any scheduled faults pinned to this round.
+  // Events come back with kind/machine/delay filled in; the simulator owns
+  // recovery bookkeeping (checkpoint round, recovery charge).
+  std::vector<FaultEvent> barrier_faults(std::uint64_t round);
+
+  // Transport draws for one in-flight message about to be delivered in
+  // `round`. At most one of drop/duplicate fires per message (drop wins).
+  // Returns true if a transport fault fired and fills `event`.
+  bool transport_fault(std::uint64_t round, std::uint32_t src,
+                       std::uint64_t words, FaultEvent& event);
+
+  // True if any probability knob or scheduled entry can produce transport
+  // faults (lets the delivery loop skip per-message work entirely).
+  bool has_transport_faults() const {
+    return config_.drop_prob > 0.0 || config_.duplicate_prob > 0.0;
+  }
+
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  FaultConfig config_;
+  std::uint32_t num_machines_;
+  Rng rng_;
+};
+
+}  // namespace rsets::mpc

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "mpc/fault/fault.hpp"
 #include "mpc/trace.hpp"
 
 namespace rsets::mpc {
@@ -52,6 +53,18 @@ struct MpcConfig {
   // it runs on the simulator's calling thread after the phase completes and
   // cannot change results or metrics.
   TraceHook trace_hook;
+  // Fault injection plan (see mpc/fault/fault.hpp). Disabled by default;
+  // with faults.enabled == false the simulator takes the historical code
+  // path and results, metrics, and traces are bit-identical to a build
+  // without the fault subsystem.
+  FaultConfig faults;
+  // Take a durable checkpoint at every k-th round barrier (0 = never).
+  // Checkpoints bound crash-recovery re-execution: a crash at round r
+  // restores from the last checkpoint at round c and charges r - c
+  // recovery rounds. Checkpointing alone never changes results or the
+  // existing metrics fields — only MpcMetrics::checkpoints and the trace's
+  // checkpoint events.
+  std::uint64_t checkpoint_every = 0;
 };
 
 struct MpcMetrics {
@@ -66,8 +79,14 @@ struct MpcMetrics {
   // Cap violations observed (only counted when enforce == false).
   std::uint64_t violations = 0;
   // Random 64-bit words drawn across all machines (0 for deterministic
-  // algorithms — claim C2).
+  // algorithms — claim C2). Fault-injector draws are NOT counted here —
+  // the injector has its own stream.
   std::uint64_t random_words = 0;
+  // Fault subsystem ledger (all zero when faults are disabled and
+  // checkpoint_every == 0).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t checkpoints = 0;       // durable checkpoints taken
+  std::uint64_t recovery_rounds = 0;   // supersteps re-executed after crashes
 };
 
 class MpcViolation : public std::runtime_error {

@@ -119,6 +119,10 @@ Simulator::Simulator(const MpcConfig& config) : config_(config) {
   for (MachineId m = 0; m < config_.num_machines; ++m) {
     machines_.emplace_back(m, config_);
   }
+  if (config_.faults.enabled) {
+    injector_ =
+        std::make_unique<FaultInjector>(config_.faults, config_.num_machines);
+  }
 }
 
 Simulator::~Simulator() = default;
@@ -140,12 +144,39 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
                           bool drain) {
   const auto wall_start = std::chrono::steady_clock::now();
 
+  // Barrier-level fault work (periodic checkpoints, crashes, stragglers)
+  // happens only when a round starts, not at drain boundaries — a drain is
+  // the receive half of the round whose barrier already ran.
+  std::vector<FaultEvent> fault_events;
+  std::uint64_t deferred_round_charge = 0;
+  if (!drain && (injector_ || config_.checkpoint_every != 0)) {
+    deferred_round_charge = handle_barrier(fault_events);
+  }
+
   // Deliver: partition in-flight messages by destination. Message order
   // within a destination follows in_flight_ order, which run_phase fixed by
   // merging outboxes in machine-id order last phase — so delivery is
   // identical regardless of how the upcoming callbacks are scheduled.
+  // Transport faults are drawn here, per message in merged order: the
+  // reliable-delivery layer retransmits a dropped copy and deduplicates a
+  // duplicated one within the barrier, so the inbox contents are unchanged
+  // and only the retransmitted words are charged (into this phase's ledger,
+  // keeping the trace-sum == metrics identity).
+  std::uint64_t retransmit_messages = 0;
+  std::uint64_t retransmit_words = 0;
+  const bool transport_faults = injector_ && injector_->has_transport_faults();
   std::vector<std::vector<Message>> delivery(config_.num_machines);
   for (Message& msg : in_flight_) {
+    if (transport_faults) {
+      FaultEvent event;
+      if (injector_->transport_fault(metrics_.rounds, msg.src, msg.words(),
+                                     event)) {
+        ++retransmit_messages;
+        retransmit_words += event.words;
+        ++metrics_.faults_injected;
+        fault_events.push_back(event);
+      }
+    }
     delivery[msg.dst].push_back(std::move(msg));
   }
   in_flight_.clear();
@@ -196,8 +227,8 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
   // Collect sends in machine-id order: the merged in_flight_ sequence (and
   // with it all downstream delivery, accounting, and tie-breaking) is
   // independent of callback scheduling.
-  std::uint64_t phase_messages = 0;
-  std::uint64_t phase_words = 0;
+  std::uint64_t phase_messages = retransmit_messages;
+  std::uint64_t phase_words = retransmit_words;
   for (MachineId m = 0; m < config_.num_machines; ++m) {
     Machine& machine = machines_[m];
     for (Message& msg : machine.outbox_) {
@@ -225,8 +256,225 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
       trace.words_recv += words;
       trace.max_recv_words = std::max(trace.max_recv_words, words);
     }
+    // Delta since the previous trace line (not the previous sync), so
+    // violations folded in by hook-less syncs still surface on a line.
+    trace.violations = metrics_.violations - last_traced_violations_;
+    last_traced_violations_ = metrics_.violations;
+    trace.faults = std::move(fault_events);
     config_.trace_hook(trace);
   }
+
+  // Straggler stalls and crash-recovery re-execution are charged after the
+  // trace hook, so the phase keeps the round label its barrier ran under and
+  // the next round starts past the charged delay.
+  metrics_.rounds += deferred_round_charge;
+}
+
+std::uint64_t Simulator::handle_barrier(std::vector<FaultEvent>& events) {
+  // A durable checkpoint scheduled for this barrier is taken first, so a
+  // crash injected at the same barrier recovers from it at zero charge.
+  if (config_.checkpoint_every != 0 &&
+      metrics_.rounds % config_.checkpoint_every == 0) {
+    last_checkpoint_ = make_checkpoint();
+    last_checkpoint_round_ = metrics_.rounds;
+    ++metrics_.checkpoints;
+    FaultEvent e;
+    e.kind = FaultKind::kCheckpoint;
+    e.round = metrics_.rounds;
+    e.checkpoint = last_checkpoint_.bytes.size();
+    events.push_back(e);
+  }
+  if (!injector_) return 0;
+
+  std::uint64_t round_charge = 0;
+  std::vector<FaultEvent> injected = injector_->barrier_faults(metrics_.rounds);
+  std::vector<MachineId> crashed;
+  for (const FaultEvent& e : injected) {
+    if (e.kind == FaultKind::kCrash) {
+      crashed.push_back(e.machine);
+    } else {
+      round_charge += e.delay_rounds;  // straggler: the barrier waits
+    }
+  }
+  if (!crashed.empty()) {
+    // Crash-restart at the barrier: snapshot the barrier state, lose the
+    // crashed machines' volatile state (and in-transit messages), then
+    // recover by decoding the snapshot — a real restore, not a no-op — and
+    // charge the supersteps since the last durable checkpoint, which
+    // re-execution would replay bit-identically.
+    Checkpoint barrier = make_checkpoint();
+    for (MachineId m : crashed) {
+      Machine& machine = machines_[m];
+      machine.storage_words_ = ~std::size_t{0};
+      machine.peak_storage_words_ = ~std::size_t{0};
+      machine.sent_words_this_round_ = ~std::uint64_t{0};
+      machine.violations_ = ~std::uint64_t{0};
+      machine.outbox_.clear();
+      Rng::State junk;
+      for (std::uint64_t& s : junk.s) s = 0xDEADDEADDEADDEADull;
+      junk.draws = ~std::uint64_t{0};
+      machine.rng_.set_state(junk);
+    }
+    in_flight_.clear();
+    restore_checkpoint(barrier);
+    const std::uint64_t recovery = metrics_.rounds - last_checkpoint_round_;
+    round_charge += recovery;
+    metrics_.recovery_rounds += recovery;
+    for (FaultEvent& e : injected) {
+      if (e.kind != FaultKind::kCrash) continue;
+      e.delay_rounds = recovery;
+      e.checkpoint = last_checkpoint_round_;
+    }
+  }
+  metrics_.faults_injected += injected.size();
+  events.insert(events.end(), injected.begin(), injected.end());
+  return round_charge;
+}
+
+void Simulator::register_snapshotable(const std::string& name,
+                                      Snapshotable* hook) {
+  if (name.empty() || hook == nullptr) {
+    throw std::invalid_argument(
+        "register_snapshotable: need a name and a hook");
+  }
+  for (const auto& [existing, _] : snapshotables_) {
+    if (existing == name) {
+      throw std::invalid_argument("register_snapshotable: duplicate name " +
+                                  name);
+    }
+  }
+  snapshotables_.emplace_back(name, hook);
+}
+
+Checkpoint Simulator::make_checkpoint() const {
+  Checkpoint checkpoint;
+  checkpoint.round = metrics_.rounds;
+  SnapshotWriter w(checkpoint.bytes);
+  w.u64(kCheckpointMagic);
+  w.u64(kCheckpointVersion);
+  w.u64(metrics_.rounds);
+  w.u64(config_.num_machines);
+  // Metrics ledger.
+  w.u64(metrics_.rounds);
+  w.u64(metrics_.messages);
+  w.u64(metrics_.total_words);
+  w.u64(metrics_.max_send_words);
+  w.u64(metrics_.max_recv_words);
+  w.u64(metrics_.max_storage_words);
+  w.u64(metrics_.violations);
+  w.u64(metrics_.random_words);
+  w.u64(metrics_.faults_injected);
+  w.u64(metrics_.checkpoints);
+  w.u64(metrics_.recovery_rounds);
+  // In-flight messages (awaiting delivery at this barrier).
+  w.u64(in_flight_.size());
+  for (const Message& msg : in_flight_) {
+    w.u64(msg.src);
+    w.u64(msg.dst);
+    w.u64(msg.tag);
+    w.vec(msg.payload);
+  }
+  // Per-machine counters and RNG cursors.
+  for (const Machine& machine : machines_) {
+    w.u64(machine.storage_words_);
+    w.u64(machine.peak_storage_words_);
+    w.u64(machine.sent_words_this_round_);
+    w.u64(machine.violations_);
+    const Rng::State rng = machine.rng_.state();
+    for (const std::uint64_t s : rng.s) w.u64(s);
+    w.u64(rng.draws);
+  }
+  // Driver state via registered hooks, each length-prefixed and named so
+  // restore can validate shape before decoding.
+  w.u64(snapshotables_.size());
+  for (const auto& [name, hook] : snapshotables_) {
+    w.str(name);
+    std::vector<std::uint8_t> payload;
+    SnapshotWriter pw(payload);
+    hook->save(pw);
+    w.u64(payload.size());
+    w.bytes(payload.data(), payload.size());
+  }
+  return checkpoint;
+}
+
+void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
+  SnapshotReader r(checkpoint.bytes.data(), checkpoint.bytes.size());
+  if (r.u64() != kCheckpointMagic) {
+    throw CheckpointError("restore_checkpoint: bad magic");
+  }
+  if (r.u64() != kCheckpointVersion) {
+    throw CheckpointError("restore_checkpoint: unsupported version");
+  }
+  r.u64();  // header round (duplicated in the metrics section below)
+  if (r.u64() != config_.num_machines) {
+    throw CheckpointError(
+        "restore_checkpoint: machine count differs from this simulator");
+  }
+  metrics_.rounds = r.u64();
+  metrics_.messages = r.u64();
+  metrics_.total_words = r.u64();
+  metrics_.max_send_words = r.u64();
+  metrics_.max_recv_words = r.u64();
+  metrics_.max_storage_words = static_cast<std::size_t>(r.u64());
+  metrics_.violations = r.u64();
+  metrics_.random_words = r.u64();
+  metrics_.faults_injected = r.u64();
+  metrics_.checkpoints = r.u64();
+  metrics_.recovery_rounds = r.u64();
+  const std::uint64_t num_messages = r.u64();
+  in_flight_.clear();
+  for (std::uint64_t i = 0; i < num_messages; ++i) {
+    Message msg;
+    msg.src = static_cast<MachineId>(r.u64());
+    msg.dst = static_cast<MachineId>(r.u64());
+    msg.tag = static_cast<std::uint32_t>(r.u64());
+    r.vec(msg.payload);
+    if (msg.dst >= config_.num_machines) {
+      throw CheckpointError("restore_checkpoint: message to unknown machine");
+    }
+    in_flight_.push_back(std::move(msg));
+  }
+  for (Machine& machine : machines_) {
+    machine.storage_words_ = static_cast<std::size_t>(r.u64());
+    machine.peak_storage_words_ = static_cast<std::size_t>(r.u64());
+    machine.sent_words_this_round_ = r.u64();
+    machine.violations_ = r.u64();
+    Rng::State rng;
+    for (std::uint64_t& s : rng.s) s = r.u64();
+    rng.draws = r.u64();
+    machine.rng_.set_state(rng);
+    machine.outbox_.clear();
+  }
+  if (r.u64() != snapshotables_.size()) {
+    throw CheckpointError(
+        "restore_checkpoint: registered snapshotables differ from the "
+        "checkpoint's");
+  }
+  for (const auto& [name, hook] : snapshotables_) {
+    if (r.str() != name) {
+      throw CheckpointError("restore_checkpoint: expected section " + name);
+    }
+    const std::uint64_t size = r.u64();
+    if (size > r.remaining()) {
+      throw CheckpointError("restore_checkpoint: section " + name +
+                            " truncated");
+    }
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(size));
+    r.bytes(payload.data(), payload.size());
+    SnapshotReader section(payload.data(), payload.size());
+    hook->restore(section);
+    if (section.remaining() != 0) {
+      throw CheckpointError("restore_checkpoint: section " + name +
+                            " has trailing bytes");
+    }
+  }
+  if (r.remaining() != 0) {
+    throw CheckpointError("restore_checkpoint: trailing bytes");
+  }
+  // Trace attribution cannot span a restore: the next trace line reports
+  // violations observed from this barrier onward.
+  last_traced_violations_ = metrics_.violations;
 }
 
 void Simulator::sync_metrics() {
@@ -234,9 +482,10 @@ void Simulator::sync_metrics() {
       std::vector<std::uint64_t>(config_.num_machines, 0));
 }
 
-void Simulator::refresh_metrics_after_round(
+std::uint64_t Simulator::refresh_metrics_after_round(
     const std::vector<std::uint64_t>& recv_words) {
   std::uint64_t rng_draws = 0;
+  std::uint64_t new_violations = 0;
   for (MachineId m = 0; m < config_.num_machines; ++m) {
     const Machine& machine = machines_[m];
     metrics_.max_send_words =
@@ -244,11 +493,13 @@ void Simulator::refresh_metrics_after_round(
     metrics_.max_recv_words = std::max(metrics_.max_recv_words, recv_words[m]);
     metrics_.max_storage_words =
         std::max(metrics_.max_storage_words, machine.peak_storage_words_);
-    metrics_.violations += machine.violations_;
+    new_violations += machine.violations_;
     machines_[m].violations_ = 0;
     rng_draws += machine.rng_.draws();
   }
+  metrics_.violations += new_violations;
   metrics_.random_words = rng_draws;
+  return new_violations;
 }
 
 }  // namespace rsets::mpc

@@ -19,8 +19,12 @@
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "mpc/fault/checkpoint.hpp"
+#include "mpc/fault/injector.hpp"
 #include "mpc/machine.hpp"
 #include "mpc/message.hpp"
 
@@ -73,12 +77,49 @@ class Simulator {
   // call site).
   void charge_rounds(std::uint64_t extra) { metrics_.rounds += extra; }
 
+  // --- fault tolerance -----------------------------------------------------
+  // Registers a named hook whose state is serialized into every checkpoint
+  // and decoded back on restore. Drivers register their per-machine state
+  // arrays (and the DistGraph) right after construction, before the first
+  // round that might checkpoint or crash. Registration order defines the
+  // encoding order; names are validated on restore. The hook must outlive
+  // the simulator's last checkpoint/restore call.
+  void register_snapshotable(const std::string& name, Snapshotable* hook);
+
+  // Encodes the full simulator state at the current superstep barrier:
+  // metrics, in-flight messages, per-machine counters and RNG cursors, and
+  // every registered Snapshotable. Call only between rounds (never from a
+  // round body).
+  Checkpoint make_checkpoint() const;
+
+  // Decodes `checkpoint` back into the simulator and the registered hooks,
+  // returning the run to the barrier it was taken at. Throws CheckpointError
+  // on version/shape mismatch or if the registered hooks differ from the
+  // ones the checkpoint was written with.
+  void restore_checkpoint(const Checkpoint& checkpoint);
+
+  // Round of the last durable checkpoint (0 = the initial state, which is
+  // always durable — it can be reconstructed from the input). Crash recovery
+  // charges `current round - last_checkpoint_round()` re-executed rounds.
+  std::uint64_t last_checkpoint_round() const { return last_checkpoint_round_; }
+
+  // Most recent durable checkpoint image (empty until the first one is taken
+  // by MpcConfig::checkpoint_every).
+  const Checkpoint& last_checkpoint() const { return last_checkpoint_; }
+
  private:
   class WorkerPool;
 
   void run_phase(const RoundBody& body, bool reset_send_budget, bool drain);
-  void refresh_metrics_after_round(
+  // Folds per-machine counters into metrics_; returns the cap violations
+  // newly observed this phase (the per-round delta surfaced in traces).
+  std::uint64_t refresh_metrics_after_round(
       const std::vector<std::uint64_t>& recv_words);
+  // Barrier-level fault work for the round being entered: periodic durable
+  // checkpoint, injected crashes (snapshot/scramble/restore + recovery
+  // charge) and stragglers. Appends events to `events` and returns the round
+  // charge to apply after the phase's trace hook ran.
+  std::uint64_t handle_barrier(std::vector<FaultEvent>& events);
 
   MpcConfig config_;
   unsigned effective_threads_ = 1;
@@ -86,6 +127,15 @@ class Simulator {
   std::vector<Message> in_flight_;
   MpcMetrics metrics_;
   std::unique_ptr<WorkerPool> pool_;  // created on demand, only if parallel
+  std::unique_ptr<FaultInjector> injector_;  // only if config_.faults.enabled
+  std::vector<std::pair<std::string, Snapshotable*>> snapshotables_;
+  std::uint64_t last_checkpoint_round_ = 0;
+  Checkpoint last_checkpoint_;
+  // metrics_.violations as of the last emitted trace line, so each line
+  // reports every violation observed since the previous line — including
+  // ones folded in by hook-less sync_metrics() calls (e.g. charge_rounds
+  // during graph distribution).
+  std::uint64_t last_traced_violations_ = 0;
 };
 
 }  // namespace rsets::mpc

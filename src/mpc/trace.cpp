@@ -3,20 +3,69 @@
 #include <cstdio>
 
 namespace rsets::mpc {
+namespace {
+
+std::string fault_to_json(const FaultEvent& event) {
+  char buf[192];
+  int len = std::snprintf(buf, sizeof(buf), "{\"kind\":\"%s\",\"machine\":%u",
+                          fault_kind_name(event.kind), event.machine);
+  auto append = [&](const char* key, std::uint64_t value) {
+    len += std::snprintf(buf + len, sizeof(buf) - static_cast<size_t>(len),
+                         ",\"%s\":%llu", key,
+                         static_cast<unsigned long long>(value));
+  };
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      append("recovery_rounds", event.delay_rounds);
+      append("checkpoint_round", event.checkpoint);
+      break;
+    case FaultKind::kStraggler:
+      append("delay_rounds", event.delay_rounds);
+      break;
+    case FaultKind::kDrop:
+    case FaultKind::kDuplicate:
+      append("words", event.words);
+      break;
+    case FaultKind::kCheckpoint:
+      append("bytes", event.checkpoint);
+      break;
+  }
+  len += std::snprintf(buf + len, sizeof(buf) - static_cast<size_t>(len), "}");
+  return std::string(buf, static_cast<std::size_t>(len));
+}
+
+}  // namespace
 
 std::string to_json(const RoundTrace& trace) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"round\":%llu,\"drain\":%d,\"wall_ms\":%.6g,"
                 "\"messages\":%llu,\"words_sent\":%llu,\"words_recv\":%llu,"
-                "\"max_recv_words\":%llu}",
+                "\"max_recv_words\":%llu",
                 static_cast<unsigned long long>(trace.round),
                 trace.drain ? 1 : 0, trace.wall_ms,
                 static_cast<unsigned long long>(trace.messages),
                 static_cast<unsigned long long>(trace.words_sent),
                 static_cast<unsigned long long>(trace.words_recv),
                 static_cast<unsigned long long>(trace.max_recv_words));
-  return buf;
+  std::string out = buf;
+  // Optional keys appear only when carrying information, so traces from
+  // default configurations keep the historical byte format.
+  if (trace.violations != 0) {
+    std::snprintf(buf, sizeof(buf), ",\"violations\":%llu",
+                  static_cast<unsigned long long>(trace.violations));
+    out += buf;
+  }
+  if (!trace.faults.empty()) {
+    out += ",\"faults\":[";
+    for (std::size_t i = 0; i < trace.faults.size(); ++i) {
+      if (i != 0) out += ',';
+      out += fault_to_json(trace.faults[i]);
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
 }
 
 }  // namespace rsets::mpc

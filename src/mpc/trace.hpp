@@ -17,6 +17,9 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
+
+#include "mpc/fault/fault.hpp"
 
 namespace rsets::mpc {
 
@@ -38,6 +41,14 @@ struct RoundTrace {
   // Largest single inbox delivered this phase (the receive-side peak the
   // bandwidth cap is checked against).
   std::uint64_t max_recv_words = 0;
+  // Cap violations observed this phase (non-zero only when
+  // MpcConfig::enforce == false; an enforcing run throws at the first one).
+  std::uint64_t violations = 0;
+  // Faults injected and checkpoints taken during this phase (empty unless
+  // the fault subsystem is active). Extra JSON keys for these appear only
+  // when non-empty/non-zero, so default-config traces are byte-identical to
+  // the pre-fault format.
+  std::vector<FaultEvent> faults;
 };
 
 using TraceHook = std::function<void(const RoundTrace&)>;

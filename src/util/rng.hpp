@@ -75,6 +75,25 @@ class Rng {
   // code paths must leave this untouched.
   std::uint64_t draws() const { return draws_; }
 
+  // Full generator cursor, for checkpoint/restore: restoring a saved state
+  // resumes the stream exactly (same future draws, same draw count).
+  struct State {
+    std::uint64_t s[4] = {};
+    std::uint64_t draws = 0;
+  };
+
+  State state() const {
+    State out;
+    for (int i = 0; i < 4; ++i) out.s[i] = s_[i];
+    out.draws = draws_;
+    return out;
+  }
+
+  void set_state(const State& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+    draws_ = state.draws;
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

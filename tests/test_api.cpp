@@ -119,33 +119,38 @@ TEST(Api, ColoringAlgorithmsExposeTheColoring) {
   EXPECT_GT(result.phases, 0u);  // Linial steps
 }
 
-// The pre-unification entry points must keep working for one release.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Api, DeprecatedCongestWrappersStillWork) {
+// The CONGEST algorithms are reachable both through their canonical entry
+// points and the unified dispatcher, and the two agree. (The deprecated
+// pre-unification wrappers completed their one-release window and are gone.)
+TEST(Api, CongestEntryPointsMatchDispatcher) {
   const Graph g = gen::cycle(60);
-  const auto luby = congest::luby_mis(g);
-  EXPECT_TRUE(is_maximal_independent_set(g, luby.mis));
-  EXPECT_EQ(luby.metrics.rounds,
-            congest::luby_mis_congest(g).congest_metrics.rounds);
 
-  const auto det2 = congest::det_2ruling_congest(g);
-  EXPECT_TRUE(is_beta_ruling_set(g, det2.ruling_set, 2));
-  EXPECT_EQ(det2.ruling_set, congest::det_2ruling_set_congest(g).ruling_set);
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kLubyCongest;
+  options.beta = 1;
+  EXPECT_EQ(congest::luby_mis_congest(g).congest_metrics.rounds,
+            compute_ruling_set(g, options).congest_metrics.rounds);
 
-  const auto cmis = congest::coloring_mis(g);
-  EXPECT_TRUE(is_maximal_independent_set(g, cmis.mis));
-  EXPECT_EQ(cmis.palette_size,
-            congest::coloring_mis_congest(g).palette_size);
+  options.algorithm = Algorithm::kDetRulingCongest;
+  options.beta = 2;
+  EXPECT_EQ(congest::det_2ruling_set_congest(g).ruling_set,
+            compute_ruling_set(g, options).ruling_set);
 
-  const auto beta2 = congest::beta_ruling_congest(g, 2);
-  EXPECT_TRUE(is_beta_ruling_set(g, beta2.ruling_set, 2));
+  options.algorithm = Algorithm::kColoringMisCongest;
+  options.beta = 1;
+  EXPECT_EQ(congest::coloring_mis_congest(g).palette_size,
+            compute_ruling_set(g, options).palette_size);
 
-  const auto aglp = congest::aglp_ruling_congest(g);
-  EXPECT_TRUE(is_independent_set(g, aglp.ruling_set));
-  EXPECT_EQ(aglp.radius_bound, congest::aglp_ruling_set_congest(g).beta);
+  options.algorithm = Algorithm::kBetaRulingCongest;
+  options.beta = 2;
+  EXPECT_EQ(congest::beta_ruling_set_congest(g, 2).ruling_set,
+            compute_ruling_set(g, options).ruling_set);
+
+  options.algorithm = Algorithm::kAglpCongest;
+  options.beta = 1;
+  EXPECT_EQ(congest::aglp_ruling_set_congest(g).beta,
+            compute_ruling_set(g, options).beta);
 }
-#pragma GCC diagnostic pop
 
 TEST(Api, DefaultOptionsComputeDeterministicTwoRuling) {
   const Graph g = gen::gnp(200, 0.04, 5);

@@ -1,0 +1,301 @@
+// Chaos tests for the fault-injection subsystem (src/mpc/fault/): injected
+// crashes, stragglers, and transport faults must never change any
+// algorithm's result — only the cost ledger — and the injected sequence
+// must itself be deterministic (same config, same faults, at any thread
+// count).
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ruling_set.hpp"
+#include "graph/generators.hpp"
+#include "graph/verify.hpp"
+#include "mpc/fault/injector.hpp"
+#include "mpc/trace.hpp"
+
+namespace rsets {
+namespace {
+
+struct Trial {
+  RulingSetResult result;
+  std::vector<mpc::RoundTrace> traces;
+};
+
+Trial run(const Graph& g, Algorithm algorithm, std::uint32_t beta,
+          const mpc::FaultConfig& faults, std::uint64_t checkpoint_every = 0,
+          unsigned num_threads = 1) {
+  Trial trial;
+  RulingSetOptions options;
+  options.algorithm = algorithm;
+  options.beta = beta;
+  options.mpc.num_machines = 8;
+  options.mpc.num_threads = num_threads;
+  options.mpc.faults = faults;
+  options.mpc.checkpoint_every = checkpoint_every;
+  options.mpc.trace_hook = [&trial](const mpc::RoundTrace& trace) {
+    trial.traces.push_back(trace);
+  };
+  trial.result = compute_ruling_set(g, options);
+  return trial;
+}
+
+std::vector<mpc::FaultEvent> all_events(const Trial& trial) {
+  std::vector<mpc::FaultEvent> events;
+  for (const mpc::RoundTrace& t : trial.traces) {
+    events.insert(events.end(), t.faults.begin(), t.faults.end());
+  }
+  return events;
+}
+
+std::uint64_t count_kind(const Trial& trial, mpc::FaultKind kind) {
+  std::uint64_t n = 0;
+  for (const mpc::FaultEvent& e : all_events(trial)) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+struct Case {
+  Algorithm algorithm;
+  std::uint32_t beta;
+};
+
+class FaultInjection : public ::testing::TestWithParam<Case> {
+ protected:
+  const Graph g_ = gen::gnp(240, 0.035, 17);
+};
+
+// Enabling the subsystem without any fault knob must be a strict no-op:
+// same set, same metrics, no events.
+TEST_P(FaultInjection, EnabledButQuietIsIdentical) {
+  const Case c = GetParam();
+  const Trial base = run(g_, c.algorithm, c.beta, {});
+  mpc::FaultConfig quiet;
+  quiet.enabled = true;
+  const Trial faulty = run(g_, c.algorithm, c.beta, quiet);
+  EXPECT_EQ(base.result.ruling_set, faulty.result.ruling_set);
+  EXPECT_EQ(base.result.metrics.rounds, faulty.result.metrics.rounds);
+  EXPECT_EQ(base.result.metrics.messages, faulty.result.metrics.messages);
+  EXPECT_EQ(base.result.metrics.total_words,
+            faulty.result.metrics.total_words);
+  EXPECT_EQ(base.result.metrics.random_words,
+            faulty.result.metrics.random_words);
+  EXPECT_EQ(faulty.result.metrics.faults_injected, 0u);
+  EXPECT_TRUE(all_events(faulty).empty());
+}
+
+// A mid-run crash restores from the last checkpoint: identical output,
+// rounds inflated by exactly the charged recovery.
+TEST_P(FaultInjection, CrashPreservesResultAndChargesRecovery) {
+  const Case c = GetParam();
+  const Trial base = run(g_, c.algorithm, c.beta, {});
+  ASSERT_GT(base.result.metrics.rounds, 5u);
+
+  mpc::FaultConfig faults;
+  faults.enabled = true;
+  faults.schedule.push_back({mpc::FaultKind::kCrash, 5, 3});
+  const Trial faulty = run(g_, c.algorithm, c.beta, faults,
+                           /*checkpoint_every=*/2);
+
+  EXPECT_EQ(base.result.ruling_set, faulty.result.ruling_set);
+  EXPECT_EQ(base.result.phases, faulty.result.phases);
+  EXPECT_EQ(base.result.metrics.messages, faulty.result.metrics.messages);
+  EXPECT_EQ(base.result.metrics.total_words,
+            faulty.result.metrics.total_words);
+  // Crash at round 5, checkpoints every 2 rounds -> last durable checkpoint
+  // at round 4, so exactly one recovery round is charged.
+  EXPECT_EQ(faulty.result.metrics.recovery_rounds, 1u);
+  EXPECT_EQ(faulty.result.metrics.rounds, base.result.metrics.rounds + 1);
+  EXPECT_EQ(count_kind(faulty, mpc::FaultKind::kCrash), 1u);
+  EXPECT_GE(faulty.result.metrics.checkpoints, 2u);
+  for (const mpc::FaultEvent& e : all_events(faulty)) {
+    if (e.kind != mpc::FaultKind::kCrash) continue;
+    EXPECT_EQ(e.round, 5u);
+    EXPECT_EQ(e.machine, 3u);
+    EXPECT_EQ(e.checkpoint, 4u);     // recovered from the round-4 checkpoint
+    EXPECT_EQ(e.delay_rounds, 1u);   // 5 - 4 re-executed supersteps
+  }
+}
+
+// Without any durable checkpoint, recovery re-executes from the initial
+// state: the full prefix is charged.
+TEST_P(FaultInjection, CrashWithoutCheckpointsChargesFullPrefix) {
+  const Case c = GetParam();
+  const Trial base = run(g_, c.algorithm, c.beta, {});
+  mpc::FaultConfig faults;
+  faults.enabled = true;
+  faults.schedule.push_back({mpc::FaultKind::kCrash, 4, 0});
+  const Trial faulty = run(g_, c.algorithm, c.beta, faults);
+  EXPECT_EQ(base.result.ruling_set, faulty.result.ruling_set);
+  EXPECT_EQ(faulty.result.metrics.recovery_rounds, 4u);
+  EXPECT_EQ(faulty.result.metrics.rounds, base.result.metrics.rounds + 4);
+  EXPECT_EQ(faulty.result.metrics.checkpoints, 0u);
+}
+
+// A straggler stalls the whole barrier for its delay.
+TEST_P(FaultInjection, StragglerChargesItsDelay) {
+  const Case c = GetParam();
+  const Trial base = run(g_, c.algorithm, c.beta, {});
+  mpc::FaultConfig faults;
+  faults.enabled = true;
+  faults.schedule.push_back({mpc::FaultKind::kStraggler, 3, 6, 5});
+  const Trial faulty = run(g_, c.algorithm, c.beta, faults);
+  EXPECT_EQ(base.result.ruling_set, faulty.result.ruling_set);
+  EXPECT_EQ(faulty.result.metrics.rounds, base.result.metrics.rounds + 5);
+  EXPECT_EQ(faulty.result.metrics.recovery_rounds, 0u);
+  EXPECT_EQ(faulty.result.metrics.faults_injected, 1u);
+}
+
+// Transport faults charge retransmissions into the ledger but deliver the
+// same inbox contents, so results are unchanged and the per-phase trace
+// counters still sum to the metrics totals.
+TEST_P(FaultInjection, TransportFaultsChargeWordsOnly) {
+  const Case c = GetParam();
+  const Trial base = run(g_, c.algorithm, c.beta, {});
+  mpc::FaultConfig faults;
+  faults.enabled = true;
+  faults.drop_prob = 0.2;
+  faults.duplicate_prob = 0.2;
+  const Trial faulty = run(g_, c.algorithm, c.beta, faults);
+
+  EXPECT_EQ(base.result.ruling_set, faulty.result.ruling_set);
+  EXPECT_EQ(base.result.metrics.rounds, faulty.result.metrics.rounds);
+  EXPECT_GT(faulty.result.metrics.total_words,
+            base.result.metrics.total_words);
+  EXPECT_GT(faulty.result.metrics.faults_injected, 0u);
+
+  std::uint64_t messages = 0;
+  std::uint64_t words_sent = 0;
+  for (const mpc::RoundTrace& t : faulty.traces) {
+    messages += t.messages;
+    words_sent += t.words_sent;
+  }
+  EXPECT_EQ(messages, faulty.result.metrics.messages);
+  EXPECT_EQ(words_sent, faulty.result.metrics.total_words);
+}
+
+// The injected fault sequence is a pure function of the config: re-running
+// reproduces it event for event, at any thread count.
+TEST_P(FaultInjection, InjectionIsDeterministicAcrossThreads) {
+  const Case c = GetParam();
+  mpc::FaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 42;
+  faults.crash_prob = 0.01;
+  faults.straggler_prob = 0.03;
+  faults.drop_prob = 0.05;
+  faults.duplicate_prob = 0.05;
+  const Trial base = run(g_, c.algorithm, c.beta, faults,
+                         /*checkpoint_every=*/3, /*num_threads=*/1);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    const Trial other = run(g_, c.algorithm, c.beta, faults,
+                            /*checkpoint_every=*/3, threads);
+    EXPECT_EQ(base.result.ruling_set, other.result.ruling_set);
+    EXPECT_EQ(base.result.metrics.rounds, other.result.metrics.rounds);
+    EXPECT_EQ(base.result.metrics.faults_injected,
+              other.result.metrics.faults_injected);
+    EXPECT_EQ(base.result.metrics.recovery_rounds,
+              other.result.metrics.recovery_rounds);
+    EXPECT_EQ(base.result.metrics.checkpoints,
+              other.result.metrics.checkpoints);
+    EXPECT_EQ(all_events(base), all_events(other));
+  }
+  // A different injector seed draws a different fault sequence (while the
+  // algorithm result still never changes).
+  mpc::FaultConfig reseeded = faults;
+  reseeded.seed = 43;
+  const Trial other_seed = run(g_, c.algorithm, c.beta, reseeded,
+                               /*checkpoint_every=*/3);
+  EXPECT_EQ(base.result.ruling_set, other_seed.result.ruling_set);
+  EXPECT_NE(all_events(base), all_events(other_seed));
+}
+
+// Injecting faults must never consume algorithm randomness: the injector
+// draws from its own stream and random_words stays what the algorithm used.
+TEST_P(FaultInjection, InjectorDoesNotPerturbAlgorithmRandomness) {
+  const Case c = GetParam();
+  const Trial base = run(g_, c.algorithm, c.beta, {});
+  mpc::FaultConfig faults;
+  faults.enabled = true;
+  faults.straggler_prob = 0.1;
+  faults.drop_prob = 0.1;
+  const Trial faulty = run(g_, c.algorithm, c.beta, faults);
+  EXPECT_EQ(base.result.metrics.random_words,
+            faulty.result.metrics.random_words);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMpcAlgorithms, FaultInjection,
+    ::testing::Values(Case{Algorithm::kLubyMpc, 1},
+                      Case{Algorithm::kDetLubyMpc, 1},
+                      Case{Algorithm::kSampleGatherMpc, 2},
+                      Case{Algorithm::kDetRulingMpc, 2}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return algorithm_name(info.param.algorithm);
+    });
+
+TEST(FaultInjectorValidation, RejectsBadConfigs) {
+  mpc::FaultConfig bad;
+  bad.enabled = true;
+  bad.crash_prob = 1.5;
+  EXPECT_THROW(mpc::FaultInjector(bad, 4), std::invalid_argument);
+
+  bad = {};
+  bad.enabled = true;
+  bad.max_straggler_rounds = 0;
+  EXPECT_THROW(mpc::FaultInjector(bad, 4), std::invalid_argument);
+
+  bad = {};
+  bad.enabled = true;
+  bad.schedule.push_back({mpc::FaultKind::kCrash, 3, 9});  // machine 9 of 4
+  EXPECT_THROW(mpc::FaultInjector(bad, 4), std::invalid_argument);
+
+  bad = {};
+  bad.enabled = true;
+  bad.schedule.push_back({mpc::FaultKind::kCheckpoint, 3, 0});
+  EXPECT_THROW(mpc::FaultInjector(bad, 4), std::invalid_argument);
+
+  bad = {};
+  bad.enabled = true;
+  bad.schedule.push_back({mpc::FaultKind::kDrop, 3, 0});
+  EXPECT_THROW(mpc::FaultInjector(bad, 4), std::invalid_argument);
+}
+
+TEST(FaultSpec, ParsesTheCliGrammar) {
+  const mpc::FaultConfig empty = mpc::parse_fault_spec("");
+  EXPECT_FALSE(empty.enabled);
+
+  const mpc::FaultConfig config = mpc::parse_fault_spec(
+      "crash@5:2,straggler@7:1:3,crash~0.25,straggler~0.5,drop~0.01,"
+      "dup~0.005,seed=9");
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.seed, 9u);
+  EXPECT_DOUBLE_EQ(config.crash_prob, 0.25);
+  EXPECT_DOUBLE_EQ(config.straggler_prob, 0.5);
+  EXPECT_DOUBLE_EQ(config.drop_prob, 0.01);
+  EXPECT_DOUBLE_EQ(config.duplicate_prob, 0.005);
+  ASSERT_EQ(config.schedule.size(), 2u);
+  EXPECT_EQ(config.schedule[0].kind, mpc::FaultKind::kCrash);
+  EXPECT_EQ(config.schedule[0].round, 5u);
+  EXPECT_EQ(config.schedule[0].machine, 2u);
+  EXPECT_EQ(config.schedule[1].kind, mpc::FaultKind::kStraggler);
+  EXPECT_EQ(config.schedule[1].round, 7u);
+  EXPECT_EQ(config.schedule[1].machine, 1u);
+  EXPECT_EQ(config.schedule[1].delay_rounds, 3u);
+
+  // Straggler delay defaults to 1 when omitted.
+  EXPECT_EQ(mpc::parse_fault_spec("straggler@4:0").schedule[0].delay_rounds,
+            1u);
+
+  EXPECT_THROW(mpc::parse_fault_spec("explode@3:1"), std::invalid_argument);
+  EXPECT_THROW(mpc::parse_fault_spec("crash@oops:1"), std::invalid_argument);
+  EXPECT_THROW(mpc::parse_fault_spec("drop~1.5"), std::invalid_argument);
+  EXPECT_THROW(mpc::parse_fault_spec("nonsense"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsets

@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Full local CI: the gates a change must pass before merging.
+#
+#   1. Regular build + complete test suite (ctest).
+#   2. ThreadSanitizer pass over the round-parallel simulator
+#      (tools/check_tsan.sh).
+#   3. AddressSanitizer + UBSan build of the complete test suite
+#      (RSETS_SANITIZE=address,undefined), run under halt-on-error.
+#   4. Record/recover/replay gate for the fault subsystem
+#      (tools/check_replay.sh).
+#
+# Usage: tools/ci.sh
+#
+# Build trees: build/ (regular), build-tsan/, build-asan/ — each gate keeps
+# its own tree so reruns are incremental.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=$(nproc)
+
+echo "=== ci: build + ctest ==="
+cmake -B "$repo_root/build" -S "$repo_root"
+cmake --build "$repo_root/build" -j "$jobs"
+ctest --test-dir "$repo_root/build" -j "$jobs" --output-on-failure
+
+echo "=== ci: thread sanitizer (simulator contract) ==="
+"$repo_root/tools/check_tsan.sh" "$repo_root/build-tsan"
+
+echo "=== ci: address+undefined sanitizers (full suite) ==="
+cmake -B "$repo_root/build-asan" -S "$repo_root" \
+      -DRSETS_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$repo_root/build-asan" --target rsets_tests -j "$jobs"
+ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
+    ctest --test-dir "$repo_root/build-asan" -j "$jobs" --output-on-failure
+
+echo "=== ci: record/recover/replay gate ==="
+"$repo_root/tools/check_replay.sh" "$repo_root/build"
+
+echo "ci: PASS"

@@ -7,16 +7,31 @@
 //   rsets_cli --gen=gnp --n=10000 --avg_deg=8 --algorithm=luby_mpc --beta=1
 //   rsets_cli --gen=power_law --n=5000 --algorithm=sample_gather_mpc
 //             --beta=2 --machines=16 --threads=4 --trace=rounds.jsonl
+//   rsets_cli --gen=gnp --n=5000 --faults=crash@5:2,drop~0.01
+//             --checkpoint-every=3 --record=run.jsonl
+//   rsets_cli --replay=run.jsonl
 //
 // Every algorithm — sequential, MPC, and CONGEST — goes through the unified
 // compute_ruling_set dispatcher; --algorithm accepts any name from
 // rsets::algorithm_registry() (plus the legacy congest_* aliases).
 //
-// Exit code: 0 if the output verified, 1 otherwise, 2 on usage errors.
+// --record writes a replayable execution log: a meta line holding the full
+// run specification, one line per simulator phase (wall_ms zeroed — it is
+// the only nondeterministic field), and a summary line with final metrics
+// and a hash of the output set. --replay re-runs the recorded specification
+// and byte-compares every regenerated line against the log, so a recorded
+// execution — faults, checkpoints, recoveries and all — is checkably
+// reproducible.
+//
+// Exit code: 0 if the output verified (or the replay matched), 1 otherwise,
+// 2 on usage errors.
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/ruling_set.hpp"
 #include "graph/generators.hpp"
@@ -44,7 +59,8 @@ const char* model_name(Model m) {
 
 int usage(const std::string& error) {
   std::cerr << "error: " << error << "\n\n"
-            << "usage: rsets_cli (--input=FILE | --gen=NAME --n=N)\n"
+            << "usage: rsets_cli (--input=FILE | --gen=NAME --n=N | "
+               "--replay=FILE)\n"
             << "  --algorithm=NAME   one of (default det_ruling_mpc):\n";
   for (const AlgorithmInfo& info : algorithm_registry()) {
     std::cerr << "      " << info.name;
@@ -60,6 +76,12 @@ int usage(const std::string& error) {
       << "  --machines=M --memory_words=W --budget=B   MPC knobs\n"
       << "  --threads=T        MPC simulator worker threads (1 sequential,\n"
       << "                     0 hardware concurrency; results identical)\n"
+      << "  --faults=SPEC      inject faults: crash@R:M, straggler@R:M[:D],\n"
+      << "                     crash~P, straggler~P, drop~P, dup~P, seed=X\n"
+      << "                     (comma-separated; results never change)\n"
+      << "  --checkpoint-every=K   durable checkpoint every K rounds\n"
+      << "  --record=FILE      write a replayable execution log (JSONL)\n"
+      << "  --replay=FILE      re-run a recorded log and verify it matches\n"
       << "  --trace=FILE       per-round JSONL trace (MPC algorithms)\n"
       << "  --out=FILE         write the set, one vertex per line\n"
       << "  --print_set        print the set to stdout\n"
@@ -67,35 +89,290 @@ int usage(const std::string& error) {
   return 2;
 }
 
-Graph build_graph(const Flags& flags) {
-  if (flags.has("input")) {
-    return read_edge_list_file(flags.get("input", ""));
+// Everything needed to reproduce a run — captured in the --record meta line
+// and reconstructed by --replay.
+struct RunSpec {
+  std::string algorithm = "det_ruling_mpc";
+  std::uint32_t beta = 2;  // resolved (never the "algorithm default" marker)
+  std::string input;       // edge-list path; empty when generated
+  std::string gen;         // generator name; empty when --input
+  std::uint64_t n = 10000;
+  double avg_deg = 8.0;
+  std::uint64_t seed = 1;
+  std::uint32_t machines = 8;
+  std::uint64_t memory_words = 1 << 24;
+  std::uint32_t threads = 1;
+  std::uint64_t budget = 0;
+  std::string faults;  // spec string, parsed by mpc::parse_fault_spec
+  std::uint64_t checkpoint_every = 0;
+};
+
+constexpr const char* kReplayFormat = "rsets-replay-v1";
+
+RunSpec spec_from_flags(const Flags& flags) {
+  RunSpec spec;
+  spec.algorithm = flags.get("algorithm", "det_ruling_mpc");
+  const auto algorithm = algorithm_from_name(spec.algorithm);
+  if (!algorithm) {
+    throw std::invalid_argument("unknown algorithm: " + spec.algorithm);
   }
-  const std::string name = flags.get("gen", "");
-  const auto n = static_cast<VertexId>(flags.get_int("n", 10000));
-  const double avg_deg = flags.get_double("avg_deg", 8.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  if (name == "gnp") return gen::gnp(n, avg_deg / n, seed);
-  if (name == "gnm") {
-    return gen::gnm(n, static_cast<std::uint64_t>(avg_deg * n / 2), seed);
+  // Without an explicit --beta, run at the algorithm's minimum (an MIS
+  // algorithm defaults to 1, the 2-ruling machinery to 2, ...).
+  spec.beta = flags.has("beta")
+                  ? static_cast<std::uint32_t>(flags.get_int("beta", 2))
+                  : algorithm_info(*algorithm).min_beta;
+  spec.input = flags.get("input", "");
+  spec.gen = flags.get("gen", "");
+  spec.n = static_cast<std::uint64_t>(flags.get_int("n", 10000));
+  spec.avg_deg = flags.get_double("avg_deg", 8.0);
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  spec.machines = static_cast<std::uint32_t>(flags.get_int("machines", 8));
+  spec.memory_words =
+      static_cast<std::uint64_t>(flags.get_int("memory_words", 1 << 24));
+  spec.threads = static_cast<std::uint32_t>(flags.get_int("threads", 1));
+  spec.budget = static_cast<std::uint64_t>(flags.get_int("budget", 0));
+  spec.faults = flags.get("faults", "");
+  spec.checkpoint_every =
+      static_cast<std::uint64_t>(flags.get_int("checkpoint-every", 0));
+  return spec;
+}
+
+void append_json_str(std::ostream& out, const char* key,
+                     const std::string& value) {
+  out << "\"" << key << "\":\"" << value << "\"";
+}
+
+std::string spec_to_json(const RunSpec& spec) {
+  std::ostringstream out;
+  out << "{";
+  append_json_str(out, "format", kReplayFormat);
+  out << ",";
+  append_json_str(out, "algorithm", spec.algorithm);
+  out << ",\"beta\":" << spec.beta << ",";
+  append_json_str(out, "input", spec.input);
+  out << ",";
+  append_json_str(out, "gen", spec.gen);
+  char avg_deg[64];
+  std::snprintf(avg_deg, sizeof(avg_deg), "%.17g", spec.avg_deg);
+  out << ",\"n\":" << spec.n << ",\"avg_deg\":" << avg_deg
+      << ",\"seed\":" << spec.seed << ",\"machines\":" << spec.machines
+      << ",\"memory_words\":" << spec.memory_words
+      << ",\"threads\":" << spec.threads << ",\"budget\":" << spec.budget
+      << ",";
+  append_json_str(out, "faults", spec.faults);
+  out << ",\"checkpoint_every\":" << spec.checkpoint_every << "}";
+  return out.str();
+}
+
+// Minimal extraction from the flat JSON the recorder writes: values are
+// unescaped strings or plain numbers, keys are unique. Not a JSON parser.
+std::string json_value(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) {
+    throw std::invalid_argument("replay log: meta line lacks key '" + key +
+                                "'");
   }
-  if (name == "power_law") return gen::power_law(n, 2.5, avg_deg, seed);
-  if (name == "regular") {
-    auto d = static_cast<std::uint32_t>(avg_deg);
+  std::size_t v = at + needle.size();
+  if (v < line.size() && line[v] == '"') {
+    const std::size_t end = line.find('"', v + 1);
+    if (end == std::string::npos) {
+      throw std::invalid_argument("replay log: unterminated string for '" +
+                                  key + "'");
+    }
+    return line.substr(v + 1, end - v - 1);
+  }
+  std::size_t end = v;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(v, end - v);
+}
+
+std::uint64_t json_u64(const std::string& line, const std::string& key) {
+  return std::stoull(json_value(line, key));
+}
+
+RunSpec spec_from_json(const std::string& line) {
+  if (json_value(line, "format") != kReplayFormat) {
+    throw std::invalid_argument("replay log: not a " +
+                                std::string(kReplayFormat) + " file");
+  }
+  RunSpec spec;
+  spec.algorithm = json_value(line, "algorithm");
+  spec.beta = static_cast<std::uint32_t>(json_u64(line, "beta"));
+  spec.input = json_value(line, "input");
+  spec.gen = json_value(line, "gen");
+  spec.n = json_u64(line, "n");
+  spec.avg_deg = std::stod(json_value(line, "avg_deg"));
+  spec.seed = json_u64(line, "seed");
+  spec.machines = static_cast<std::uint32_t>(json_u64(line, "machines"));
+  spec.memory_words = json_u64(line, "memory_words");
+  spec.threads = static_cast<std::uint32_t>(json_u64(line, "threads"));
+  spec.budget = json_u64(line, "budget");
+  spec.faults = json_value(line, "faults");
+  spec.checkpoint_every = json_u64(line, "checkpoint_every");
+  return spec;
+}
+
+Graph build_graph(const RunSpec& spec) {
+  if (!spec.input.empty()) {
+    return read_edge_list_file(spec.input);
+  }
+  const auto n = static_cast<VertexId>(spec.n);
+  if (spec.gen == "gnp") return gen::gnp(n, spec.avg_deg / n, spec.seed);
+  if (spec.gen == "gnm") {
+    return gen::gnm(n, static_cast<std::uint64_t>(spec.avg_deg * n / 2),
+                    spec.seed);
+  }
+  if (spec.gen == "power_law") {
+    return gen::power_law(n, 2.5, spec.avg_deg, spec.seed);
+  }
+  if (spec.gen == "regular") {
+    auto d = static_cast<std::uint32_t>(spec.avg_deg);
     if ((static_cast<std::uint64_t>(n) * d) % 2 != 0) ++d;
-    return gen::random_regular(n, d, seed);
+    return gen::random_regular(n, d, spec.seed);
   }
-  if (name == "ba") {
+  if (spec.gen == "ba") {
     return gen::barabasi_albert(
-        n, std::max<std::uint32_t>(1, static_cast<std::uint32_t>(avg_deg / 2)),
-        seed);
+        n,
+        std::max<std::uint32_t>(1,
+                                static_cast<std::uint32_t>(spec.avg_deg / 2)),
+        spec.seed);
   }
-  if (name == "tree") return gen::random_tree(n, seed);
-  if (name == "grid") {
+  if (spec.gen == "tree") return gen::random_tree(n, spec.seed);
+  if (spec.gen == "grid") {
     const auto side = static_cast<std::uint32_t>(std::sqrt(n));
     return gen::grid(side, side);
   }
-  throw std::invalid_argument("unknown generator: " + name);
+  throw std::invalid_argument("unknown generator: " + spec.gen);
+}
+
+RulingSetOptions options_from_spec(const RunSpec& spec) {
+  const auto algorithm = algorithm_from_name(spec.algorithm);
+  if (!algorithm) {
+    throw std::invalid_argument("unknown algorithm: " + spec.algorithm);
+  }
+  RulingSetOptions options;
+  options.algorithm = *algorithm;
+  options.beta = spec.beta;
+  options.mpc.num_machines = spec.machines;
+  options.mpc.memory_words = static_cast<std::size_t>(spec.memory_words);
+  options.mpc.seed = spec.seed;
+  options.mpc.num_threads = spec.threads;
+  options.mpc.faults = mpc::parse_fault_spec(spec.faults);
+  options.mpc.checkpoint_every = spec.checkpoint_every;
+  options.congest.seed = spec.seed;
+  options.gather_budget_words = spec.budget;
+  return options;
+}
+
+// FNV-1a over the sorted vertex ids — a cheap, stable fingerprint of the
+// output set for the replay summary line.
+std::uint64_t set_hash(const std::vector<VertexId>& set) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (VertexId v : set) {
+    h ^= static_cast<std::uint64_t>(v);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string summary_json(const RulingSetResult& result) {
+  const mpc::MpcMetrics& m = result.metrics;
+  std::ostringstream out;
+  out << "{\"summary\":1,\"size\":" << result.ruling_set.size()
+      << ",\"phases\":" << result.phases << ",\"rounds\":" << m.rounds
+      << ",\"messages\":" << m.messages << ",\"total_words\":" << m.total_words
+      << ",\"max_send_words\":" << m.max_send_words
+      << ",\"max_recv_words\":" << m.max_recv_words
+      << ",\"max_storage_words\":" << m.max_storage_words
+      << ",\"violations\":" << m.violations
+      << ",\"random_words\":" << m.random_words
+      << ",\"faults_injected\":" << m.faults_injected
+      << ",\"checkpoints\":" << m.checkpoints
+      << ",\"recovery_rounds\":" << m.recovery_rounds
+      << ",\"set_hash\":" << set_hash(result.ruling_set) << "}";
+  return out.str();
+}
+
+std::string record_line(const mpc::RoundTrace& trace) {
+  // Wall time is the only nondeterministic trace field; zero it so recorded
+  // lines are byte-reproducible.
+  mpc::RoundTrace stable = trace;
+  stable.wall_ms = 0.0;
+  return mpc::to_json(stable);
+}
+
+int run_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return 2;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  if (lines.size() < 2) {
+    std::cerr << "error: " << path << " is not a replay log (need meta and "
+              << "summary lines)\n";
+    return 2;
+  }
+  const RunSpec spec = spec_from_json(lines.front());
+  const Graph g = build_graph(spec);
+  RulingSetOptions options = options_from_spec(spec);
+
+  // Recorded phase lines sit between the meta line and the summary line.
+  const std::size_t num_recorded = lines.size() - 2;
+  std::size_t emitted = 0;
+  std::uint64_t mismatches = 0;
+  std::string first_mismatch;
+  options.mpc.trace_hook = [&](const mpc::RoundTrace& trace) {
+    const std::string got = record_line(trace);
+    if (emitted >= num_recorded) {
+      ++mismatches;
+      if (first_mismatch.empty()) {
+        first_mismatch = "extra phase beyond recorded log: " + got;
+      }
+    } else if (got != lines[1 + emitted]) {
+      ++mismatches;
+      if (first_mismatch.empty()) {
+        first_mismatch = "line " + std::to_string(2 + emitted) +
+                         "\n  recorded: " + lines[1 + emitted] +
+                         "\n  replayed: " + got;
+      }
+    }
+    ++emitted;
+  };
+
+  const RulingSetResult result = compute_ruling_set(g, options);
+  if (emitted < num_recorded) {
+    ++mismatches;
+    if (first_mismatch.empty()) {
+      first_mismatch = "replay produced " + std::to_string(emitted) +
+                       " phases, log has " + std::to_string(num_recorded);
+    }
+  }
+  const std::string summary = summary_json(result);
+  if (summary != lines.back()) {
+    ++mismatches;
+    if (first_mismatch.empty()) {
+      first_mismatch = "summary\n  recorded: " + lines.back() +
+                       "\n  replayed: " + summary;
+    }
+  }
+
+  std::cout << "replay=" << (mismatches == 0 ? "ok" : "mismatch") << "\n"
+            << "replay_file=" << path << "\n"
+            << "algorithm=" << spec.algorithm << "\n"
+            << "phases_checked=" << emitted << "\n"
+            << "rounds=" << result.metrics.rounds << "\n"
+            << "faults_injected=" << result.metrics.faults_injected << "\n"
+            << "checkpoints=" << result.metrics.checkpoints << "\n"
+            << "recovery_rounds=" << result.metrics.recovery_rounds << "\n";
+  if (mismatches != 0) {
+    std::cerr << "replay mismatch (" << mismatches << " total), first at "
+              << first_mismatch << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -105,53 +382,63 @@ int main(int argc, char** argv) {
   if (flags.get_bool("verbose", false)) {
     Logger::instance().set_level(LogLevel::kDebug);
   }
-  if (!flags.has("input") && !flags.has("gen")) {
-    return usage("need --input=FILE or --gen=NAME");
-  }
 
   try {
-    const Graph g = build_graph(flags);
-    const std::string algo_name = flags.get("algorithm", "det_ruling_mpc");
-    const auto algorithm = algorithm_from_name(algo_name);
-    if (!algorithm) return usage("unknown algorithm: " + algo_name);
-    const AlgorithmInfo& info = algorithm_info(*algorithm);
+    if (flags.has("replay")) {
+      return run_replay(flags.get("replay", ""));
+    }
+    if (!flags.has("input") && !flags.has("gen")) {
+      return usage("need --input=FILE, --gen=NAME, or --replay=FILE");
+    }
 
-    RulingSetOptions options;
-    options.algorithm = *algorithm;
-    // Without an explicit --beta, run at the algorithm's minimum (an MIS
-    // algorithm defaults to 1, the 2-ruling machinery to 2, ...).
-    options.beta = flags.has("beta")
-                       ? static_cast<std::uint32_t>(flags.get_int("beta", 2))
-                       : info.min_beta;
-    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-    options.mpc.num_machines =
-        static_cast<mpc::MachineId>(flags.get_int("machines", 8));
-    options.mpc.memory_words =
-        static_cast<std::size_t>(flags.get_int("memory_words", 1 << 24));
-    options.mpc.seed = seed;
-    options.mpc.num_threads =
-        static_cast<unsigned>(flags.get_int("threads", 1));
-    options.congest.seed = seed;
-    options.gather_budget_words =
-        static_cast<std::uint64_t>(flags.get_int("budget", 0));
+    const RunSpec spec = spec_from_flags(flags);
+    const Graph g = build_graph(spec);
+    RulingSetOptions options = options_from_spec(spec);
+    const AlgorithmInfo& info = algorithm_info(options.algorithm);
+    const bool faulty =
+        options.mpc.faults.enabled || options.mpc.checkpoint_every != 0;
 
     std::ofstream trace_out;
+    std::ofstream record_out;
+    std::vector<mpc::TraceHook> hooks;
     if (flags.has("trace")) {
       trace_out.open(flags.get("trace", ""));
       if (!trace_out) {
         std::cerr << "error: cannot write " << flags.get("trace", "") << "\n";
         return 2;
       }
-      options.mpc.trace_hook = [&trace_out](const mpc::RoundTrace& trace) {
+      hooks.push_back([&trace_out](const mpc::RoundTrace& trace) {
         trace_out << mpc::to_json(trace) << "\n";
+      });
+    }
+    if (flags.has("record")) {
+      record_out.open(flags.get("record", ""));
+      if (!record_out) {
+        std::cerr << "error: cannot write " << flags.get("record", "") << "\n";
+        return 2;
+      }
+      record_out << spec_to_json(spec) << "\n";
+      hooks.push_back([&record_out](const mpc::RoundTrace& trace) {
+        record_out << record_line(trace) << "\n";
+      });
+    }
+    if (hooks.size() == 1) {
+      options.mpc.trace_hook = hooks.front();
+    } else if (hooks.size() > 1) {
+      options.mpc.trace_hook = [hooks](const mpc::RoundTrace& trace) {
+        for (const auto& hook : hooks) hook(trace);
       };
     }
 
     const RulingSetResult result = compute_ruling_set(g, options);
+    if (record_out.is_open()) {
+      record_out << summary_json(result) << "\n";
+    }
     // AGLP's guarantee is a function of n; everyone else delivers the
     // requested beta.
     const std::uint32_t beta =
-        *algorithm == Algorithm::kAglpCongest ? result.beta : options.beta;
+        options.algorithm == Algorithm::kAglpCongest ? result.beta
+                                                     : options.beta;
     const auto report = check_ruling_set(g, result.ruling_set, beta);
 
     std::cout << "algorithm=" << info.name << "\n"
@@ -175,6 +462,15 @@ int main(int argc, char** argv) {
                 << "\n"
                 << "random_words=" << result.metrics.random_words << "\n"
                 << "violations=" << result.metrics.violations << "\n";
+      // Fault-ledger keys appear only when the subsystem is on, so default
+      // runs keep the historical output byte-for-byte.
+      if (faulty) {
+        std::cout << "faults_injected=" << result.metrics.faults_injected
+                  << "\n"
+                  << "checkpoints=" << result.metrics.checkpoints << "\n"
+                  << "recovery_rounds=" << result.metrics.recovery_rounds
+                  << "\n";
+      }
     }
 
     if (flags.has("out")) {
