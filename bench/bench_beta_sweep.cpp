@@ -53,4 +53,4 @@ BENCHMARK(BM_DetRuling_Beta)->Apply(BetaByFamily)->Iterations(1)->Unit(benchmark
 }  // namespace
 }  // namespace rsets::bench
 
-BENCHMARK_MAIN();
+RSETS_BENCH_MAIN(beta_sweep);

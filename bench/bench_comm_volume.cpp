@@ -68,4 +68,4 @@ BENCHMARK(BM_SampleGather_Budget)->Apply(Budgets)->Iterations(1)->Unit(benchmark
 }  // namespace
 }  // namespace rsets::bench
 
-BENCHMARK_MAIN();
+RSETS_BENCH_MAIN(comm_volume);

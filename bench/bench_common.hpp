@@ -30,6 +30,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/ruling_set.hpp"
 #include "graph/generators.hpp"
@@ -135,4 +136,36 @@ inline void report(benchmark::State& state, const Graph& g,
   }
 }
 
+// Entry point shared by every bench binary. Unless the caller already picked
+// an output file, results additionally land in BENCH_<name>.json (google-
+// benchmark's JSON schema) in the working directory, so a plain
+// `./bench_rounds_vs_n` run leaves a machine-readable record behind and the
+// plotting scripts never need to re-wire flags.
+inline int run_bench_main(int argc, char** argv, const char* bench_name) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag;
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    out_flag = std::string("--benchmark_out=BENCH_") + bench_name + ".json";
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace rsets::bench
+
+#define RSETS_BENCH_MAIN(name)                              \
+  int main(int argc, char** argv) {                         \
+    return rsets::bench::run_bench_main(argc, argv, #name); \
+  }

@@ -126,4 +126,4 @@ BENCHMARK(BM_MpcDetRuling)->Apply(Sizes)->Iterations(1)->Unit(benchmark::kMillis
 }  // namespace
 }  // namespace rsets::bench
 
-BENCHMARK_MAIN();
+RSETS_BENCH_MAIN(cross_model);

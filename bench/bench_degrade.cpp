@@ -1,0 +1,78 @@
+// E10 — Degrade-mode round overhead vs. memory budget.
+//
+// The per-machine budget sweeps S = alpha * S0, where S0 is the smallest
+// power of two that the unconstrained run fits (no spill waves). Under
+// BudgetPolicy::kDegrade a round that overflows S is split into sub-rounds
+// (spill-and-resend), so the output never changes while the round count
+// grows as the budget shrinks. Prediction: overhead_rounds scales like
+// ceil(1/alpha) - 1 per overflowing phase — halving the budget roughly
+// doubles the spill waves on the heaviest rounds — and degrade parity
+// (identical set, zero violations) holds at every alpha, asserted below.
+#include "bench_common.hpp"
+
+#include "core/ruling_set.hpp"
+
+namespace rsets::bench {
+namespace {
+
+constexpr VertexId kN = 4000;
+
+// The gather budget is clamped to memory_words, so it is pinned to the
+// sweep's floor: the algorithm trajectory is identical at all alphas and
+// only the accounting differs.
+constexpr std::uint64_t kGatherPin = 512;
+
+Graph family_graph() { return gen::gnp(kN, 12.0 / kN, 17); }
+
+RulingSetResult run_once(const Graph& g, const mpc::MpcConfig& cfg) {
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kDetRulingMpc;
+  options.beta = 2;
+  options.mpc = cfg;
+  options.gather_budget_words = kGatherPin;
+  return compute_ruling_set(g, options);
+}
+
+void BM_DegradeOverhead(benchmark::State& state) {
+  // state.range(0) halves the budget: memory_words = S0 >> range.
+  const auto shrink = static_cast<std::uint64_t>(state.range(0));
+  const Graph g = family_graph();
+
+  // S0: the peak storage of the unconstrained run, rounded up to a power
+  // of two; at this budget degrade mode charges nothing.
+  mpc::MpcConfig base = default_mpc();
+  base.budget_policy = mpc::BudgetPolicy::kTrace;
+  const RulingSetResult unconstrained = run_once(g, base);
+  std::uint64_t s0 = 1;
+  while (s0 < unconstrained.metrics.max_storage_words) s0 <<= 1;
+
+  mpc::MpcConfig cfg = default_mpc();
+  cfg.budget_policy = mpc::BudgetPolicy::kDegrade;
+  cfg.memory_words = std::max<std::uint64_t>(s0 >> shrink, kGatherPin);
+  RulingSetResult result;
+  for (auto _ : state) {
+    result = run_once(g, cfg);
+  }
+  report(state, g, result, cfg);
+  if (result.ruling_set != unconstrained.ruling_set) {
+    state.SkipWithError("degrade parity violated: output changed");
+  }
+  state.counters["memory_words"] = static_cast<double>(cfg.memory_words);
+  state.counters["alpha_inverse"] = static_cast<double>(1ull << shrink);
+  state.counters["baseline_rounds"] =
+      static_cast<double>(unconstrained.metrics.rounds);
+  state.counters["overhead_rounds"] = static_cast<double>(
+      result.metrics.rounds - unconstrained.metrics.rounds);
+  state.counters["degraded_subrounds"] =
+      static_cast<double>(result.metrics.degraded_subrounds);
+}
+
+BENCHMARK(BM_DegradeOverhead)
+    ->DenseRange(0, 4)  // below s0/16 the kGatherPin floor clips the sweep
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rsets::bench
+
+RSETS_BENCH_MAIN(degrade);

@@ -87,4 +87,4 @@ BENCHMARK(BM_EstimatorIntegrity)->Iterations(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace rsets::bench
 
-BENCHMARK_MAIN();
+RSETS_BENCH_MAIN(derand_ablation);

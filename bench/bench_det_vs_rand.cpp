@@ -100,4 +100,4 @@ BENCHMARK(BM_Deterministic_AcrossSeedsAndMachines)->Iterations(1)->Unit(benchmar
 }  // namespace
 }  // namespace rsets::bench
 
-BENCHMARK_MAIN();
+RSETS_BENCH_MAIN(det_vs_rand);

@@ -7,6 +7,7 @@
 // zero random words, and independently verified maximality.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/det_matching.hpp"
 #include "graph/generators.hpp"
 
@@ -44,4 +45,4 @@ BENCHMARK(BM_DetMatching)
 }  // namespace
 }  // namespace rsets::bench
 
-BENCHMARK_MAIN();
+RSETS_BENCH_MAIN(matching_ext);

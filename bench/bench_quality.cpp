@@ -81,4 +81,4 @@ BENCHMARK(BM_Quality_SampleGather)->DenseRange(0, 7)->Iterations(1)->Unit(benchm
 }  // namespace
 }  // namespace rsets::bench
 
-BENCHMARK_MAIN();
+RSETS_BENCH_MAIN(quality);

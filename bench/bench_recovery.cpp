@@ -69,4 +69,4 @@ BENCHMARK(BM_RecoveryOverhead)
 }  // namespace
 }  // namespace rsets::bench
 
-BENCHMARK_MAIN();
+RSETS_BENCH_MAIN(recovery);

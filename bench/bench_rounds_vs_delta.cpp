@@ -89,4 +89,4 @@ BENCHMARK(BM_DetRuling_PowerLaw)
 }  // namespace
 }  // namespace rsets::bench
 
-BENCHMARK_MAIN();
+RSETS_BENCH_MAIN(rounds_vs_delta);

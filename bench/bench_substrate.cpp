@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "bench_common.hpp"
 #include "graph/generators.hpp"
 #include "mpc/dist_graph.hpp"
 #include "mpc/primitives.hpp"
@@ -153,4 +154,4 @@ BENCHMARK(BM_DistGraphLoad)->Arg(10000)->Arg(100000);
 }  // namespace
 }  // namespace rsets
 
-BENCHMARK_MAIN();
+RSETS_BENCH_MAIN(substrate);

@@ -1,0 +1,48 @@
+// Fuzz harness for the --key=value flag parser.
+//
+// The input bytes are split on '\n' into an argv vector, parsed, and every
+// discovered key is pulled back out through each typed getter. The getters
+// are allowed to throw rsets::Error (kBadFlag) on a non-numeric value;
+// anything else escaping is a bug.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/flags.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string blob(reinterpret_cast<const char*>(data), size);
+  std::vector<std::string> args;
+  args.emplace_back("fuzz_flags");  // argv[0]
+  std::size_t start = 0;
+  while (start <= blob.size()) {
+    const std::size_t nl = blob.find('\n', start);
+    const std::size_t end = nl == std::string::npos ? blob.size() : nl;
+    if (end > start) args.push_back(blob.substr(start, end - start));
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const std::string& a : args) argv.push_back(a.c_str());
+
+  const rsets::Flags flags(static_cast<int>(argv.size()), argv.data());
+  for (const std::string& key : flags.keys()) {
+    (void)flags.has(key);
+    (void)flags.get(key, "");
+    (void)flags.get_bool(key, false);
+    try {
+      (void)flags.get_int(key, 0);
+    } catch (const rsets::Error&) {
+    }
+    try {
+      (void)flags.get_double(key, 0.0);
+    } catch (const rsets::Error&) {
+    }
+  }
+  (void)flags.positional();
+  return 0;
+}

@@ -115,4 +115,82 @@ RulingSetReport check_ruling_set(const Graph& g,
   return report;
 }
 
+std::string RulingSetCertificate::to_string() const {
+  std::ostringstream os;
+  os << (valid() ? "CERTIFIED" : "REJECTED") << " beta<=" << beta
+     << " (size=" << set_size << ", malformed=" << malformed
+     << ", conflict_edges=" << conflict_edges << ", uncovered=" << uncovered
+     << ", radius=" << radius << ", rounds=" << rounds << ", levels=[";
+  for (std::size_t d = 0; d < level_counts.size(); ++d) {
+    if (d != 0) os << ',';
+    os << level_counts[d];
+  }
+  os << "])";
+  return os.str();
+}
+
+bool cross_validate_certificate(const Graph& g, std::span<const VertexId> set,
+                                const RulingSetCertificate& cert) {
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  const VertexId n = g.num_vertices();
+  if (cert.set_size != set.size()) return false;
+  if (cert.level_counts.size() != static_cast<std::size_t>(cert.beta) + 1) {
+    return false;
+  }
+
+  // Screen the claimed set the same way the in-model pass does: ids must be
+  // in range, entries unique; survivors are the valid members.
+  std::uint64_t malformed = 0;
+  std::vector<VertexId> valid;
+  std::vector<bool> member(n, false);
+  for (const VertexId v : set) {
+    if (v >= n || member[v]) {
+      ++malformed;
+      continue;
+    }
+    member[v] = true;
+    valid.push_back(v);
+  }
+  if (malformed != cert.malformed) return false;
+
+  std::uint64_t conflicts = 0;
+  for (const VertexId v : valid) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (member[u] && v < u) ++conflicts;
+    }
+  }
+  if (conflicts != cert.conflict_edges) return false;
+
+  // Plain multi-source BFS, truncated at beta hops.
+  std::vector<std::uint32_t> dist(n, kInf);
+  std::deque<VertexId> queue;
+  for (const VertexId v : valid) {
+    dist[v] = 0;
+    queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    if (dist[u] >= cert.beta) continue;
+    for (const VertexId w : g.neighbors(u)) {
+      if (dist[w] != kInf) continue;
+      dist[w] = dist[u] + 1;
+      queue.push_back(w);
+    }
+  }
+  std::vector<std::uint64_t> level_counts(cert.beta + 1, 0);
+  std::uint64_t uncovered = 0;
+  std::uint32_t radius = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (dist[v] == kInf) {
+      ++uncovered;
+      continue;
+    }
+    ++level_counts[dist[v]];
+    if (dist[v] >= 1) radius = std::max(radius, dist[v]);
+  }
+  return uncovered == cert.uncovered && radius == cert.radius &&
+         level_counts == cert.level_counts;
+}
+
 }  // namespace rsets

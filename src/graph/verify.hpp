@@ -56,4 +56,38 @@ RulingSetReport check_ruling_set(const Graph& g,
                                  std::span<const VertexId> set,
                                  std::uint32_t beta);
 
+// A machine-checkable certificate of ruling-set validity, produced in-model
+// by mpc::certify_ruling_set (edge-exchange independence check + β-hop
+// domination BFS, O(β) extra MPC rounds). The certificate commits to exact
+// counts, not just a verdict, so an independent sequential recomputation
+// (cross_validate_certificate) can confirm every field.
+struct RulingSetCertificate {
+  std::uint32_t beta = 0;
+  std::uint64_t set_size = 0;       // claimed members, before screening
+  std::uint64_t malformed = 0;      // out-of-range ids + duplicate entries
+  std::uint64_t conflict_edges = 0; // edges with both endpoints in the set
+  std::uint64_t uncovered = 0;      // vertices farther than beta from the set
+  // Largest BFS level (1..beta) that covered a new vertex; 0 when the set
+  // already covers everything at distance 0 (or covers nothing).
+  std::uint32_t radius = 0;
+  // level_counts[d] = vertices first covered at distance d (level 0 = valid
+  // members); size beta + 1.
+  std::vector<std::uint64_t> level_counts;
+  // MPC rounds the certification pass spent (informational; not part of
+  // cross-validation).
+  std::uint64_t rounds = 0;
+
+  bool valid() const {
+    return malformed == 0 && conflict_edges == 0 && uncovered == 0;
+  }
+  std::string to_string() const;
+};
+
+// Recomputes every certificate field from scratch with sequential BFS and
+// adjacency scans (sharing no code with the MPC pass) and compares. True iff
+// the certificate describes exactly this graph and set — a forged or stale
+// certificate fails even when its verdict happens to be right.
+bool cross_validate_certificate(const Graph& g, std::span<const VertexId> set,
+                                const RulingSetCertificate& cert);
+
 }  // namespace rsets

@@ -2,25 +2,18 @@
 
 #include <fstream>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
 namespace rsets::mpc {
+namespace {
 
-void write_checkpoint_file(const Checkpoint& checkpoint,
-                           const std::string& path) {
-  if (checkpoint.empty()) {
-    throw CheckpointError("write_checkpoint_file: empty checkpoint");
-  }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw CheckpointError("write_checkpoint_file: cannot open " + path);
-  }
-  out.write(reinterpret_cast<const char*>(checkpoint.bytes.data()),
-            static_cast<std::streamsize>(checkpoint.bytes.size()));
-  if (!out) {
-    throw CheckpointError("write_checkpoint_file: short write to " + path);
-  }
-}
-
-Checkpoint read_checkpoint_file(const std::string& path) {
+// Reads and header-validates one file. Decode failures (bad magic, wrong
+// version, truncation) throw CheckpointError; the caller decides whether a
+// fallback exists.
+Checkpoint read_one_checkpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw CheckpointError("read_checkpoint_file: cannot open " + path);
@@ -40,6 +33,67 @@ Checkpoint read_checkpoint_file(const std::string& path) {
   }
   checkpoint.round = r.u64();
   return checkpoint;
+}
+
+}  // namespace
+
+void write_checkpoint_file(const Checkpoint& checkpoint,
+                           const std::string& path) {
+  if (checkpoint.empty()) {
+    throw CheckpointError("write_checkpoint_file: empty checkpoint");
+  }
+  // Atomic publish: the bytes land in a sibling temp file, reach the disk via
+  // fsync, and only then replace `path` with rename(2) — so a crash at any
+  // point leaves either the old complete checkpoint or the new complete one,
+  // never a torn RSCKPT01 file.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw CheckpointError("write_checkpoint_file: cannot open " + tmp);
+  }
+  const std::uint8_t* data = checkpoint.bytes.data();
+  std::size_t left = checkpoint.bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n <= 0) {
+      ::close(fd);
+      std::remove(tmp.c_str());
+      throw CheckpointError("write_checkpoint_file: short write to " + tmp);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  const bool closed = ::close(fd) == 0;
+  if (!synced || !closed) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("write_checkpoint_file: cannot sync " + tmp);
+  }
+  // Keep the checkpoint being replaced as `.prev`, the fallback
+  // read_checkpoint_file uses when the primary fails to decode. Best-effort:
+  // on the first write there is nothing to rotate.
+  std::rename(path.c_str(), (path + ".prev").c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("write_checkpoint_file: cannot publish " + path);
+  }
+}
+
+Checkpoint read_checkpoint_file(const std::string& path) {
+  try {
+    return read_one_checkpoint(path);
+  } catch (const CheckpointError& primary) {
+    // Reject-and-fall-back: a corrupt or unreadable primary is not fatal if
+    // the previous generation (rotated aside by write_checkpoint_file) still
+    // decodes — recovery just restarts from one checkpoint earlier. When no
+    // usable fallback exists, surface the original failure.
+    try {
+      return read_one_checkpoint(path + ".prev");
+    } catch (const CheckpointError&) {
+      throw CheckpointError(std::string(primary.what()) +
+                            " (no usable .prev fallback)");
+    }
+  }
 }
 
 }  // namespace rsets::mpc

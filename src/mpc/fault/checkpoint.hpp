@@ -202,10 +202,18 @@ struct Checkpoint {
 };
 
 inline constexpr std::uint64_t kCheckpointMagic = 0x3130544B43535253ull;  // "RSCKPT01"
-inline constexpr std::uint64_t kCheckpointVersion = 1;
+// v2: metrics ledger gains degraded_subrounds/deadline_misses/
+// speculative_rounds, per-machine section gains the deadline-miss streak.
+inline constexpr std::uint64_t kCheckpointVersion = 2;
 
 // Disk round trip (binary, exactly Checkpoint::bytes). Throws
 // CheckpointError on I/O failure or a bad header.
+//
+// Writes are atomic: bytes go to `path.tmp`, are fsync'd, and rename(2) over
+// `path`, rotating any prior checkpoint to `path.prev` — a crash mid-write
+// can never leave a torn file. Reads fall back to `path.prev` when `path`
+// fails to decode, so one corrupt generation costs one checkpoint interval,
+// not the run.
 void write_checkpoint_file(const Checkpoint& checkpoint,
                            const std::string& path);
 Checkpoint read_checkpoint_file(const std::string& path);

@@ -39,6 +39,10 @@ enum class FaultKind : std::uint8_t {
   kDuplicate = 3,
   // Not a fault: records that a durable checkpoint was taken this round.
   kCheckpoint = 4,
+  // A machine exceeded MpcConfig::round_deadline (work units = words
+  // received + words sent in the phase) and was speculatively re-executed;
+  // emitted by the simulator itself, never by the injector.
+  kDeadline = 5,
 };
 
 // Stable spelling used in traces and CLI specs.
@@ -53,12 +57,13 @@ struct FaultEvent {
   // unused for checkpoints.
   std::uint32_t machine = 0;
   // Straggler: barrier stall charged. Crash: supersteps re-executed from the
-  // last durable checkpoint.
+  // last durable checkpoint. Deadline: speculative retry rounds charged
+  // (exponential backoff in the miss streak).
   std::uint64_t delay_rounds = 0;
   // Crash: round of the durable checkpoint recovery started from.
   // Checkpoint: size of the snapshot in bytes.
   std::uint64_t checkpoint = 0;
-  // Drop/duplicate: words retransmitted.
+  // Drop/duplicate: words retransmitted. Deadline: work units observed.
   std::uint64_t words = 0;
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;

@@ -108,6 +108,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "duplicate";
     case FaultKind::kCheckpoint:
       return "checkpoint";
+    case FaultKind::kDeadline:
+      return "deadline";
   }
   return "?";
 }

@@ -14,13 +14,16 @@ void Machine::charge_storage(std::size_t words) {
   storage_words_ += words;
   peak_storage_words_ = std::max(peak_storage_words_, storage_words_);
   if (storage_words_ > config_->memory_words) {
-    if (config_->enforce) {
+    // Under kDegrade the excess is spilled: the simulator charges the extra
+    // sub-rounds at the phase barrier from the storage high-water mark, so
+    // nothing is counted here (and this may run on a worker thread).
+    if (config_->budget_policy == BudgetPolicy::kStrict) {
       throw MpcViolation("machine " + std::to_string(id_) +
                          " exceeded memory budget: " +
                          std::to_string(storage_words_) + " > " +
                          std::to_string(config_->memory_words) + " words");
     }
-    ++violations_;
+    if (config_->budget_policy == BudgetPolicy::kTrace) ++violations_;
   }
 }
 
@@ -43,13 +46,13 @@ void Machine::send(MachineId dst, std::uint32_t tag,
   msg.payload = std::move(payload);
   sent_words_this_round_ += msg.words();
   if (sent_words_this_round_ > config_->memory_words) {
-    if (config_->enforce) {
+    if (config_->budget_policy == BudgetPolicy::kStrict) {
       throw MpcViolation("machine " + std::to_string(id_) +
                          " exceeded send bandwidth in one round: " +
                          std::to_string(sent_words_this_round_) + " > " +
                          std::to_string(config_->memory_words) + " words");
     }
-    ++violations_;
+    if (config_->budget_policy == BudgetPolicy::kTrace) ++violations_;
   }
   outbox_.push_back(std::move(msg));
 }

@@ -34,13 +34,50 @@ struct Message {
   std::size_t words() const { return payload.size() + kHeaderWords; }
 };
 
+// What happens when a machine exceeds its S-word storage or per-round
+// bandwidth budget.
+enum class BudgetPolicy : std::uint8_t {
+  // Count the violation in metrics and keep going — used by stress benches
+  // that chart how close algorithms run to the caps.
+  kTrace = 0,
+  // Throw MpcViolation at the first excess word (the historical default):
+  // model conformance is structural.
+  kStrict = 1,
+  // Graceful degradation: the excess is spilled and re-sent across extra
+  // sub-rounds, charged to MpcMetrics::rounds and attributed per phase as
+  // degraded_subrounds in the trace. Results are bit-identical to a kTrace
+  // run — degradation only changes the round accounting, never delivery
+  // order or payloads. Violations stay 0: the budget was honored, at a
+  // latency cost.
+  kDegrade = 2,
+};
+
+inline const char* budget_policy_name(BudgetPolicy policy) {
+  switch (policy) {
+    case BudgetPolicy::kTrace:
+      return "trace";
+    case BudgetPolicy::kStrict:
+      return "strict";
+    case BudgetPolicy::kDegrade:
+      return "degrade";
+  }
+  return "?";
+}
+
+// Parses "trace" | "strict" | "degrade"; throws std::invalid_argument
+// otherwise.
+inline BudgetPolicy parse_budget_policy(const std::string& name) {
+  if (name == "trace") return BudgetPolicy::kTrace;
+  if (name == "strict") return BudgetPolicy::kStrict;
+  if (name == "degrade") return BudgetPolicy::kDegrade;
+  throw std::invalid_argument("budget policy must be trace|strict|degrade, got '" +
+                              name + "'");
+}
+
 struct MpcConfig {
   MachineId num_machines = 8;
   std::size_t memory_words = std::size_t{1} << 20;  // S
-  // When true (default), exceeding S in storage or per-round bandwidth
-  // throws MpcViolation. When false, violations are counted in metrics —
-  // used by stress benches that chart how close algorithms run to the caps.
-  bool enforce = true;
+  BudgetPolicy budget_policy = BudgetPolicy::kStrict;
   std::uint64_t seed = 1;  // base seed for per-machine RNG streams
   // Worker threads executing the per-machine round callbacks: 1 runs them
   // sequentially on the calling thread (the historical behavior), 0 uses
@@ -58,6 +95,14 @@ struct MpcConfig {
   // path and results, metrics, and traces are bit-identical to a build
   // without the fault subsystem.
   FaultConfig faults;
+  // Work-unit budget per round (0 = no deadline). A machine's work in a
+  // phase is the words it received plus the words it sent; a machine whose
+  // work exceeds the deadline is a straggler: the simulator speculatively
+  // re-executes it from an in-memory checkpoint (exercising the registered
+  // Snapshotable hooks) and charges retry rounds with exponential backoff
+  // per consecutive miss. Results are unchanged — speculation replays the
+  // exact same deterministic work — only the rounds/deadline ledger moves.
+  std::uint64_t round_deadline = 0;
   // Take a durable checkpoint at every k-th round barrier (0 = never).
   // Checkpoints bound crash-recovery re-execution: a crash at round r
   // restores from the last checkpoint at round c and charges r - c
@@ -76,7 +121,7 @@ struct MpcMetrics {
   std::uint64_t max_recv_words = 0;
   // Worst persistent storage held by any machine at any time.
   std::size_t max_storage_words = 0;
-  // Cap violations observed (only counted when enforce == false).
+  // Cap violations observed (only counted under BudgetPolicy::kTrace).
   std::uint64_t violations = 0;
   // Random 64-bit words drawn across all machines (0 for deterministic
   // algorithms — claim C2). Fault-injector draws are NOT counted here —
@@ -87,6 +132,13 @@ struct MpcMetrics {
   std::uint64_t faults_injected = 0;
   std::uint64_t checkpoints = 0;       // durable checkpoints taken
   std::uint64_t recovery_rounds = 0;   // supersteps re-executed after crashes
+  // Graceful-degradation ledger (all zero outside BudgetPolicy::kDegrade).
+  // Extra sub-rounds charged for spill-and-resend of over-budget phases;
+  // also folded into rounds.
+  std::uint64_t degraded_subrounds = 0;
+  // Straggler-deadline ledger (all zero when round_deadline == 0).
+  std::uint64_t deadline_misses = 0;    // machine-phases over the deadline
+  std::uint64_t speculative_rounds = 0; // retry rounds charged (with backoff)
 };
 
 class MpcViolation : public std::runtime_error {

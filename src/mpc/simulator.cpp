@@ -119,6 +119,7 @@ Simulator::Simulator(const MpcConfig& config) : config_(config) {
   for (MachineId m = 0; m < config_.num_machines; ++m) {
     machines_.emplace_back(m, config_);
   }
+  deadline_streak_.assign(config_.num_machines, 0);
   if (config_.faults.enabled) {
     injector_ =
         std::make_unique<FaultInjector>(config_.faults, config_.num_machines);
@@ -181,6 +182,19 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
   }
   in_flight_.clear();
 
+  // Snapshot per-machine send cursors so degrade/deadline accounting can
+  // attribute exactly this phase's sent words (drain phases do not reset the
+  // cursor). Taken on the coordinating thread before any callback runs.
+  std::vector<std::uint64_t> sent_before;
+  const bool track_phase_work = config_.budget_policy == BudgetPolicy::kDegrade ||
+                                config_.round_deadline != 0;
+  if (track_phase_work && !reset_send_budget) {
+    sent_before.resize(config_.num_machines);
+    for (MachineId m = 0; m < config_.num_machines; ++m) {
+      sent_before[m] = machines_[m].sent_words_this_round_;
+    }
+  }
+
   std::vector<std::uint64_t> recv_words(config_.num_machines, 0);
   auto run_machine = [&](MachineId m) {
     Machine& machine = machines_[m];
@@ -188,13 +202,16 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
     const Inbox inbox(std::move(delivery[m]));
     recv_words[m] = inbox.total_words();
     if (recv_words[m] > config_.memory_words) {
-      if (config_.enforce) {
+      // kDegrade spreads the over-budget receive across sub-rounds, charged
+      // at the phase barrier below; the inbox itself is delivered whole so
+      // the callback's behavior is bit-identical to the unconstrained run.
+      if (config_.budget_policy == BudgetPolicy::kStrict) {
         throw MpcViolation("machine " + std::to_string(m) +
                            " exceeded receive bandwidth: " +
                            std::to_string(recv_words[m]) + " > " +
                            std::to_string(config_.memory_words) + " words");
       }
-      ++machine.violations_;
+      if (config_.budget_policy == BudgetPolicy::kTrace) ++machine.violations_;
     }
     body(machine, inbox);
   };
@@ -241,6 +258,78 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
   metrics_.messages += phase_messages;
   metrics_.total_words += phase_words;
 
+  // This phase's sent words per machine (cursors were reset for round
+  // phases, so the delta against sent_before is 0 there).
+  auto phase_sent = [&](MachineId m) {
+    const std::uint64_t now = machines_[m].sent_words_this_round_;
+    return sent_before.empty() ? now : now - sent_before[m];
+  };
+
+  // Graceful degradation: an over-budget phase is modelled as spill-and-
+  // resend. Each S-word wave beyond the first costs one extra sub-round;
+  // waves on different machines of the same phase overlap (the barrier
+  // waits for the slowest machine), so the charge is the max over machines,
+  // per direction. Over-budget persistent storage pays its spill/fetch
+  // waves every round it persists (round phases only — a drain is the
+  // receive half of a round already charged).
+  std::uint64_t phase_degraded = 0;
+  if (config_.budget_policy == BudgetPolicy::kDegrade) {
+    const std::uint64_t cap = config_.memory_words;
+    auto extra_waves = [cap](std::uint64_t words) -> std::uint64_t {
+      return words > cap ? (words + cap - 1) / cap - 1 : 0;
+    };
+    std::uint64_t recv_waves = 0, send_waves = 0, storage_waves = 0;
+    for (MachineId m = 0; m < config_.num_machines; ++m) {
+      recv_waves = std::max(recv_waves, extra_waves(recv_words[m]));
+      send_waves = std::max(send_waves, extra_waves(phase_sent(m)));
+      if (!drain && machines_[m].storage_words_ > cap) {
+        const std::uint64_t excess = machines_[m].storage_words_ - cap;
+        storage_waves = std::max(storage_waves, (excess + cap - 1) / cap);
+      }
+    }
+    phase_degraded = recv_waves + send_waves + storage_waves;
+    metrics_.degraded_subrounds += phase_degraded;
+    deferred_round_charge += phase_degraded;
+  }
+
+  // Straggler deadlines: a machine whose phase work (words in + words out)
+  // exceeds the deadline missed the barrier. It is speculatively re-executed
+  // from an in-memory barrier snapshot — a genuine encode/decode through the
+  // registered Snapshotable hooks, landing on the exact same state because
+  // the work is deterministic — and the retry is charged with exponential
+  // backoff per consecutive miss (capped at 32 rounds per retry).
+  if (config_.round_deadline != 0) {
+    bool any_miss = false;
+    for (MachineId m = 0; m < config_.num_machines; ++m) {
+      const std::uint64_t work = recv_words[m] + phase_sent(m);
+      if (work > config_.round_deadline) {
+        any_miss = true;
+        ++metrics_.deadline_misses;
+        const std::uint64_t streak = ++deadline_streak_[m];
+        const std::uint64_t backoff = std::uint64_t{1}
+                                      << std::min<std::uint64_t>(streak - 1, 5);
+        metrics_.speculative_rounds += backoff;
+        deferred_round_charge += backoff;
+        FaultEvent e;
+        e.kind = FaultKind::kDeadline;
+        e.round = metrics_.rounds;
+        e.machine = m;
+        e.delay_rounds = backoff;
+        e.words = work;
+        fault_events.push_back(e);
+      } else {
+        deadline_streak_[m] = 0;
+      }
+    }
+    if (any_miss) {
+      // The roundtrip resets trace attribution (restore_checkpoint cannot
+      // know it is an identity replay), so preserve it across the replay.
+      const std::uint64_t saved_traced = last_traced_violations_;
+      restore_checkpoint(make_checkpoint());
+      last_traced_violations_ = saved_traced;
+    }
+  }
+
   refresh_metrics_after_round(recv_words);
 
   if (config_.trace_hook) {
@@ -260,6 +349,7 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
     // violations folded in by hook-less syncs still surface on a line.
     trace.violations = metrics_.violations - last_traced_violations_;
     last_traced_violations_ = metrics_.violations;
+    trace.degraded_subrounds = phase_degraded;
     trace.faults = std::move(fault_events);
     config_.trace_hook(trace);
   }
@@ -366,6 +456,9 @@ Checkpoint Simulator::make_checkpoint() const {
   w.u64(metrics_.faults_injected);
   w.u64(metrics_.checkpoints);
   w.u64(metrics_.recovery_rounds);
+  w.u64(metrics_.degraded_subrounds);
+  w.u64(metrics_.deadline_misses);
+  w.u64(metrics_.speculative_rounds);
   // In-flight messages (awaiting delivery at this barrier).
   w.u64(in_flight_.size());
   for (const Message& msg : in_flight_) {
@@ -375,7 +468,8 @@ Checkpoint Simulator::make_checkpoint() const {
     w.vec(msg.payload);
   }
   // Per-machine counters and RNG cursors.
-  for (const Machine& machine : machines_) {
+  for (MachineId m = 0; m < config_.num_machines; ++m) {
+    const Machine& machine = machines_[m];
     w.u64(machine.storage_words_);
     w.u64(machine.peak_storage_words_);
     w.u64(machine.sent_words_this_round_);
@@ -383,6 +477,7 @@ Checkpoint Simulator::make_checkpoint() const {
     const Rng::State rng = machine.rng_.state();
     for (const std::uint64_t s : rng.s) w.u64(s);
     w.u64(rng.draws);
+    w.u64(deadline_streak_[m]);
   }
   // Driver state via registered hooks, each length-prefixed and named so
   // restore can validate shape before decoding.
@@ -422,6 +517,9 @@ void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
   metrics_.faults_injected = r.u64();
   metrics_.checkpoints = r.u64();
   metrics_.recovery_rounds = r.u64();
+  metrics_.degraded_subrounds = r.u64();
+  metrics_.deadline_misses = r.u64();
+  metrics_.speculative_rounds = r.u64();
   const std::uint64_t num_messages = r.u64();
   in_flight_.clear();
   for (std::uint64_t i = 0; i < num_messages; ++i) {
@@ -435,7 +533,8 @@ void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
     }
     in_flight_.push_back(std::move(msg));
   }
-  for (Machine& machine : machines_) {
+  for (MachineId m = 0; m < config_.num_machines; ++m) {
+    Machine& machine = machines_[m];
     machine.storage_words_ = static_cast<std::size_t>(r.u64());
     machine.peak_storage_words_ = static_cast<std::size_t>(r.u64());
     machine.sent_words_this_round_ = r.u64();
@@ -445,6 +544,7 @@ void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
     rng.draws = r.u64();
     machine.rng_.set_state(rng);
     machine.outbox_.clear();
+    deadline_streak_[m] = r.u64();
   }
   if (r.u64() != snapshotables_.size()) {
     throw CheckpointError(

@@ -131,6 +131,10 @@ class Simulator {
   std::vector<std::pair<std::string, Snapshotable*>> snapshotables_;
   std::uint64_t last_checkpoint_round_ = 0;
   Checkpoint last_checkpoint_;
+  // Consecutive round-deadline misses per machine; drives the exponential
+  // backoff of speculative re-execution charges. Serialized in checkpoints
+  // (format v2) so recovery resumes the same backoff schedule.
+  std::vector<std::uint64_t> deadline_streak_;
   // metrics_.violations as of the last emitted trace line, so each line
   // reports every violation observed since the previous line — including
   // ones folded in by hook-less sync_metrics() calls (e.g. charge_rounds

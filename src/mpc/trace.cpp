@@ -29,6 +29,10 @@ std::string fault_to_json(const FaultEvent& event) {
     case FaultKind::kCheckpoint:
       append("bytes", event.checkpoint);
       break;
+    case FaultKind::kDeadline:
+      append("work", event.words);
+      append("retry_rounds", event.delay_rounds);
+      break;
   }
   len += std::snprintf(buf + len, sizeof(buf) - static_cast<size_t>(len), "}");
   return std::string(buf, static_cast<std::size_t>(len));
@@ -54,6 +58,11 @@ std::string to_json(const RoundTrace& trace) {
   if (trace.violations != 0) {
     std::snprintf(buf, sizeof(buf), ",\"violations\":%llu",
                   static_cast<unsigned long long>(trace.violations));
+    out += buf;
+  }
+  if (trace.degraded_subrounds != 0) {
+    std::snprintf(buf, sizeof(buf), ",\"degraded_subrounds\":%llu",
+                  static_cast<unsigned long long>(trace.degraded_subrounds));
     out += buf;
   }
   if (!trace.faults.empty()) {

@@ -41,9 +41,13 @@ struct RoundTrace {
   // Largest single inbox delivered this phase (the receive-side peak the
   // bandwidth cap is checked against).
   std::uint64_t max_recv_words = 0;
-  // Cap violations observed this phase (non-zero only when
-  // MpcConfig::enforce == false; an enforcing run throws at the first one).
+  // Cap violations observed this phase (non-zero only under
+  // BudgetPolicy::kTrace; a strict run throws at the first one).
   std::uint64_t violations = 0;
+  // Extra sub-rounds charged to this phase by BudgetPolicy::kDegrade
+  // (spill-and-resend waves beyond the S-word budget). Emitted in JSON only
+  // when non-zero, keeping default traces in the historical byte format.
+  std::uint64_t degraded_subrounds = 0;
   // Faults injected and checkpoints taken during this phase (empty unless
   // the fault subsystem is active). Extra JSON keys for these appear only
   // when non-empty/non-zero, so default-config traces are byte-identical to

@@ -1,0 +1,25 @@
+#include "util/error.hpp"
+
+namespace rsets {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kIoFailure:
+      return "io_failure";
+    case ErrorCode::kTruncatedInput:
+      return "truncated_input";
+    case ErrorCode::kMalformedLine:
+      return "malformed_line";
+    case ErrorCode::kVertexIdOverflow:
+      return "vertex_id_overflow";
+    case ErrorCode::kSelfLoop:
+      return "self_loop";
+    case ErrorCode::kDuplicateEdge:
+      return "duplicate_edge";
+    case ErrorCode::kBadFlag:
+      return "bad_flag";
+  }
+  return "?";
+}
+
+}  // namespace rsets

@@ -1,0 +1,41 @@
+// Structured error taxonomy for hardened input boundaries.
+//
+// Everything that parses untrusted bytes (edge lists, CLI flags, replay
+// logs) throws rsets::Error with a machine-checkable code instead of
+// asserting, invoking UB, or surfacing a raw stream error. Error derives
+// from std::runtime_error, so existing catch sites keep working; new code
+// can switch on code() to react precisely (and the fuzz harnesses treat
+// any escaping exception that is NOT an rsets::Error as a found bug).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rsets {
+
+enum class ErrorCode {
+  kIoFailure = 0,        // cannot open/read/write the underlying stream
+  kTruncatedInput = 1,   // header promised more data than the stream holds
+  kMalformedLine = 2,    // a line is not "u v" (or a comment/header)
+  kVertexIdOverflow = 3, // id >= declared n, or does not fit VertexId
+  kSelfLoop = 4,         // edge u u
+  kDuplicateEdge = 5,    // edge listed twice (in either orientation)
+  kBadFlag = 6,          // --key=value where value fails to parse
+};
+
+// Stable spelling for diagnostics and tests.
+const char* error_code_name(ErrorCode code);
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " + what),
+        code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace rsets

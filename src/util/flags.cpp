@@ -1,7 +1,10 @@
 #include "util/flags.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace rsets {
 
@@ -33,13 +36,28 @@ std::int64_t Flags::get_int(const std::string& key,
                             std::int64_t fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& s = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE) {
+    throw Error(ErrorCode::kBadFlag,
+                "--" + key + "=" + s + " is not an integer");
+  }
+  return v;
 }
 
 double Flags::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& s = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE) {
+    throw Error(ErrorCode::kBadFlag, "--" + key + "=" + s + " is not a number");
+  }
+  return v;
 }
 
 bool Flags::get_bool(const std::string& key, bool fallback) const {

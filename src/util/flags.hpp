@@ -20,6 +20,9 @@ class Flags {
 
   bool has(const std::string& key) const;
   std::string get(const std::string& key, const std::string& fallback) const;
+  // Typed getters return `fallback` when the key is absent and throw
+  // rsets::Error (ErrorCode::kBadFlag) when the value is present but does
+  // not parse completely — "--n=1x" is an error, never silently 1.
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;

@@ -1,0 +1,208 @@
+// Certified execution: the in-model certification pass and its sequential
+// cross-validator. The two implementations share no code, so every test
+// that passes both is evidence the certificate means what it says.
+#include "mpc/certify.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ruling_set.hpp"
+#include "graph/generators.hpp"
+#include "graph/verify.hpp"
+
+namespace rsets {
+namespace {
+
+mpc::MpcConfig config_for() {
+  mpc::MpcConfig cfg;
+  cfg.num_machines = 4;
+  cfg.memory_words = 1 << 22;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Certify, CertifiesEveryMpcAlgorithmOutput) {
+  const Graph g = gen::gnp(300, 0.03, 5);
+  for (const AlgorithmInfo& info : algorithm_registry()) {
+    if (info.model != Model::kMpc) continue;
+    RulingSetOptions options;
+    options.algorithm = info.algorithm;
+    options.beta = info.min_beta;
+    options.mpc = config_for();
+    const RulingSetResult result = compute_ruling_set(g, options);
+
+    const RulingSetCertificate cert = mpc::certify_ruling_set(
+        g, result.ruling_set, result.beta, options.mpc);
+    EXPECT_TRUE(cert.valid()) << info.name << ": " << cert.to_string();
+    EXPECT_TRUE(cross_validate_certificate(g, result.ruling_set, cert))
+        << info.name;
+    EXPECT_GT(cert.rounds, 0u) << info.name;
+  }
+}
+
+TEST(Certify, CertifiesGreedySequentialOutput) {
+  const Graph g = gen::power_law(400, 2.5, 8.0, 7);
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kGreedySequential;
+  options.beta = 1;
+  const RulingSetResult result = compute_ruling_set(g, options);
+  const RulingSetCertificate cert =
+      mpc::certify_ruling_set(g, result.ruling_set, 1, config_for());
+  EXPECT_TRUE(cert.valid()) << cert.to_string();
+  EXPECT_TRUE(cross_validate_certificate(g, result.ruling_set, cert));
+}
+
+TEST(Certify, MutatedResultIsRejected) {
+  const Graph g = gen::gnp(300, 0.03, 5);
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kLubyMpc;
+  options.beta = 1;
+  options.mpc = config_for();
+  std::vector<VertexId> set = compute_ruling_set(g, options).ruling_set;
+  ASSERT_FALSE(set.empty());
+
+  // Add a neighbor of a member: independence breaks, and the certifier
+  // must count the conflicting edge. The certificate still cross-validates
+  // because it honestly describes the bad set.
+  VertexId intruder = set[0];
+  for (const VertexId u : g.neighbors(set[0])) {
+    intruder = u;
+    break;
+  }
+  ASSERT_NE(intruder, set[0]);
+  set.push_back(intruder);
+
+  const RulingSetCertificate cert =
+      mpc::certify_ruling_set(g, set, 1, config_for());
+  EXPECT_FALSE(cert.valid()) << cert.to_string();
+  EXPECT_GT(cert.conflict_edges, 0u);
+  EXPECT_TRUE(cross_validate_certificate(g, set, cert));
+}
+
+TEST(Certify, UncoveredVerticesAreCounted) {
+  const Graph g = gen::path(8);  // 0-1-...-7
+  const std::vector<VertexId> set = {0};
+  const RulingSetCertificate cert =
+      mpc::certify_ruling_set(g, set, 1, config_for());
+  // Only 0 and 1 are within one hop of the set; 2..7 are uncovered.
+  EXPECT_FALSE(cert.valid());
+  EXPECT_EQ(cert.conflict_edges, 0u);
+  EXPECT_EQ(cert.uncovered, 6u);
+  EXPECT_EQ(cert.radius, 1u);
+  EXPECT_TRUE(cross_validate_certificate(g, set, cert));
+}
+
+TEST(Certify, MalformedEntriesAreScreened) {
+  const Graph g = gen::path(5);
+  const std::vector<VertexId> set = {0, 0, 99, 2, 4};
+  const RulingSetCertificate cert =
+      mpc::certify_ruling_set(g, set, 1, config_for());
+  EXPECT_EQ(cert.malformed, 2u);  // duplicate 0 and out-of-range 99
+  EXPECT_FALSE(cert.valid());
+  // The survivors {0, 2, 4} dominate the path at radius 1.
+  EXPECT_EQ(cert.uncovered, 0u);
+  EXPECT_TRUE(cross_validate_certificate(g, set, cert));
+}
+
+TEST(Certify, ForgedCertificateFailsCrossValidation) {
+  const Graph g = gen::cycle(12);
+  const std::vector<VertexId> set = {0, 3, 6, 9};
+  RulingSetCertificate cert =
+      mpc::certify_ruling_set(g, set, 2, config_for());
+  ASSERT_TRUE(cert.valid());
+  ASSERT_TRUE(cross_validate_certificate(g, set, cert));
+
+  RulingSetCertificate forged = cert;
+  forged.uncovered = 0;
+  forged.level_counts[1] += 1;  // inflate coverage
+  EXPECT_FALSE(cross_validate_certificate(g, set, forged));
+
+  forged = cert;
+  forged.radius += 1;
+  EXPECT_FALSE(cross_validate_certificate(g, set, forged));
+
+  forged = cert;
+  forged.set_size += 1;
+  EXPECT_FALSE(cross_validate_certificate(g, set, forged));
+}
+
+TEST(Certify, DisconnectedGraphNeedsCoverInEachComponent) {
+  // Two disjoint triangles; the set only touches the first.
+  const Graph g = Graph::from_edges(
+      6, std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  const RulingSetCertificate partial =
+      mpc::certify_ruling_set(g, std::vector<VertexId>{0}, 1, config_for());
+  EXPECT_FALSE(partial.valid());
+  EXPECT_EQ(partial.uncovered, 3u);
+  EXPECT_TRUE(
+      cross_validate_certificate(g, std::vector<VertexId>{0}, partial));
+
+  const std::vector<VertexId> full = {0, 3};
+  const RulingSetCertificate ok =
+      mpc::certify_ruling_set(g, full, 1, config_for());
+  EXPECT_TRUE(ok.valid()) << ok.to_string();
+  EXPECT_TRUE(cross_validate_certificate(g, full, ok));
+}
+
+TEST(Certify, BetaLargerThanDiameterTerminatesEarly) {
+  const Graph g = gen::complete(10);  // diameter 1
+  const std::vector<VertexId> set = {4};
+  const RulingSetCertificate cert =
+      mpc::certify_ruling_set(g, set, 5, config_for());
+  EXPECT_TRUE(cert.valid()) << cert.to_string();
+  EXPECT_EQ(cert.radius, 1u);
+  ASSERT_EQ(cert.level_counts.size(), 6u);
+  EXPECT_EQ(cert.level_counts[1], 9u);
+  for (std::size_t d = 2; d < cert.level_counts.size(); ++d) {
+    EXPECT_EQ(cert.level_counts[d], 0u);
+  }
+  EXPECT_TRUE(cross_validate_certificate(g, set, cert));
+}
+
+TEST(Certify, BetaZeroStillChecksIndependence) {
+  // With beta == 0 the set must be the whole vertex set AND independent.
+  const Graph g = Graph::from_edges(3, std::vector<Edge>{{0, 1}});
+  const RulingSetCertificate bad = mpc::certify_ruling_set(
+      g, std::vector<VertexId>{0, 1, 2}, 0, config_for());
+  EXPECT_FALSE(bad.valid());
+  EXPECT_EQ(bad.conflict_edges, 1u);
+  EXPECT_TRUE(cross_validate_certificate(
+      g, std::vector<VertexId>{0, 1, 2}, bad));
+
+  const Graph edgeless = Graph::from_edges(4, {});
+  const RulingSetCertificate good = mpc::certify_ruling_set(
+      edgeless, std::vector<VertexId>{0, 1, 2, 3}, 0, config_for());
+  EXPECT_TRUE(good.valid()) << good.to_string();
+  EXPECT_TRUE(cross_validate_certificate(
+      edgeless, std::vector<VertexId>{0, 1, 2, 3}, good));
+}
+
+TEST(Certify, EmptyGraphAndEmptySet) {
+  const Graph g = Graph::from_edges(0, {});
+  const RulingSetCertificate cert =
+      mpc::certify_ruling_set(g, std::vector<VertexId>{}, 2, config_for());
+  EXPECT_TRUE(cert.valid()) << cert.to_string();
+  EXPECT_TRUE(cross_validate_certificate(g, std::vector<VertexId>{}, cert));
+}
+
+TEST(Certify, UndersizedMemoryDegradesInsteadOfAborting) {
+  const Graph g = gen::gnp(300, 0.03, 5);
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kLubyMpc;
+  options.beta = 1;
+  options.mpc = config_for();
+  const RulingSetResult result = compute_ruling_set(g, options);
+
+  mpc::MpcConfig tiny = config_for();
+  tiny.memory_words = 1 << 8;
+  tiny.budget_policy = mpc::BudgetPolicy::kStrict;  // certify overrides this
+  const RulingSetCertificate cert =
+      mpc::certify_ruling_set(g, result.ruling_set, 1, tiny);
+  EXPECT_TRUE(cert.valid()) << cert.to_string();
+  EXPECT_TRUE(cross_validate_certificate(g, result.ruling_set, cert));
+}
+
+}  // namespace
+}  // namespace rsets

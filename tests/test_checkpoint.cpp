@@ -249,5 +249,55 @@ TEST(SimulatorCheckpoint, DiskRoundTrip) {
                CheckpointError);
 }
 
+TEST(SimulatorCheckpoint, AtomicWriteLeavesNoTempFile) {
+  Simulator sim(small_config(2));
+  const Checkpoint ckpt = sim.make_checkpoint();
+  const std::string path = ::testing::TempDir() + "rsets_checkpoint_atomic.ckpt";
+  write_checkpoint_file(ckpt, path);
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp) std::fclose(tmp);
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+}
+
+TEST(SimulatorCheckpoint, CorruptPrimaryFallsBackToPrev) {
+  Simulator sim(small_config(2));
+  RingDriver driver(2);
+  auto snap = snapshot_of(driver.sums);
+  sim.register_snapshotable("ring", &snap);
+
+  const std::string path =
+      ::testing::TempDir() + "rsets_checkpoint_fallback.ckpt";
+  for (int i = 0; i < 2; ++i) driver.step(sim);
+  const Checkpoint older = sim.make_checkpoint();
+  write_checkpoint_file(older, path);
+
+  for (int i = 0; i < 2; ++i) driver.step(sim);
+  const Checkpoint newer = sim.make_checkpoint();
+  // The second write rotates the first checkpoint to "<path>.prev".
+  write_checkpoint_file(newer, path);
+  EXPECT_EQ(read_checkpoint_file(path).round, newer.round);
+
+  // Corrupt the primary in place; the read must recover the rotated copy.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "scrambled checkpoint bytes";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  const Checkpoint recovered = read_checkpoint_file(path);
+  EXPECT_EQ(recovered.round, older.round);
+  EXPECT_EQ(recovered.bytes, older.bytes);
+
+  // The recovered checkpoint actually restores.
+  sim.restore_checkpoint(recovered);
+  EXPECT_EQ(sim.metrics().rounds, older.round);
+
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+}
+
 }  // namespace
 }  // namespace rsets::mpc

@@ -1,10 +1,10 @@
-// MpcConfig::enforce parity (satellite of the fault subsystem): with
-// enforce == false the simulator completes the run and counts cap
-// violations; this must mirror enforce == true exactly — the per-phase
-// violation deltas in the trace sum to the metrics total, and the strict
-// run throws MpcViolation during precisely the first phase whose lenient
-// trace line shows a nonzero delta (so the strict run emits exactly the
-// trace prefix before that line).
+// Budget-policy parity (satellite of the fault subsystem): under
+// BudgetPolicy::kTrace the simulator completes the run and counts cap
+// violations; this must mirror kStrict exactly — the per-phase violation
+// deltas in the trace sum to the metrics total, and the strict run throws
+// MpcViolation during precisely the first phase whose lenient trace line
+// shows a nonzero delta (so the strict run emits exactly the trace prefix
+// before that line).
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -22,12 +22,13 @@ namespace {
 
 using RunFn = std::function<mpc::MpcMetrics(const mpc::MpcConfig&)>;
 
-mpc::MpcConfig probe_config(std::uint64_t memory_words, bool enforce) {
+mpc::MpcConfig probe_config(std::uint64_t memory_words,
+                            mpc::BudgetPolicy policy) {
   mpc::MpcConfig cfg;
   cfg.num_machines = 4;
   cfg.memory_words = memory_words;
   cfg.seed = 7;
-  cfg.enforce = enforce;
+  cfg.budget_policy = policy;
   return cfg;
 }
 
@@ -37,7 +38,7 @@ struct LenientRun {
 };
 
 LenientRun run_lenient(const RunFn& run, std::uint64_t memory_words) {
-  mpc::MpcConfig cfg = probe_config(memory_words, /*enforce=*/false);
+  mpc::MpcConfig cfg = probe_config(memory_words, mpc::BudgetPolicy::kTrace);
   LenientRun out;
   cfg.trace_hook = [&out](const mpc::RoundTrace& t) {
     out.per_phase.push_back(t.violations);
@@ -52,7 +53,7 @@ struct StrictRun {
 };
 
 StrictRun run_strict(const RunFn& run, std::uint64_t memory_words) {
-  mpc::MpcConfig cfg = probe_config(memory_words, /*enforce=*/true);
+  mpc::MpcConfig cfg = probe_config(memory_words, mpc::BudgetPolicy::kStrict);
   StrictRun out;
   cfg.trace_hook = [&out](const mpc::RoundTrace&) {
     ++out.phases_before_throw;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/error.hpp"
+
 namespace rsets {
 namespace {
 
@@ -41,6 +43,21 @@ TEST(Flags, Positional) {
 TEST(Flags, DoubleParsing) {
   const Flags f = make({"--p=0.125"});
   EXPECT_DOUBLE_EQ(f.get_double("p", 0.0), 0.125);
+}
+
+TEST(Flags, PartialOrNonNumericValuesThrowBadFlag) {
+  const Flags f = make({"--n=1x", "--p=0.5q", "--empty=", "--inf=1e999"});
+  try {
+    f.get_int("n", 0);
+    FAIL() << "expected rsets::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadFlag);
+  }
+  EXPECT_THROW(f.get_double("p", 0.0), Error);
+  EXPECT_THROW(f.get_int("empty", 0), Error);
+  EXPECT_THROW(f.get_double("inf", 0.0), Error);
+  // A bad value is only an error when the typed getter touches it.
+  EXPECT_EQ(f.get("n", ""), "1x");
 }
 
 TEST(Flags, KeysLists) {

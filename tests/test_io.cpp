@@ -5,9 +5,22 @@
 #include <sstream>
 
 #include "graph/generators.hpp"
+#include "util/error.hpp"
 
 namespace rsets {
 namespace {
+
+// Runs the parser on `text` and returns the structured error code it threw.
+ErrorCode code_of(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    read_edge_list(in);
+  } catch (const Error& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "no rsets::Error thrown for: " << text;
+  return ErrorCode::kIoFailure;
+}
 
 TEST(Io, RoundTrip) {
   const Graph g = gen::gnp(200, 0.05, 9);
@@ -43,6 +56,52 @@ TEST(Io, HeaderPreservesIsolatedTailVertices) {
 TEST(Io, MalformedLineThrows) {
   std::istringstream in("0 1\nbogus\n");
   EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(Io, ErrorTaxonomy) {
+  // One token, three tokens, non-numeric, or signed fields: malformed.
+  EXPECT_EQ(code_of("0 1\nbogus\n"), ErrorCode::kMalformedLine);
+  EXPECT_EQ(code_of("0 1 2\n"), ErrorCode::kMalformedLine);
+  EXPECT_EQ(code_of("0 x\n"), ErrorCode::kMalformedLine);
+  EXPECT_EQ(code_of("-1 2\n"), ErrorCode::kMalformedLine);
+  // Header declares more edges than the file contains.
+  EXPECT_EQ(code_of("10 5\n0 1\n1 2\n"), ErrorCode::kTruncatedInput);
+  // Vertex ids must fit uint32 and, under a header, stay below n.
+  EXPECT_EQ(code_of("0 99999999999\n"), ErrorCode::kVertexIdOverflow);
+  EXPECT_EQ(code_of("5 2\n0 1\n1 5\n"), ErrorCode::kVertexIdOverflow);
+  EXPECT_EQ(code_of("3 3\n"), ErrorCode::kSelfLoop);
+  EXPECT_EQ(code_of("0 1\n1 0\n"), ErrorCode::kDuplicateEdge);
+}
+
+TEST(Io, CrlfLineEndingsAreAccepted) {
+  std::istringstream in("# dos file\r\n4 2\r\n0 1\r\n2 3\r\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, BlankLinesAreSkipped) {
+  std::istringstream in("0 1\n\n \n1 2\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, SingleLineIsAnEdgeNotAHeader) {
+  // "7 1" alone cannot be a header (it would declare one edge and none
+  // follow); it is the edge {1, 7}.
+  std::istringstream in("7 1\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Io, MissingFileErrorCode) {
+  try {
+    read_edge_list_file("/nonexistent/path/graph.txt");
+    FAIL() << "expected rsets::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoFailure);
+  }
 }
 
 TEST(Io, EmptyInput) {

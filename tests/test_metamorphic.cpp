@@ -79,7 +79,7 @@ TEST(FailureInjection, ViolationsCountedWhenEnforcementOff) {
   mpc::MpcConfig cfg;
   cfg.num_machines = 4;
   cfg.memory_words = 2048;  // far too small for n=500, m~6000
-  cfg.enforce = false;
+  cfg.budget_policy = mpc::BudgetPolicy::kTrace;
   mpc::Simulator sim(cfg);
   mpc::DistGraph dg(sim, g);
   sim.sync_metrics();

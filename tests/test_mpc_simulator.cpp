@@ -101,7 +101,7 @@ TEST(Simulator, StorageEnforced) {
 
 TEST(Simulator, ViolationsCountedWhenNotEnforcing) {
   MpcConfig cfg = small_config(1, /*memory=*/10);
-  cfg.enforce = false;
+  cfg.budget_policy = BudgetPolicy::kTrace;
   Simulator sim(cfg);
   sim.machine(0).charge_storage(100);
   sim.sync_metrics();

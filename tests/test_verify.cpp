@@ -51,6 +51,27 @@ TEST(Verify, BetaRulingSet) {
   EXPECT_FALSE(is_beta_ruling_set(g, std::vector<VertexId>{0, 1}, 5));
 }
 
+TEST(Verify, BetaLargerThanDiameterIsStillValid) {
+  const Graph g = gen::complete(8);  // diameter 1
+  EXPECT_TRUE(is_beta_ruling_set(g, std::vector<VertexId>{3}, 5));
+  const RulingSetReport report =
+      check_ruling_set(g, std::vector<VertexId>{3}, 5);
+  EXPECT_TRUE(report.valid);
+  EXPECT_EQ(report.radius, 1u);
+}
+
+TEST(Verify, DisconnectedGraphReportsInfiniteRadius) {
+  const Graph g = Graph::from_edges(6, std::vector<Edge>{{0, 1}, {3, 4}});
+  const RulingSetReport report =
+      check_ruling_set(g, std::vector<VertexId>{0}, 2);
+  EXPECT_FALSE(report.valid);
+  EXPECT_TRUE(report.independent);
+  EXPECT_EQ(report.radius, std::numeric_limits<std::uint32_t>::max());
+  // One member per component (2 and 5 are isolated) makes it valid again.
+  EXPECT_TRUE(
+      is_beta_ruling_set(g, std::vector<VertexId>{0, 2, 3, 5}, 2));
+}
+
 TEST(Verify, MisDetection) {
   const Graph g = gen::cycle(6);
   EXPECT_TRUE(is_maximal_independent_set(g, std::vector<VertexId>{0, 2, 4}));

@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Degrade-parity gate for BudgetPolicy::kDegrade (DESIGN.md "Degradation &
+# certification").
+#
+# For every MPC algorithm in the registry, two runs on the E1 graph family:
+#   1. An unconstrained reference (--budget-policy=strict, roomy memory).
+#   2. A degraded run whose per-machine budget is far below what the rounds
+#      need (--budget-policy=degrade).
+# The gate requires byte-identical ruling sets, degraded_subrounds > 0 in
+# the degraded run's summary, and a strict run at the tight budget to fail —
+# proving the budget actually binds where degrade mode carried on.
+#
+# The gather budget is pinned (--budget) in both runs because it is clamped
+# to memory_words: parity compares identical algorithm trajectories under
+# different accounting, not different gather sizes.
+#
+# Usage: tools/check_degrade_parity.sh [build-dir]       (default: build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" --target rsets_cli -j "$(nproc)"
+cli="$build_dir/tools/rsets_cli"
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/rsets_degrade.XXXXXX")
+trap 'rm -rf "$work"' EXIT INT TERM
+
+common="--gen=gnp --n=800 --avg_deg=8 --seed=3 --machines=8 --budget=512"
+tight=512
+
+for algo in luby_mpc det_luby_mpc sample_gather_mpc det_ruling_mpc; do
+  "$cli" $common --algorithm="$algo" --budget-policy=strict \
+      --out="$work/roomy.set" > "$work/roomy.out"
+
+  "$cli" $common --algorithm="$algo" --budget-policy=degrade \
+      --memory_words="$tight" --out="$work/degrade.set" > "$work/degrade.out"
+
+  if ! cmp -s "$work/roomy.set" "$work/degrade.set"; then
+    echo "check_degrade_parity: FAIL ($algo: degraded set differs)"
+    exit 1
+  fi
+  if ! grep -q '^degraded_subrounds=[1-9]' "$work/degrade.out"; then
+    echo "check_degrade_parity: FAIL ($algo: budget never bound)"
+    exit 1
+  fi
+
+  # The same budget must abort a strict run; otherwise this gate is vacuous.
+  if "$cli" $common --algorithm="$algo" --budget-policy=strict \
+      --memory_words="$tight" > /dev/null 2>&1; then
+    echo "check_degrade_parity: FAIL ($algo: strict run fit the tight budget)"
+    exit 1
+  fi
+done
+
+echo "check_degrade_parity: PASS"

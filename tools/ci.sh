@@ -8,6 +8,11 @@
 #      (RSETS_SANITIZE=address,undefined), run under halt-on-error.
 #   4. Record/recover/replay gate for the fault subsystem
 #      (tools/check_replay.sh).
+#   5. Fuzz smoke: 30 s each on the edge-list and flag parser harnesses
+#      (fuzz/). Any escaping exception or crash fails the gate.
+#   6. Degrade parity: strict vs. degrade runs of every MPC algorithm on
+#      the E1 graph family must produce byte-identical ruling sets while
+#      the degrade run reports degraded_subrounds > 0.
 #
 # Usage: tools/ci.sh
 #
@@ -36,5 +41,12 @@ UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
 
 echo "=== ci: record/recover/replay gate ==="
 "$repo_root/tools/check_replay.sh" "$repo_root/build"
+
+echo "=== ci: fuzz smoke (io + flags harnesses) ==="
+"$repo_root/build/fuzz/fuzz_io" --seconds=30
+"$repo_root/build/fuzz/fuzz_flags" --seconds=30
+
+echo "=== ci: degrade parity (strict vs degrade on the E1 family) ==="
+"$repo_root/tools/check_degrade_parity.sh" "$repo_root/build"
 
 echo "ci: PASS"

@@ -23,12 +23,17 @@
 // execution — faults, checkpoints, recoveries and all — is checkably
 // reproducible.
 //
-// Exit code: 0 if the output verified (or the replay matched), 1 otherwise,
-// 2 on usage errors.
+// Exit-code contract (documented in README "Exit codes"):
+//   0  the output verified (and, under --paranoid, was certified and
+//      cross-validated; under --replay, every line matched)
+//   1  the run completed but verification/certification/replay failed
+//   2  usage or input errors: bad flags, malformed graph files, missing or
+//      unreadable replay logs
 #include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,7 +42,9 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/verify.hpp"
+#include "mpc/certify.hpp"
 #include "mpc/trace.hpp"
+#include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/logging.hpp"
 
@@ -76,6 +83,13 @@ int usage(const std::string& error) {
       << "  --machines=M --memory_words=W --budget=B   MPC knobs\n"
       << "  --threads=T        MPC simulator worker threads (1 sequential,\n"
       << "                     0 hardware concurrency; results identical)\n"
+      << "  --budget-policy=P  strict (default: throw on violation) | trace\n"
+      << "                     (count violations) | degrade (spill-and-resend\n"
+      << "                     sub-rounds; same results, extra rounds)\n"
+      << "  --deadline=W       per-round work budget; machines over it are\n"
+      << "                     speculatively re-executed with backoff\n"
+      << "  --paranoid         certify the output in-model (O(beta) extra\n"
+      << "                     rounds) and cross-validate the certificate\n"
       << "  --faults=SPEC      inject faults: crash@R:M, straggler@R:M[:D],\n"
       << "                     crash~P, straggler~P, drop~P, dup~P, seed=X\n"
       << "                     (comma-separated; results never change)\n"
@@ -105,9 +119,14 @@ struct RunSpec {
   std::uint64_t budget = 0;
   std::string faults;  // spec string, parsed by mpc::parse_fault_spec
   std::uint64_t checkpoint_every = 0;
+  std::string budget_policy = "strict";
+  std::uint64_t deadline = 0;
 };
 
-constexpr const char* kReplayFormat = "rsets-replay-v1";
+// v2: the meta line gains budget_policy/deadline and the summary line gains
+// the degradation and deadline ledgers. v1 logs are rejected with a clear
+// version diagnostic rather than replayed against mismatched semantics.
+constexpr const char* kReplayFormat = "rsets-replay-v2";
 
 RunSpec spec_from_flags(const Flags& flags) {
   RunSpec spec;
@@ -134,6 +153,9 @@ RunSpec spec_from_flags(const Flags& flags) {
   spec.faults = flags.get("faults", "");
   spec.checkpoint_every =
       static_cast<std::uint64_t>(flags.get_int("checkpoint-every", 0));
+  spec.budget_policy = flags.get("budget-policy", "strict");
+  mpc::parse_budget_policy(spec.budget_policy);  // validate early
+  spec.deadline = static_cast<std::uint64_t>(flags.get_int("deadline", 0));
   return spec;
 }
 
@@ -160,7 +182,9 @@ std::string spec_to_json(const RunSpec& spec) {
       << ",\"threads\":" << spec.threads << ",\"budget\":" << spec.budget
       << ",";
   append_json_str(out, "faults", spec.faults);
-  out << ",\"checkpoint_every\":" << spec.checkpoint_every << "}";
+  out << ",\"checkpoint_every\":" << spec.checkpoint_every << ",";
+  append_json_str(out, "budget_policy", spec.budget_policy);
+  out << ",\"deadline\":" << spec.deadline << "}";
   return out.str();
 }
 
@@ -188,13 +212,37 @@ std::string json_value(const std::string& line, const std::string& key) {
 }
 
 std::uint64_t json_u64(const std::string& line, const std::string& key) {
-  return std::stoull(json_value(line, key));
+  const std::string value = json_value(line, key);
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t v = std::stoull(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("replay log: key '" + key +
+                                "' has non-numeric value '" + value + "'");
+  }
+}
+
+double json_double(const std::string& line, const std::string& key) {
+  const std::string value = json_value(line, key);
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("replay log: key '" + key +
+                                "' has non-numeric value '" + value + "'");
+  }
 }
 
 RunSpec spec_from_json(const std::string& line) {
-  if (json_value(line, "format") != kReplayFormat) {
-    throw std::invalid_argument("replay log: not a " +
-                                std::string(kReplayFormat) + " file");
+  if (const std::string format = json_value(line, "format");
+      format != kReplayFormat) {
+    throw std::invalid_argument("replay log: format is '" + format +
+                                "', this build replays " + kReplayFormat +
+                                " only");
   }
   RunSpec spec;
   spec.algorithm = json_value(line, "algorithm");
@@ -202,7 +250,7 @@ RunSpec spec_from_json(const std::string& line) {
   spec.input = json_value(line, "input");
   spec.gen = json_value(line, "gen");
   spec.n = json_u64(line, "n");
-  spec.avg_deg = std::stod(json_value(line, "avg_deg"));
+  spec.avg_deg = json_double(line, "avg_deg");
   spec.seed = json_u64(line, "seed");
   spec.machines = static_cast<std::uint32_t>(json_u64(line, "machines"));
   spec.memory_words = json_u64(line, "memory_words");
@@ -210,6 +258,9 @@ RunSpec spec_from_json(const std::string& line) {
   spec.budget = json_u64(line, "budget");
   spec.faults = json_value(line, "faults");
   spec.checkpoint_every = json_u64(line, "checkpoint_every");
+  spec.budget_policy = json_value(line, "budget_policy");
+  mpc::parse_budget_policy(spec.budget_policy);  // validate before running
+  spec.deadline = json_u64(line, "deadline");
   return spec;
 }
 
@@ -260,6 +311,8 @@ RulingSetOptions options_from_spec(const RunSpec& spec) {
   options.mpc.num_threads = spec.threads;
   options.mpc.faults = mpc::parse_fault_spec(spec.faults);
   options.mpc.checkpoint_every = spec.checkpoint_every;
+  options.mpc.budget_policy = mpc::parse_budget_policy(spec.budget_policy);
+  options.mpc.round_deadline = spec.deadline;
   options.congest.seed = spec.seed;
   options.gather_budget_words = spec.budget;
   return options;
@@ -290,6 +343,9 @@ std::string summary_json(const RulingSetResult& result) {
       << ",\"faults_injected\":" << m.faults_injected
       << ",\"checkpoints\":" << m.checkpoints
       << ",\"recovery_rounds\":" << m.recovery_rounds
+      << ",\"degraded_subrounds\":" << m.degraded_subrounds
+      << ",\"deadline_misses\":" << m.deadline_misses
+      << ",\"speculative_rounds\":" << m.speculative_rounds
       << ",\"set_hash\":" << set_hash(result.ruling_set) << "}";
   return out.str();
 }
@@ -382,6 +438,19 @@ int main(int argc, char** argv) {
   if (flags.get_bool("verbose", false)) {
     Logger::instance().set_level(LogLevel::kDebug);
   }
+  // A mistyped flag must not silently run with its default (exit-code
+  // contract: usage errors are 2, never a plausible-looking result).
+  static const std::set<std::string> kKnownFlags = {
+      "algorithm", "avg_deg",  "beta",     "budget",   "budget-policy",
+      "checkpoint-every",      "deadline", "faults",   "gen",
+      "input",     "machines", "memory_words",         "n",
+      "out",       "paranoid", "print_set",            "record",
+      "replay",    "seed",     "threads",  "trace",    "verbose"};
+  for (const std::string& key : flags.keys()) {
+    if (kKnownFlags.count(key) == 0) {
+      return usage("unknown flag: --" + key);
+    }
+  }
 
   try {
     if (flags.has("replay")) {
@@ -471,6 +540,32 @@ int main(int argc, char** argv) {
                   << "recovery_rounds=" << result.metrics.recovery_rounds
                   << "\n";
       }
+      if (options.mpc.budget_policy == mpc::BudgetPolicy::kDegrade) {
+        std::cout << "degraded_subrounds="
+                  << result.metrics.degraded_subrounds << "\n";
+      }
+      if (options.mpc.round_deadline != 0) {
+        std::cout << "deadline_misses=" << result.metrics.deadline_misses
+                  << "\n"
+                  << "speculative_rounds="
+                  << result.metrics.speculative_rounds << "\n";
+      }
+    }
+
+    // --paranoid: re-derive validity through the in-model certification
+    // pass, then cross-validate the certificate against a sequential
+    // recomputation. Both must agree for exit 0.
+    bool certified = true;
+    if (flags.get_bool("paranoid", false)) {
+      const RulingSetCertificate cert =
+          mpc::certify_ruling_set(g, result.ruling_set, beta, options.mpc);
+      const bool cross_ok = cross_validate_certificate(
+          g, result.ruling_set, cert);
+      certified = cert.valid() && cross_ok;
+      std::cout << "certificate=" << cert.to_string() << "\n"
+                << "certify_rounds=" << cert.rounds << "\n"
+                << "cross_validated=" << (cross_ok ? 1 : 0) << "\n"
+                << "certified=" << (certified ? 1 : 0) << "\n";
     }
 
     if (flags.has("out")) {
@@ -484,7 +579,7 @@ int main(int argc, char** argv) {
     if (flags.get_bool("print_set", false)) {
       for (VertexId v : result.ruling_set) std::cout << v << "\n";
     }
-    return report.valid ? 0 : 1;
+    return report.valid && certified ? 0 : 1;
   } catch (const std::exception& e) {
     return usage(e.what());
   }
