@@ -1,0 +1,79 @@
+// E11 — Integrity overhead: checksummed transport vs. plain, and the cost
+// of healing under live corruption.
+//
+// Three configurations at fixed n, sweeping the corruption rate:
+//   arg 0            — integrity off, fault-free (the plain baseline)
+//   arg 1            — integrity on, fault-free (pure verification cost)
+//   args 2..         — corrupt~p for p in {0.01, 0.05, 0.3}; healing active
+// The checksum rides in the already-charged two-word header, so the word
+// ledger of arg 1 must equal arg 0 exactly (overhead_words == 0); only wall
+// time may move, and only by the FNV pass. Under corruption, overhead_words
+// tracks the retransmissions and overhead_rounds the quarantine
+// re-executions — the price of a bit-identical result on a noisy network,
+// which the validity counter asserts every run.
+#include "bench_common.hpp"
+
+#include "core/det_ruling.hpp"
+
+namespace rsets::bench {
+namespace {
+
+constexpr VertexId kN = 6000;
+constexpr double kCorruptProbs[] = {0.01, 0.05, 0.3};
+
+Graph family_graph() { return gen::gnp(kN, 16.0 / kN, 13); }
+
+RulingSetResult run_once(const Graph& g, const mpc::MpcConfig& cfg) {
+  DetRulingOptions opt;
+  opt.gather_budget_words = 8ull * kN;
+  return det_ruling_set_mpc(g, cfg, opt);
+}
+
+void BM_IntegrityOverhead(benchmark::State& state) {
+  const auto mode = static_cast<int>(state.range(0));
+  const Graph g = family_graph();
+
+  const RulingSetResult baseline = run_once(g, default_mpc());
+
+  mpc::MpcConfig cfg = default_mpc();
+  if (mode == 1) {
+    cfg.integrity = true;
+  } else if (mode >= 2) {
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 99;
+    cfg.faults.corrupt_prob = kCorruptProbs[mode - 2];
+  }
+  RulingSetResult result;
+  for (auto _ : state) {
+    result = run_once(g, cfg);
+  }
+  report(state, g, result, cfg);
+  state.counters["corrupt_prob"] =
+      mode >= 2 ? kCorruptProbs[mode - 2] : 0.0;
+  state.counters["integrity_on"] =
+      (mode >= 1) ? 1.0 : 0.0;  // mode >= 2 activates via corrupt faults
+  state.counters["overhead_words"] = static_cast<double>(
+      result.metrics.total_words - baseline.metrics.total_words);
+  state.counters["overhead_rounds"] = static_cast<double>(
+      result.metrics.rounds - baseline.metrics.rounds);
+  state.counters["corrupt_detected"] =
+      static_cast<double>(result.metrics.corrupt_detected);
+  state.counters["integrity_retries"] =
+      static_cast<double>(result.metrics.integrity_retries);
+  state.counters["quarantined_rounds"] =
+      static_cast<double>(result.metrics.quarantined_rounds);
+}
+
+BENCHMARK(BM_IntegrityOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rsets::bench
+
+RSETS_BENCH_MAIN(integrity);

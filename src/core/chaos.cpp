@@ -1,0 +1,135 @@
+#include "core/chaos.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "core/replay.hpp"
+#include "core/ruling_set.hpp"
+#include "graph/graph.hpp"
+#include "mpc/certify.hpp"
+
+namespace rsets {
+namespace {
+
+// SplitMix64: the schedule-parameter mixer. Independent of every simulator
+// RNG stream — it only picks which knobs a schedule turns on.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Picks one of four values using two bits of `h` at `slot`.
+double pick(std::uint64_t h, unsigned slot, const double (&choices)[4]) {
+  return choices[(h >> (2 * slot)) & 3];
+}
+
+void append_prob(std::string& spec, const char* kind, double p) {
+  if (p <= 0.0) return;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%s~%g", spec.empty() ? "" : ",", kind, p);
+  spec += buf;
+}
+
+const char* kGenerators[4] = {"gnp", "gnm", "power_law", "tree"};
+
+}  // namespace
+
+std::string chaos_fault_spec(std::uint64_t base_seed, std::uint64_t index) {
+  const std::uint64_t h = mix(base_seed ^ mix(index));
+  std::string spec;
+  // Corruption is always on — this harness exists to soak the integrity
+  // layer — with the other kinds mixed in at schedule-dependent rates
+  // (several slots include 0, so schedules also cover the pairwise
+  // combinations).
+  // The 0.3 tier is a "hot link": sources corrupt in consecutive phases
+  // (and occasionally exhaust the per-message retry bound), driving the
+  // quarantine path, not just single-retry healing.
+  append_prob(spec, "corrupt", pick(h, 0, {0.005, 0.02, 0.05, 0.3}));
+  append_prob(spec, "reorder", pick(h, 1, {0.0, 0.1, 0.25, 0.5}));
+  append_prob(spec, "drop", pick(h, 2, {0.0, 0.005, 0.01, 0.02}));
+  append_prob(spec, "dup", pick(h, 3, {0.0, 0.005, 0.01, 0.02}));
+  append_prob(spec, "crash", pick(h, 4, {0.0, 0.0, 0.005, 0.01}));
+  append_prob(spec, "straggler", pick(h, 5, {0.0, 0.0, 0.01, 0.02}));
+  char seed[32];
+  std::snprintf(seed, sizeof(seed), ",seed=%llu",
+                static_cast<unsigned long long>(h | 1));
+  spec += seed;
+  return spec;
+}
+
+ChaosReport run_chaos_soak(const ChaosOptions& options) {
+  ChaosReport report;
+  for (std::uint64_t s = 0; s < options.schedules; ++s) {
+    RunSpec base;
+    base.gen = kGenerators[s % 4];
+    base.n = options.n;
+    base.avg_deg = options.avg_deg;
+    base.seed = options.base_seed + s;
+    base.machines = options.machines;
+    // Every third schedule checkpoints, so crash recovery exercises both
+    // the from-round-zero and the from-durable-checkpoint paths.
+    base.checkpoint_every = (s % 3 == 0) ? 2 : 0;
+    const std::string fault_spec =
+        chaos_fault_spec(options.base_seed, s);
+    const Graph g = build_graph(base);
+
+    for (const AlgorithmInfo& info : algorithm_registry()) {
+      if (info.model != Model::kMpc) continue;
+      RunSpec run = base;
+      run.algorithm = std::string(info.name);
+      run.beta = info.min_beta;
+
+      // Ground truth: the fault-free execution of the same spec.
+      const RulingSetResult truth =
+          compute_ruling_set(g, options_from_spec(run));
+
+      run.faults = fault_spec;
+      const RulingSetOptions faulty_options = options_from_spec(run);
+      const RulingSetResult faulty = compute_ruling_set(g, faulty_options);
+      ++report.runs;
+      report.faults_injected += faulty.metrics.faults_injected;
+      report.corrupt_detected += faulty.metrics.corrupt_detected;
+      report.integrity_retries += faulty.metrics.integrity_retries;
+      report.quarantined_rounds += faulty.metrics.quarantined_rounds;
+      report.recovery_rounds += faulty.metrics.recovery_rounds;
+
+      auto fail = [&](const std::string& what) {
+        ChaosFailure f;
+        f.schedule = s;
+        f.algorithm = run.algorithm;
+        f.fault_spec = fault_spec;
+        f.what = what;
+        report.failures.push_back(std::move(f));
+      };
+
+      if (faulty.ruling_set != truth.ruling_set) {
+        fail("faulty output diverged from the fault-free run (size " +
+             std::to_string(faulty.ruling_set.size()) + " vs " +
+             std::to_string(truth.ruling_set.size()) + ")");
+        continue;
+      }
+      if (options.certify) {
+        // Clean-room certification of the faulty run's output, then the
+        // independent sequential cross-validation of the certificate.
+        const RulingSetCertificate cert = mpc::certify_ruling_set(
+            g, faulty.ruling_set, run.beta, faulty_options.mpc);
+        if (!cert.valid()) {
+          fail("certification failed: " + cert.to_string());
+          continue;
+        }
+        if (!cross_validate_certificate(g, faulty.ruling_set, cert)) {
+          fail("certificate failed sequential cross-validation");
+          continue;
+        }
+        ++report.certified;
+      }
+    }
+    ++report.schedules_run;
+    if (options.progress) options.progress(s + 1, report.runs);
+  }
+  return report;
+}
+
+}  // namespace rsets

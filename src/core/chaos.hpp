@@ -1,0 +1,72 @@
+// Chaos-soak harness: seeded mixed-fault schedules across every MPC
+// algorithm, asserting the fault-tolerance contract end to end.
+//
+// Each schedule derives a graph and a mixed fault specification (crashes,
+// stragglers, drops, duplicates, payload corruption, delivery reordering,
+// plus periodic checkpoints) deterministically from (base_seed, schedule
+// index), then runs every Model::kMpc algorithm in the registry twice: once
+// fault-free and once under the schedule. The contract checked per run:
+//
+//   1. the faulty run's ruling set is bit-identical to the fault-free one
+//      (faults may only move the cost ledger, never the answer), and
+//   2. the output passes in-model certification plus an independent
+//      sequential cross-validation (mpc::certify_ruling_set).
+//
+// Everything is a pure function of ChaosOptions, so a failing schedule
+// index reproduces exactly — the failure record carries the fault spec
+// string to rerun it under `rsets_cli --faults=...`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rsets {
+
+struct ChaosOptions {
+  // Seeded mixed-fault schedules to run (each covers every MPC algorithm).
+  std::uint64_t schedules = 200;
+  std::uint64_t base_seed = 1;
+  // Per-schedule graph shape (the generator cycles through gnp, gnm,
+  // power_law, and tree).
+  std::uint64_t n = 600;
+  double avg_deg = 6.0;
+  std::uint32_t machines = 8;
+  // Run the certification + cross-validation pass on every faulty output
+  // (skippable for quick smoke runs; identity against the fault-free set is
+  // always checked).
+  bool certify = true;
+  // Optional progress callback: (schedules finished, runs finished).
+  std::function<void(std::uint64_t, std::uint64_t)> progress;
+};
+
+struct ChaosFailure {
+  std::uint64_t schedule = 0;
+  std::string algorithm;
+  std::string fault_spec;  // rerun with rsets_cli --faults=<this>
+  std::string what;        // which contract broke, with detail
+};
+
+struct ChaosReport {
+  std::uint64_t schedules_run = 0;
+  std::uint64_t runs = 0;  // faulty executions (algorithms x schedules)
+  // Aggregated over all faulty runs.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t corrupt_detected = 0;
+  std::uint64_t integrity_retries = 0;
+  std::uint64_t quarantined_rounds = 0;
+  std::uint64_t recovery_rounds = 0;
+  std::uint64_t certified = 0;  // runs that passed the certification pass
+  std::vector<ChaosFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+// The deterministic fault specification schedule `index` runs under (public
+// so a failure can be reproduced or inspected without rerunning the soak).
+std::string chaos_fault_spec(std::uint64_t base_seed, std::uint64_t index);
+
+ChaosReport run_chaos_soak(const ChaosOptions& options);
+
+}  // namespace rsets

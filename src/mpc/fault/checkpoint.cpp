@@ -6,6 +6,9 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
+
+#include "util/fnv.hpp"
 
 namespace rsets::mpc {
 namespace {
@@ -31,11 +34,33 @@ Checkpoint read_one_checkpoint(const std::string& path) {
     throw CheckpointError("read_checkpoint_file: unsupported version in " +
                           path);
   }
+  // A torn or bit-rotted image fails here rather than at restore time, so
+  // the caller's .prev fallback can still save the run.
+  verify_checkpoint_image(checkpoint.bytes, "read_checkpoint_file: " + path);
   checkpoint.round = r.u64();
   return checkpoint;
 }
 
 }  // namespace
+
+void seal_checkpoint(std::vector<std::uint8_t>& bytes) {
+  const std::uint64_t digest = fnv1a_bytes(bytes.data(), bytes.size());
+  SnapshotWriter w(bytes);
+  w.u64(digest);
+}
+
+void verify_checkpoint_image(const std::vector<std::uint8_t>& bytes,
+                             const std::string& context) {
+  if (bytes.size() < sizeof(std::uint64_t)) {
+    throw CheckpointError(context + ": image too short for a checksum");
+  }
+  const std::size_t body = bytes.size() - sizeof(std::uint64_t);
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + body, sizeof(stored));
+  if (fnv1a_bytes(bytes.data(), body) != stored) {
+    throw CheckpointError(context + ": whole-image checksum mismatch");
+  }
+}
 
 void write_checkpoint_file(const Checkpoint& checkpoint,
                            const std::string& path) {

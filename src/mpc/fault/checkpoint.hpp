@@ -204,7 +204,24 @@ struct Checkpoint {
 inline constexpr std::uint64_t kCheckpointMagic = 0x3130544B43535253ull;  // "RSCKPT01"
 // v2: metrics ledger gains degraded_subrounds/deadline_misses/
 // speculative_rounds, per-machine section gains the deadline-miss streak.
-inline constexpr std::uint64_t kCheckpointVersion = 2;
+// v3: metrics ledger gains corrupt_detected/integrity_retries/
+// quarantined_rounds, per-machine section gains the corruption streak, and
+// the image ends with a whole-image FNV-1a digest (see seal_checkpoint) so
+// bit rot in a durable checkpoint is detected at read time instead of
+// surfacing as a silently wrong restore.
+inline constexpr std::uint64_t kCheckpointVersion = 3;
+
+// Appends the 64-bit FNV-1a digest of `bytes` to `bytes` itself — the last
+// encoding step of every v3 image. The digest covers everything before it,
+// including the magic/version header.
+void seal_checkpoint(std::vector<std::uint8_t>& bytes);
+
+// Recomputes and checks the trailing digest; throws CheckpointError naming
+// `context` on a mismatch or an image too short to carry one. Called both
+// when a file is read back (catching on-disk rot, enabling the .prev
+// fallback) and before an in-memory restore decodes anything.
+void verify_checkpoint_image(const std::vector<std::uint8_t>& bytes,
+                             const std::string& context);
 
 // Disk round trip (binary, exactly Checkpoint::bytes). Throws
 // CheckpointError on I/O failure or a bad header.

@@ -4,7 +4,7 @@
 // are the norm; the simulator models them as *transport- and barrier-level*
 // perturbations that are deterministic given FaultConfig::seed and never
 // change algorithm results — only the cost ledger (rounds, words) and the
-// trace. The four kinds:
+// trace. The six kinds:
 //
 //   crash      a machine loses its volatile state at a superstep barrier and
 //              is restored from the last checkpoint; the supersteps between
@@ -19,6 +19,18 @@
 //              content delivered intact).
 //   duplicate  a message is transmitted twice; the receiver deduplicates
 //              (words charged twice, inbox unchanged).
+//   corrupt    a seeded bit of a message payload flips in transit; the
+//              integrity layer (see "Integrity & quarantine" in DESIGN.md
+//              §4.4) detects the FNV checksum mismatch on receive and
+//              requests a retransmission (words charged again, like drops).
+//              Retries are bounded: a source machine that keeps corrupting
+//              is quarantined and its round re-executed from the barrier
+//              snapshot through the checkpoint path.
+//   reorder    the in-flight messages of one delivery are permuted; the
+//              transport restores canonical order from the per-message
+//              sequence numbers stamped at send time (no words charged —
+//              reordering costs determinism, not bandwidth, and the
+//              sequence numbers ride in the existing message header).
 //
 // Faults are drawn from the injector's own RNG stream (see
 // fault/injector.hpp), never from the per-machine algorithm streams, so a
@@ -43,6 +55,16 @@ enum class FaultKind : std::uint8_t {
   // received + words sent in the phase) and was speculatively re-executed;
   // emitted by the simulator itself, never by the injector.
   kDeadline = 5,
+  // A message payload bit-flip detected by the receive-side checksum and
+  // healed by retransmission (one event per corrupted delivery attempt).
+  kCorrupt = 6,
+  // The delivery order of one phase's in-flight messages was permuted; the
+  // transport re-sorted them back into canonical order.
+  kReorder = 7,
+  // A source machine exceeded the corruption streak (or exhausted the
+  // per-message retry bound) and its round was re-executed from the barrier
+  // snapshot; emitted by the simulator itself, never by the injector.
+  kQuarantine = 8,
 };
 
 // Stable spelling used in traces and CLI specs.
@@ -58,12 +80,15 @@ struct FaultEvent {
   std::uint32_t machine = 0;
   // Straggler: barrier stall charged. Crash: supersteps re-executed from the
   // last durable checkpoint. Deadline: speculative retry rounds charged
-  // (exponential backoff in the miss streak).
+  // (exponential backoff in the miss streak). Quarantine: re-executed rounds
+  // charged.
   std::uint64_t delay_rounds = 0;
   // Crash: round of the durable checkpoint recovery started from.
   // Checkpoint: size of the snapshot in bytes.
   std::uint64_t checkpoint = 0;
-  // Drop/duplicate: words retransmitted. Deadline: work units observed.
+  // Drop/duplicate/corrupt: words retransmitted. Deadline: work units
+  // observed. Reorder: messages permuted. Quarantine: corruption streak that
+  // triggered it.
   std::uint64_t words = 0;
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
@@ -94,6 +119,14 @@ struct FaultConfig {
   // Per-message, per-delivery probabilities.
   double drop_prob = 0.0;
   double duplicate_prob = 0.0;
+  // Per-message, per-delivery-attempt probability of a payload bit flip
+  // (retransmissions re-draw, so a noisy link can corrupt its own retry).
+  // Messages without payload words cannot corrupt — the 2-word header
+  // carries the addressing and checksum the defense depends on.
+  double corrupt_prob = 0.0;
+  // Per-phase probability that this delivery's in-flight messages arrive in
+  // a seeded random permutation instead of canonical merge order.
+  double reorder_prob = 0.0;
   // Straggler delays are drawn uniformly from [1, max_straggler_rounds].
   std::uint64_t max_straggler_rounds = 4;
   // Deterministic plan, applied in addition to the probability draws.
@@ -106,10 +139,14 @@ struct FaultConfig {
 //   straggler@R:M:D      machine M stalls D rounds at round R (D default 1)
 //   crash~P straggler~P  per-machine, per-round probabilities
 //   drop~P dup~P         per-message probabilities
+//   corrupt~P            per-delivery-attempt payload bit-flip probability
+//   reorder~P            per-phase delivery-permutation probability
 //   seed=X               injector RNG seed
 //
 // An empty spec returns a disabled config; any token enables injection.
-// Throws std::invalid_argument on malformed tokens.
+// Malformed or unknown tokens are rejected with rsets::Error
+// (ErrorCode::kBadFlag) naming the 1-based token position — an unknown
+// fault kind must never be silently ignored.
 FaultConfig parse_fault_spec(const std::string& spec);
 
 }  // namespace rsets::mpc

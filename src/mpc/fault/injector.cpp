@@ -1,7 +1,10 @@
 #include "mpc/fault/injector.hpp"
 
 #include <cstdlib>
+#include <numeric>
 #include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace rsets::mpc {
 namespace {
@@ -21,22 +24,32 @@ std::vector<std::string> split(const std::string& s, char sep) {
   return out;
 }
 
-std::uint64_t parse_u64(const std::string& s, const std::string& token) {
+// A malformed --faults spec is a usage error like any other bad flag value:
+// reject it with the structured taxonomy (and the 1-based token position,
+// mirroring the line numbers graph/io.cpp reports), never run with a
+// silently-ignored fault kind.
+[[noreturn]] void bad_token(std::size_t index, const std::string& token,
+                            const std::string& why) {
+  throw Error(ErrorCode::kBadFlag, "fault spec token " + std::to_string(index) +
+                                       " ('" + token + "'): " + why);
+}
+
+std::uint64_t parse_u64(const std::string& s, std::size_t index,
+                        const std::string& token) {
   char* end = nullptr;
   const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
   if (s.empty() || end != s.c_str() + s.size()) {
-    throw std::invalid_argument("fault spec: bad number in token '" + token +
-                                "'");
+    bad_token(index, token, "'" + s + "' is not a number");
   }
   return v;
 }
 
-double parse_prob(const std::string& s, const std::string& token) {
+double parse_prob(const std::string& s, std::size_t index,
+                  const std::string& token) {
   char* end = nullptr;
   const double p = std::strtod(s.c_str(), &end);
   if (s.empty() || end != s.c_str() + s.size() || p < 0.0 || p > 1.0) {
-    throw std::invalid_argument("fault spec: bad probability in token '" +
-                                token + "'");
+    bad_token(index, token, "'" + s + "' is not a probability in [0, 1]");
   }
   return p;
 }
@@ -47,7 +60,10 @@ FaultConfig parse_fault_spec(const std::string& spec) {
   FaultConfig config;
   if (spec.empty()) return config;
   config.enabled = true;
-  for (const std::string& token : split(spec, ',')) {
+  const std::vector<std::string> tokens = split(spec, ',');
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    const std::size_t pos = i + 1;  // 1-based, like io.cpp line numbers
     if (token.empty()) continue;
     if (const std::size_t at = token.find('@'); at != std::string::npos) {
       const std::string kind = token.substr(0, at);
@@ -58,20 +74,26 @@ FaultConfig parse_fault_spec(const std::string& spec) {
       } else if (kind == "straggler" &&
                  (parts.size() == 2 || parts.size() == 3)) {
         f.kind = FaultKind::kStraggler;
-        if (parts.size() == 3) f.delay_rounds = parse_u64(parts[2], token);
+        if (parts.size() == 3) {
+          f.delay_rounds = parse_u64(parts[2], pos, token);
+        }
+      } else if (kind == "crash" || kind == "straggler") {
+        bad_token(pos, token,
+                  "want crash@R:M or straggler@R:M[:D]");
       } else {
-        throw std::invalid_argument("fault spec: bad scheduled token '" +
-                                    token + "' (want crash@R:M or "
-                                    "straggler@R:M[:D])");
+        bad_token(pos, token,
+                  "unknown scheduled fault kind '" + kind +
+                      "' (only crash and straggler can be scheduled; "
+                      "transport faults are per-message probabilities)");
       }
-      f.round = parse_u64(parts[0], token);
-      f.machine = static_cast<std::uint32_t>(parse_u64(parts[1], token));
+      f.round = parse_u64(parts[0], pos, token);
+      f.machine = static_cast<std::uint32_t>(parse_u64(parts[1], pos, token));
       config.schedule.push_back(f);
       continue;
     }
     if (const std::size_t tilde = token.find('~'); tilde != std::string::npos) {
       const std::string kind = token.substr(0, tilde);
-      const double p = parse_prob(token.substr(tilde + 1), token);
+      const double p = parse_prob(token.substr(tilde + 1), pos, token);
       if (kind == "crash") {
         config.crash_prob = p;
       } else if (kind == "straggler") {
@@ -80,18 +102,23 @@ FaultConfig parse_fault_spec(const std::string& spec) {
         config.drop_prob = p;
       } else if (kind == "dup") {
         config.duplicate_prob = p;
+      } else if (kind == "corrupt") {
+        config.corrupt_prob = p;
+      } else if (kind == "reorder") {
+        config.reorder_prob = p;
       } else {
-        throw std::invalid_argument("fault spec: unknown probability token '" +
-                                    token + "'");
+        bad_token(pos, token,
+                  "unknown fault kind '" + kind +
+                      "' (want crash|straggler|drop|dup|corrupt|reorder)");
       }
       continue;
     }
     if (token.rfind("seed=", 0) == 0) {
-      config.seed = parse_u64(token.substr(5), token);
+      config.seed = parse_u64(token.substr(5), pos, token);
       continue;
     }
-    throw std::invalid_argument("fault spec: unrecognized token '" + token +
-                                "'");
+    bad_token(pos, token,
+              "unrecognized token (want kind@R:M[:D], kind~P, or seed=X)");
   }
   return config;
 }
@@ -110,6 +137,12 @@ const char* fault_kind_name(FaultKind kind) {
       return "checkpoint";
     case FaultKind::kDeadline:
       return "deadline";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kReorder:
+      return "reorder";
+    case FaultKind::kQuarantine:
+      return "quarantine";
   }
   return "?";
 }
@@ -129,6 +162,8 @@ FaultInjector::FaultInjector(const FaultConfig& config,
   check_prob(config_.straggler_prob, "straggler_prob");
   check_prob(config_.drop_prob, "drop_prob");
   check_prob(config_.duplicate_prob, "duplicate_prob");
+  check_prob(config_.corrupt_prob, "corrupt_prob");
+  check_prob(config_.reorder_prob, "reorder_prob");
   if (config_.max_straggler_rounds == 0) {
     throw std::invalid_argument(
         "FaultInjector: max_straggler_rounds must be >= 1");
@@ -139,10 +174,16 @@ FaultInjector::FaultInjector(const FaultConfig& config,
           "FaultInjector: checkpoints are driven by "
           "MpcConfig::checkpoint_every, not the fault schedule");
     }
-    if (f.kind == FaultKind::kDrop || f.kind == FaultKind::kDuplicate) {
+    if (f.kind == FaultKind::kDrop || f.kind == FaultKind::kDuplicate ||
+        f.kind == FaultKind::kCorrupt || f.kind == FaultKind::kReorder) {
       throw std::invalid_argument(
-          "FaultInjector: transport faults are per-message; use "
-          "drop_prob/duplicate_prob instead of the schedule");
+          "FaultInjector: transport faults are per-message/per-phase; use "
+          "the *_prob knobs instead of the schedule");
+    }
+    if (f.kind == FaultKind::kDeadline || f.kind == FaultKind::kQuarantine) {
+      throw std::invalid_argument(
+          "FaultInjector: deadline and quarantine events are emitted by the "
+          "simulator, never scheduled");
     }
     if (f.machine >= num_machines_) {
       throw std::invalid_argument(
@@ -203,6 +244,41 @@ bool FaultInjector::transport_fault(std::uint64_t round, std::uint32_t src,
   event.round = round;
   event.machine = src;
   event.words = words;
+  return true;
+}
+
+bool FaultInjector::corrupt_fault(std::uint64_t round, std::uint32_t src,
+                                  std::uint64_t words,
+                                  std::uint64_t payload_bits,
+                                  FaultEvent& event,
+                                  std::uint64_t& bit_index) {
+  if (!has_corrupt_faults()) return false;
+  // The flip is consumed for every delivery attempt — including ones on
+  // payload-free messages that cannot corrupt — so the stream position is a
+  // function of the delivery structure alone.
+  const bool hit = rng_.flip(config_.corrupt_prob);
+  if (!hit || payload_bits == 0) return false;
+  bit_index = rng_.below(payload_bits);
+  event.kind = FaultKind::kCorrupt;
+  event.round = round;
+  event.machine = src;
+  event.words = words;
+  return true;
+}
+
+bool FaultInjector::reorder_fault(std::uint64_t round, std::size_t n,
+                                  std::vector<std::uint32_t>& perm) {
+  (void)round;
+  if (!has_reorder_faults() || n < 2) return false;
+  if (!rng_.flip(config_.reorder_prob)) return false;
+  // Seeded Fisher–Yates over [0, n): the adversary's permutation is as
+  // reproducible as every other injected fault.
+  perm.resize(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng_.below(i + 1));
+    std::swap(perm[i], perm[j]);
+  }
   return true;
 }
 

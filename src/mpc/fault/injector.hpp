@@ -32,11 +32,37 @@ class FaultInjector {
   bool transport_fault(std::uint64_t round, std::uint32_t src,
                        std::uint64_t words, FaultEvent& event);
 
+  // Corruption draw for one delivery attempt of a message with
+  // `payload_bits` flippable bits. Consumes exactly one flip per call (plus
+  // one index draw when the flip fires), so the stream stays aligned across
+  // replays. On a hit fills `event` (kCorrupt) and `bit_index` with the bit
+  // to flip and returns true. Messages without payload bits consume the
+  // flip but never corrupt. The simulator calls this in a bounded retry
+  // loop: a retransmission re-draws, so a noisy link can corrupt its own
+  // retry.
+  bool corrupt_fault(std::uint64_t round, std::uint32_t src,
+                     std::uint64_t words, std::uint64_t payload_bits,
+                     FaultEvent& event, std::uint64_t& bit_index);
+
+  // Reorder draw for one delivery of `n` in-flight messages. Consumes one
+  // flip per phase with messages; on a hit fills `perm` with a seeded
+  // permutation of [0, n) and returns true.
+  bool reorder_fault(std::uint64_t round, std::size_t n,
+                     std::vector<std::uint32_t>& perm);
+
   // True if any probability knob or scheduled entry can produce transport
   // faults (lets the delivery loop skip per-message work entirely).
   bool has_transport_faults() const {
     return config_.drop_prob > 0.0 || config_.duplicate_prob > 0.0;
   }
+
+  // True if payload corruption can fire — the simulator then activates
+  // checksum verification regardless of MpcConfig::integrity, because the
+  // attack is survivable only with the defense on.
+  bool has_corrupt_faults() const { return config_.corrupt_prob > 0.0; }
+
+  // True if delivery-order permutation can fire.
+  bool has_reorder_faults() const { return config_.reorder_prob > 0.0; }
 
   const FaultConfig& config() const { return config_; }
 

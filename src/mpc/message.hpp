@@ -15,6 +15,7 @@
 
 #include "mpc/fault/fault.hpp"
 #include "mpc/trace.hpp"
+#include "util/fnv.hpp"
 
 namespace rsets::mpc {
 
@@ -22,7 +23,11 @@ using Word = std::uint64_t;
 using MachineId = std::uint32_t;
 
 // Every message is charged a fixed header in addition to its payload,
-// modelling addressing overhead and discouraging word-free signalling.
+// modelling addressing overhead and discouraging word-free signalling. The
+// header is where the transport metadata rides: addressing (src/dst/tag),
+// the delivery sequence number, and — when the integrity layer is active —
+// the FNV-1a payload checksum. None of them are charged beyond these two
+// words, which is why enabling integrity checking never moves the ledger.
 inline constexpr std::size_t kHeaderWords = 2;
 
 struct Message {
@@ -30,9 +35,30 @@ struct Message {
   MachineId dst = 0;
   std::uint32_t tag = 0;
   std::vector<Word> payload;
+  // Transport header fields, stamped by the simulator when the message is
+  // merged into the in-flight sequence (never by senders): `seq` is the
+  // position in canonical machine-id merge order — the self-healing anchor
+  // reorder faults are sorted back by — and `checksum` is the FNV-1a digest
+  // verify-on-receive compares against (stamped only while the integrity
+  // layer is active).
+  std::uint64_t seq = 0;
+  Word checksum = 0;
 
   std::size_t words() const { return payload.size() + kHeaderWords; }
 };
+
+// FNV-1a digest of everything the transport must deliver intact: addressing
+// plus payload. The multiply-by-odd-prime step makes the digest sensitive to
+// every single-bit flip within a word (see util/fnv.hpp), which is exactly
+// the corruption the fault model injects.
+inline Word message_checksum(const Message& m) {
+  std::uint64_t h = kFnvOffsetBasis;
+  h = fnv1a_word(h, m.src);
+  h = fnv1a_word(h, m.dst);
+  h = fnv1a_word(h, m.tag);
+  for (const Word w : m.payload) h = fnv1a_word(h, w);
+  return h;
+}
 
 // What happens when a machine exceeds its S-word storage or per-round
 // bandwidth budget.
@@ -110,6 +136,14 @@ struct MpcConfig {
   // existing metrics fields — only MpcMetrics::checkpoints and the trace's
   // checkpoint events.
   std::uint64_t checkpoint_every = 0;
+  // Verify the FNV-1a checksum of every delivered message even when no
+  // corruption fault can fire. The check is CPU-only: checksums ride in the
+  // already-charged message header, so a fault-free run with integrity on
+  // is byte-identical to one with it off (tools/check_integrity_parity.sh
+  // gates exactly this). Corruption faults (FaultConfig::corrupt_prob)
+  // activate verification implicitly — the attack is survivable only with
+  // the defense on.
+  bool integrity = false;
 };
 
 struct MpcMetrics {
@@ -139,6 +173,11 @@ struct MpcMetrics {
   // Straggler-deadline ledger (all zero when round_deadline == 0).
   std::uint64_t deadline_misses = 0;    // machine-phases over the deadline
   std::uint64_t speculative_rounds = 0; // retry rounds charged (with backoff)
+  // Integrity ledger (all zero unless corruption faults fire; verification
+  // alone — MpcConfig::integrity on a clean run — never moves it).
+  std::uint64_t corrupt_detected = 0;   // checksum mismatches caught on receive
+  std::uint64_t integrity_retries = 0;  // retransmissions those triggered
+  std::uint64_t quarantined_rounds = 0; // rounds re-executed after quarantine
 };
 
 class MpcViolation : public std::runtime_error {

@@ -120,10 +120,13 @@ Simulator::Simulator(const MpcConfig& config) : config_(config) {
     machines_.emplace_back(m, config_);
   }
   deadline_streak_.assign(config_.num_machines, 0);
+  corrupt_streak_.assign(config_.num_machines, 0);
   if (config_.faults.enabled) {
     injector_ =
         std::make_unique<FaultInjector>(config_.faults, config_.num_machines);
   }
+  integrity_active_ =
+      config_.integrity || (injector_ && injector_->has_corrupt_faults());
 }
 
 Simulator::~Simulator() = default;
@@ -166,6 +169,41 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
   std::uint64_t retransmit_messages = 0;
   std::uint64_t retransmit_words = 0;
   const bool transport_faults = injector_ && injector_->has_transport_faults();
+  const bool corrupt_faults = injector_ && injector_->has_corrupt_faults();
+
+  // Reorder fault: the adversary permutes this delivery's in-flight
+  // sequence; the transport heals by re-sorting on the sequence numbers
+  // stamped at outbox merge, restoring canonical order before any
+  // per-message draw or partition happens. No words are charged — sequence
+  // numbers ride in the already-charged header.
+  if (injector_ && injector_->has_reorder_faults()) {
+    std::vector<std::uint32_t> perm;
+    if (injector_->reorder_fault(metrics_.rounds, in_flight_.size(), perm)) {
+      std::vector<Message> shuffled(in_flight_.size());
+      for (std::size_t i = 0; i < perm.size(); ++i) {
+        shuffled[i] = std::move(in_flight_[perm[i]]);
+      }
+      in_flight_ = std::move(shuffled);
+      std::sort(in_flight_.begin(), in_flight_.end(),
+                [](const Message& a, const Message& b) { return a.seq < b.seq; });
+      FaultEvent e;
+      e.kind = FaultKind::kReorder;
+      e.round = metrics_.rounds;
+      e.words = in_flight_.size();  // messages permuted
+      ++metrics_.faults_injected;
+      fault_events.push_back(e);
+    }
+  }
+
+  // Per-source integrity bookkeeping for this phase: which sources produced
+  // a corrupted delivery, and which exhausted the bounded retry.
+  std::vector<std::uint8_t> corrupted_src;
+  std::vector<std::uint8_t> exhausted_src;
+  if (corrupt_faults) {
+    corrupted_src.assign(config_.num_machines, 0);
+    exhausted_src.assign(config_.num_machines, 0);
+  }
+
   std::vector<std::vector<Message>> delivery(config_.num_machines);
   for (Message& msg : in_flight_) {
     if (transport_faults) {
@@ -178,9 +216,89 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
         fault_events.push_back(event);
       }
     }
+    if (corrupt_faults) {
+      // Bounded self-healing delivery: each attempt may corrupt (the
+      // injector flips a real payload bit); the receive-side checksum
+      // catches the flip and triggers a retransmission, charged like a
+      // dropped-message retransmit. The retry re-draws, so a noisy link can
+      // corrupt its own retry — after kMaxIntegrityRetries corrupted
+      // attempts the transport delivers the pristine copy and hands the
+      // source to quarantine instead of retrying forever.
+      const std::uint64_t payload_bits =
+          static_cast<std::uint64_t>(msg.payload.size()) * 64;
+      for (unsigned attempt = 1;; ++attempt) {
+        FaultEvent event;
+        std::uint64_t bit = 0;
+        if (!injector_->corrupt_fault(metrics_.rounds, msg.src, msg.words(),
+                                      payload_bits, event, bit)) {
+          break;  // this attempt delivered clean
+        }
+        const std::uint64_t mask = std::uint64_t{1} << (bit & 63);
+        msg.payload[bit >> 6] ^= mask;  // the flip happens for real
+        if (message_checksum(msg) == msg.checksum) {
+          // Unreachable: FNV-1a detects every single-bit flip in a word
+          // (see util/fnv.hpp). Kept as the honest alternative — if the
+          // digest ever missed, the corrupted payload would be delivered.
+          break;
+        }
+        ++metrics_.corrupt_detected;
+        ++metrics_.faults_injected;
+        fault_events.push_back(event);
+        // Heal: the sender retransmits the pristine copy (undo the flip),
+        // charged into this phase's ledger like a drop retransmission.
+        msg.payload[bit >> 6] ^= mask;
+        ++metrics_.integrity_retries;
+        ++retransmit_messages;
+        retransmit_words += msg.words();
+        corrupted_src[msg.src] = 1;
+        if (attempt >= kMaxIntegrityRetries) {
+          exhausted_src[msg.src] = 1;
+          break;
+        }
+      }
+    }
+    if (integrity_active_ && message_checksum(msg) != msg.checksum) {
+      // Verify-on-receive. After the healing loop above a mismatch means
+      // the transport itself is broken, so it is a hard failure — and in
+      // fault-free integrity runs this check is exactly what
+      // tools/check_integrity_parity.sh proves to be free.
+      throw MpcViolation("integrity: checksum mismatch on delivery from "
+                         "machine " +
+                         std::to_string(msg.src));
+    }
     delivery[msg.dst].push_back(std::move(msg));
   }
   in_flight_.clear();
+
+  // Quarantine: a source that corrupted in kQuarantineStreak consecutive
+  // phases — or exhausted a message's retry bound outright — has its round
+  // re-executed from the barrier snapshot (the roundtrip happens after the
+  // callbacks, sharing the deadline-speculation path). One re-executed
+  // round is charged per quarantined source.
+  bool barrier_roundtrip = false;
+  if (corrupt_faults) {
+    for (MachineId m = 0; m < config_.num_machines; ++m) {
+      bool quarantine = exhausted_src[m] != 0;
+      if (corrupted_src[m] != 0) {
+        if (++corrupt_streak_[m] >= kQuarantineStreak) quarantine = true;
+      } else {
+        corrupt_streak_[m] = 0;
+      }
+      if (!quarantine) continue;
+      FaultEvent e;
+      e.kind = FaultKind::kQuarantine;
+      e.round = metrics_.rounds;
+      e.machine = m;
+      e.words = corrupt_streak_[m];  // streak that triggered it
+      e.delay_rounds = 1;            // rounds re-executed
+      ++metrics_.quarantined_rounds;
+      deferred_round_charge += 1;
+      ++metrics_.faults_injected;
+      fault_events.push_back(e);
+      corrupt_streak_[m] = 0;  // the source restarts clean
+      barrier_roundtrip = true;
+    }
+  }
 
   // Snapshot per-machine send cursors so degrade/deadline accounting can
   // attribute exactly this phase's sent words (drain phases do not reset the
@@ -251,6 +369,12 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
     for (Message& msg : machine.outbox_) {
       ++phase_messages;
       phase_words += msg.words();
+      // Stamp the transport header at merge time: seq is the position in
+      // canonical merge order (the anchor reorder healing sorts back to);
+      // the checksum is computed only when verification will run. Both ride
+      // in the 2-word header already charged above.
+      msg.seq = in_flight_.size();
+      if (integrity_active_) msg.checksum = message_checksum(msg);
       in_flight_.push_back(std::move(msg));
     }
     machine.outbox_.clear();
@@ -321,13 +445,19 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
         deadline_streak_[m] = 0;
       }
     }
-    if (any_miss) {
-      // The roundtrip resets trace attribution (restore_checkpoint cannot
-      // know it is an identity replay), so preserve it across the replay.
-      const std::uint64_t saved_traced = last_traced_violations_;
-      restore_checkpoint(make_checkpoint());
-      last_traced_violations_ = saved_traced;
-    }
+    if (any_miss) barrier_roundtrip = true;
+  }
+
+  // Speculative/quarantine re-execution shares one barrier-snapshot
+  // roundtrip: a genuine encode/decode through the registered Snapshotable
+  // hooks, landing on the exact same state because the work is
+  // deterministic.
+  if (barrier_roundtrip) {
+    // The roundtrip resets trace attribution (restore_checkpoint cannot
+    // know it is an identity replay), so preserve it across the replay.
+    const std::uint64_t saved_traced = last_traced_violations_;
+    restore_checkpoint(make_checkpoint());
+    last_traced_violations_ = saved_traced;
   }
 
   refresh_metrics_after_round(recv_words);
@@ -459,6 +589,9 @@ Checkpoint Simulator::make_checkpoint() const {
   w.u64(metrics_.degraded_subrounds);
   w.u64(metrics_.deadline_misses);
   w.u64(metrics_.speculative_rounds);
+  w.u64(metrics_.corrupt_detected);
+  w.u64(metrics_.integrity_retries);
+  w.u64(metrics_.quarantined_rounds);
   // In-flight messages (awaiting delivery at this barrier).
   w.u64(in_flight_.size());
   for (const Message& msg : in_flight_) {
@@ -478,6 +611,7 @@ Checkpoint Simulator::make_checkpoint() const {
     for (const std::uint64_t s : rng.s) w.u64(s);
     w.u64(rng.draws);
     w.u64(deadline_streak_[m]);
+    w.u64(corrupt_streak_[m]);
   }
   // Driver state via registered hooks, each length-prefixed and named so
   // restore can validate shape before decoding.
@@ -490,10 +624,17 @@ Checkpoint Simulator::make_checkpoint() const {
     w.u64(payload.size());
     w.bytes(payload.data(), payload.size());
   }
+  // Seal last: the trailing whole-image digest covers everything above and
+  // is what read_checkpoint_file / restore_checkpoint verify.
+  seal_checkpoint(checkpoint.bytes);
   return checkpoint;
 }
 
 void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
+  // Never decode an image whose whole-image digest does not verify: a
+  // bit-rotted checkpoint must fail loudly here, not restore silently-wrong
+  // state.
+  verify_checkpoint_image(checkpoint.bytes, "restore_checkpoint");
   SnapshotReader r(checkpoint.bytes.data(), checkpoint.bytes.size());
   if (r.u64() != kCheckpointMagic) {
     throw CheckpointError("restore_checkpoint: bad magic");
@@ -520,6 +661,9 @@ void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
   metrics_.degraded_subrounds = r.u64();
   metrics_.deadline_misses = r.u64();
   metrics_.speculative_rounds = r.u64();
+  metrics_.corrupt_detected = r.u64();
+  metrics_.integrity_retries = r.u64();
+  metrics_.quarantined_rounds = r.u64();
   const std::uint64_t num_messages = r.u64();
   in_flight_.clear();
   for (std::uint64_t i = 0; i < num_messages; ++i) {
@@ -531,6 +675,12 @@ void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
     if (msg.dst >= config_.num_machines) {
       throw CheckpointError("restore_checkpoint: message to unknown machine");
     }
+    // Transport header fields are not serialized; re-stamp them exactly as
+    // the outbox merge did — seq is the in-flight position and the checksum
+    // is a pure function of the payload, so the restored sequence is
+    // byte-identical to the snapshotted one.
+    msg.seq = in_flight_.size();
+    if (integrity_active_) msg.checksum = message_checksum(msg);
     in_flight_.push_back(std::move(msg));
   }
   for (MachineId m = 0; m < config_.num_machines; ++m) {
@@ -545,6 +695,7 @@ void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
     machine.rng_.set_state(rng);
     machine.outbox_.clear();
     deadline_streak_[m] = r.u64();
+    corrupt_streak_[m] = r.u64();
   }
   if (r.u64() != snapshotables_.size()) {
     throw CheckpointError(
@@ -569,7 +720,9 @@ void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
                             " has trailing bytes");
     }
   }
-  if (r.remaining() != 0) {
+  // The only bytes allowed after the last section are the whole-image
+  // digest appended by seal_checkpoint (already verified above).
+  if (r.remaining() != sizeof(std::uint64_t)) {
     throw CheckpointError("restore_checkpoint: trailing bytes");
   }
   // Trace attribution cannot span a restore: the next trace line reports

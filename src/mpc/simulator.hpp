@@ -30,6 +30,14 @@
 
 namespace rsets::mpc {
 
+// Bounded self-healing knobs of the integrity layer (DESIGN.md §4.4). A
+// corrupted delivery is retransmitted at most kMaxIntegrityRetries times
+// before the source is quarantined; a source whose messages corrupt in
+// kQuarantineStreak consecutive phases is quarantined even when every
+// individual delivery healed within the bound.
+inline constexpr unsigned kMaxIntegrityRetries = 3;
+inline constexpr std::uint64_t kQuarantineStreak = 3;
+
 class Simulator {
  public:
   explicit Simulator(const MpcConfig& config);
@@ -123,6 +131,11 @@ class Simulator {
 
   MpcConfig config_;
   unsigned effective_threads_ = 1;
+  // Checksum verification on every delivery: forced on by corruption faults
+  // (the attack is survivable only with the defense on) or opted into with
+  // MpcConfig::integrity. Checksums ride in the charged message header, so
+  // this flag never moves the word ledger.
+  bool integrity_active_ = false;
   std::vector<Machine> machines_;
   std::vector<Message> in_flight_;
   MpcMetrics metrics_;
@@ -135,6 +148,12 @@ class Simulator {
   // backoff of speculative re-execution charges. Serialized in checkpoints
   // (format v2) so recovery resumes the same backoff schedule.
   std::vector<std::uint64_t> deadline_streak_;
+  // Consecutive phases in which a machine's outgoing messages corrupted;
+  // reaching kQuarantineStreak (or exhausting the per-message retry bound)
+  // quarantines the source: its round is re-executed from the barrier
+  // snapshot. Serialized in checkpoints (format v3) so recovery resumes the
+  // same quarantine pressure.
+  std::vector<std::uint64_t> corrupt_streak_;
   // metrics_.violations as of the last emitted trace line, so each line
   // reports every violation observed since the previous line — including
   // ones folded in by hook-less sync_metrics() calls (e.g. charge_rounds

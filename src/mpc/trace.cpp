@@ -33,6 +33,16 @@ std::string fault_to_json(const FaultEvent& event) {
       append("work", event.words);
       append("retry_rounds", event.delay_rounds);
       break;
+    case FaultKind::kCorrupt:
+      append("words", event.words);
+      break;
+    case FaultKind::kReorder:
+      append("messages", event.words);
+      break;
+    case FaultKind::kQuarantine:
+      append("streak", event.words);
+      append("retry_rounds", event.delay_rounds);
+      break;
   }
   len += std::snprintf(buf + len, sizeof(buf) - static_cast<size_t>(len), "}");
   return std::string(buf, static_cast<std::size_t>(len));

@@ -1,0 +1,38 @@
+// FNV-1a fingerprints for the integrity layer.
+//
+// Every byte the MPC substrate trusts across a failure domain — message
+// payloads crossing the simulated transport, checkpoint images crossing a
+// disk write — is covered by a 64-bit FNV-1a digest. FNV-1a is not a
+// cryptographic hash; it is a fast, dependency-free detector for the fault
+// model we simulate (seeded bit flips, torn writes): the multiply by an odd
+// prime is a bijection on 64-bit words, so any single-bit flip inside one
+// absorbed word always changes the digest, and multi-bit corruption escapes
+// only with probability ~2^-64.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rsets {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+// Absorbs one 64-bit word (word-granular variant used for message payloads,
+// where flips are modelled at word resolution).
+inline constexpr std::uint64_t fnv1a_word(std::uint64_t h,
+                                          std::uint64_t word) {
+  return (h ^ word) * kFnvPrime;
+}
+
+// Byte-granular digest used for whole checkpoint images.
+inline std::uint64_t fnv1a_bytes(const void* data, std::size_t size,
+                                 std::uint64_t h = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h = (h ^ p[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace rsets

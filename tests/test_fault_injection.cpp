@@ -15,6 +15,7 @@
 #include "graph/verify.hpp"
 #include "mpc/fault/injector.hpp"
 #include "mpc/trace.hpp"
+#include "util/error.hpp"
 
 namespace rsets {
 namespace {
@@ -291,10 +292,29 @@ TEST(FaultSpec, ParsesTheCliGrammar) {
   EXPECT_EQ(mpc::parse_fault_spec("straggler@4:0").schedule[0].delay_rounds,
             1u);
 
-  EXPECT_THROW(mpc::parse_fault_spec("explode@3:1"), std::invalid_argument);
-  EXPECT_THROW(mpc::parse_fault_spec("crash@oops:1"), std::invalid_argument);
-  EXPECT_THROW(mpc::parse_fault_spec("drop~1.5"), std::invalid_argument);
-  EXPECT_THROW(mpc::parse_fault_spec("nonsense"), std::invalid_argument);
+  // New transport kinds parse through the same grammar.
+  const mpc::FaultConfig integrity =
+      mpc::parse_fault_spec("corrupt~0.02,reorder~0.1");
+  EXPECT_TRUE(integrity.enabled);
+  EXPECT_DOUBLE_EQ(integrity.corrupt_prob, 0.02);
+  EXPECT_DOUBLE_EQ(integrity.reorder_prob, 0.1);
+
+  // Malformed and unknown tokens surface as structured usage errors naming
+  // the 1-based token position — never as silently-ignored fault kinds.
+  EXPECT_THROW(mpc::parse_fault_spec("explode@3:1"), Error);
+  EXPECT_THROW(mpc::parse_fault_spec("crash@oops:1"), Error);
+  EXPECT_THROW(mpc::parse_fault_spec("drop~1.5"), Error);
+  EXPECT_THROW(mpc::parse_fault_spec("nonsense"), Error);
+  EXPECT_THROW(mpc::parse_fault_spec("corrupt~nope"), Error);
+  EXPECT_THROW(mpc::parse_fault_spec("bitrot~0.5"), Error);
+  try {
+    mpc::parse_fault_spec("crash~0.1,explode~0.5");
+    FAIL() << "unknown kind must be rejected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadFlag);
+    EXPECT_NE(std::string(e.what()).find("token 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("explode"), std::string::npos);
+  }
 }
 
 }  // namespace

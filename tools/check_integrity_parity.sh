@@ -1,0 +1,76 @@
+#!/usr/bin/env sh
+# Integrity-parity gate for the checksummed transport (DESIGN.md
+# "Integrity & quarantine").
+#
+# For every MPC algorithm in the registry, runs on the E1 graph family:
+#   1. A plain run (integrity verification off).
+#   2. The same run with --integrity: checksums stamped and verified on
+#      every delivery.
+#   3. The same run under corrupt~0.1,reorder~0.5 faults (verification and
+#      healing active).
+# The gate requires:
+#   - byte-identical ruling sets across all three runs;
+#   - byte-identical execution logs (phases + summary) between 1 and 2 —
+#     the checksum rides in the already-charged message header, so turning
+#     verification on in a fault-free run must not move a single ledger
+#     entry (only the meta lines differ, by the integrity flag itself);
+#   - a zero integrity ledger in run 2 (nothing corrupted, nothing
+#     detected) and a non-zero corrupt_detected in run 3 (the faults
+#     actually exercised the healing path).
+#
+# Usage: tools/check_integrity_parity.sh [build-dir]     (default: build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" --target rsets_cli -j "$(nproc)"
+cli="$build_dir/tools/rsets_cli"
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/rsets_integrity.XXXXXX")
+trap 'rm -rf "$work"' EXIT INT TERM
+
+common="--gen=gnp --n=800 --avg_deg=8 --seed=3 --machines=8"
+
+for algo in luby_mpc det_luby_mpc sample_gather_mpc det_ruling_mpc; do
+  "$cli" $common --algorithm="$algo" \
+      --out="$work/plain.set" --record="$work/plain.jsonl" \
+      > "$work/plain.out"
+
+  "$cli" $common --algorithm="$algo" --integrity \
+      --out="$work/checked.set" --record="$work/checked.jsonl" \
+      > "$work/checked.out"
+
+  "$cli" $common --algorithm="$algo" --faults="corrupt~0.1,reorder~0.5,seed=7" \
+      --out="$work/noisy.set" > "$work/noisy.out"
+
+  if ! cmp -s "$work/plain.set" "$work/checked.set"; then
+    echo "check_integrity_parity: FAIL ($algo: --integrity changed the set)"
+    exit 1
+  fi
+  if ! cmp -s "$work/plain.set" "$work/noisy.set"; then
+    echo "check_integrity_parity: FAIL ($algo: corruption changed the set)"
+    exit 1
+  fi
+
+  # Byte-identical phase and summary lines; only the meta line (which
+  # records the integrity flag) may differ.
+  tail -n +2 "$work/plain.jsonl" > "$work/plain.body"
+  tail -n +2 "$work/checked.jsonl" > "$work/checked.body"
+  if ! cmp -s "$work/plain.body" "$work/checked.body"; then
+    echo "check_integrity_parity: FAIL ($algo: verification moved the ledger)"
+    exit 1
+  fi
+
+  if ! grep -q '^corrupt_detected=0$' "$work/checked.out"; then
+    echo "check_integrity_parity: FAIL ($algo: fault-free run detected corruption)"
+    exit 1
+  fi
+  if ! grep -q '^corrupt_detected=[1-9]' "$work/noisy.out"; then
+    echo "check_integrity_parity: FAIL ($algo: faults never exercised healing)"
+    exit 1
+  fi
+done
+
+echo "check_integrity_parity: PASS"

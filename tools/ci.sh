@@ -8,11 +8,18 @@
 #      (RSETS_SANITIZE=address,undefined), run under halt-on-error.
 #   4. Record/recover/replay gate for the fault subsystem
 #      (tools/check_replay.sh).
-#   5. Fuzz smoke: 30 s each on the edge-list and flag parser harnesses
-#      (fuzz/). Any escaping exception or crash fails the gate.
+#   5. Fuzz smoke: 30 s each on the edge-list, flag parser, and checkpoint
+#      decoder harnesses (fuzz/). Any escaping exception or crash fails
+#      the gate.
 #   6. Degrade parity: strict vs. degrade runs of every MPC algorithm on
 #      the E1 graph family must produce byte-identical ruling sets while
 #      the degrade run reports degraded_subrounds > 0.
+#   7. Integrity parity: fault-free runs with --integrity must be
+#      byte-identical to plain runs (set and ledger), and corrupted runs
+#      must heal to the same set (tools/check_integrity_parity.sh).
+#   8. Chaos soak smoke: 200 seeded mixed-fault schedules across every MPC
+#      algorithm; each faulty run must match its fault-free twin
+#      bit-for-bit and certify (60 s budget; the soak runs in ~5 s).
 #
 # Usage: tools/ci.sh
 #
@@ -42,11 +49,18 @@ UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
 echo "=== ci: record/recover/replay gate ==="
 "$repo_root/tools/check_replay.sh" "$repo_root/build"
 
-echo "=== ci: fuzz smoke (io + flags harnesses) ==="
+echo "=== ci: fuzz smoke (io + flags + checkpoint harnesses) ==="
 "$repo_root/build/fuzz/fuzz_io" --seconds=30
 "$repo_root/build/fuzz/fuzz_flags" --seconds=30
+"$repo_root/build/fuzz/fuzz_checkpoint" --seconds=30
 
 echo "=== ci: degrade parity (strict vs degrade on the E1 family) ==="
 "$repo_root/tools/check_degrade_parity.sh" "$repo_root/build"
+
+echo "=== ci: integrity parity (plain vs --integrity vs corrupted) ==="
+"$repo_root/tools/check_integrity_parity.sh" "$repo_root/build"
+
+echo "=== ci: chaos soak (200 seeded mixed-fault schedules) ==="
+timeout 60 "$repo_root/build/tools/chaos_soak" --schedules=200 --seed=1
 
 echo "ci: PASS"

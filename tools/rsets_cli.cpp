@@ -7,40 +7,40 @@
 //   rsets_cli --gen=gnp --n=10000 --avg_deg=8 --algorithm=luby_mpc --beta=1
 //   rsets_cli --gen=power_law --n=5000 --algorithm=sample_gather_mpc
 //             --beta=2 --machines=16 --threads=4 --trace=rounds.jsonl
-//   rsets_cli --gen=gnp --n=5000 --faults=crash@5:2,drop~0.01
+//   rsets_cli --gen=gnp --n=5000 --faults=crash@5:2,drop~0.01,corrupt~0.02
 //             --checkpoint-every=3 --record=run.jsonl
 //   rsets_cli --replay=run.jsonl
+//   rsets_cli --soak=50 --n=400
 //
 // Every algorithm — sequential, MPC, and CONGEST — goes through the unified
 // compute_ruling_set dispatcher; --algorithm accepts any name from
 // rsets::algorithm_registry() (plus the legacy congest_* aliases).
 //
-// --record writes a replayable execution log: a meta line holding the full
-// run specification, one line per simulator phase (wall_ms zeroed — it is
-// the only nondeterministic field), and a summary line with final metrics
-// and a hash of the output set. --replay re-runs the recorded specification
-// and byte-compares every regenerated line against the log, so a recorded
-// execution — faults, checkpoints, recoveries and all — is checkably
-// reproducible.
+// --record writes a replayable execution log (see core/replay.hpp for the
+// format); --replay re-runs the recorded specification and byte-compares
+// every regenerated line against the log, so a recorded execution — faults,
+// checkpoints, recoveries, corruption healing and all — is checkably
+// reproducible. --soak=N runs the chaos-soak harness (core/chaos.hpp): N
+// seeded mixed-fault schedules across every MPC algorithm, asserting
+// bit-identical outputs and certified validity.
 //
 // Exit-code contract (documented in README "Exit codes"):
 //   0  the output verified (and, under --paranoid, was certified and
-//      cross-validated; under --replay, every line matched)
-//   1  the run completed but verification/certification/replay failed
+//      cross-validated; under --replay, every line matched; under --soak,
+//      every schedule upheld the contract)
+//   1  the run completed but verification/certification/replay/soak failed
 //   2  usage or input errors: bad flags, malformed graph files, missing or
 //      unreadable replay logs
-#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/chaos.hpp"
+#include "core/replay.hpp"
 #include "core/ruling_set.hpp"
-#include "graph/generators.hpp"
-#include "graph/io.hpp"
 #include "graph/verify.hpp"
 #include "mpc/certify.hpp"
 #include "mpc/trace.hpp"
@@ -67,7 +67,7 @@ const char* model_name(Model m) {
 int usage(const std::string& error) {
   std::cerr << "error: " << error << "\n\n"
             << "usage: rsets_cli (--input=FILE | --gen=NAME --n=N | "
-               "--replay=FILE)\n"
+               "--replay=FILE | --soak=N)\n"
             << "  --algorithm=NAME   one of (default det_ruling_mpc):\n";
   for (const AlgorithmInfo& info : algorithm_registry()) {
     std::cerr << "      " << info.name;
@@ -88,45 +88,26 @@ int usage(const std::string& error) {
       << "                     sub-rounds; same results, extra rounds)\n"
       << "  --deadline=W       per-round work budget; machines over it are\n"
       << "                     speculatively re-executed with backoff\n"
+      << "  --integrity        checksum-verify every delivered message even\n"
+      << "                     in fault-free runs (results byte-identical)\n"
       << "  --paranoid         certify the output in-model (O(beta) extra\n"
       << "                     rounds) and cross-validate the certificate\n"
       << "  --faults=SPEC      inject faults: crash@R:M, straggler@R:M[:D],\n"
-      << "                     crash~P, straggler~P, drop~P, dup~P, seed=X\n"
+      << "                     crash~P, straggler~P, drop~P, dup~P,\n"
+      << "                     corrupt~P, reorder~P, seed=X\n"
       << "                     (comma-separated; results never change)\n"
       << "  --checkpoint-every=K   durable checkpoint every K rounds\n"
       << "  --record=FILE      write a replayable execution log (JSONL)\n"
       << "  --replay=FILE      re-run a recorded log and verify it matches\n"
+      << "  --soak=N           chaos soak: N seeded mixed-fault schedules\n"
+      << "                     across all MPC algorithms (--n/--avg_deg/\n"
+      << "                     --machines/--seed shape the runs)\n"
       << "  --trace=FILE       per-round JSONL trace (MPC algorithms)\n"
       << "  --out=FILE         write the set, one vertex per line\n"
       << "  --print_set        print the set to stdout\n"
       << "  --verbose          debug logging\n";
   return 2;
 }
-
-// Everything needed to reproduce a run — captured in the --record meta line
-// and reconstructed by --replay.
-struct RunSpec {
-  std::string algorithm = "det_ruling_mpc";
-  std::uint32_t beta = 2;  // resolved (never the "algorithm default" marker)
-  std::string input;       // edge-list path; empty when generated
-  std::string gen;         // generator name; empty when --input
-  std::uint64_t n = 10000;
-  double avg_deg = 8.0;
-  std::uint64_t seed = 1;
-  std::uint32_t machines = 8;
-  std::uint64_t memory_words = 1 << 24;
-  std::uint32_t threads = 1;
-  std::uint64_t budget = 0;
-  std::string faults;  // spec string, parsed by mpc::parse_fault_spec
-  std::uint64_t checkpoint_every = 0;
-  std::string budget_policy = "strict";
-  std::uint64_t deadline = 0;
-};
-
-// v2: the meta line gains budget_policy/deadline and the summary line gains
-// the degradation and deadline ledgers. v1 logs are rejected with a clear
-// version diagnostic rather than replayed against mismatched semantics.
-constexpr const char* kReplayFormat = "rsets-replay-v2";
 
 RunSpec spec_from_flags(const Flags& flags) {
   RunSpec spec;
@@ -156,206 +137,8 @@ RunSpec spec_from_flags(const Flags& flags) {
   spec.budget_policy = flags.get("budget-policy", "strict");
   mpc::parse_budget_policy(spec.budget_policy);  // validate early
   spec.deadline = static_cast<std::uint64_t>(flags.get_int("deadline", 0));
+  spec.integrity = flags.get_bool("integrity", false);
   return spec;
-}
-
-void append_json_str(std::ostream& out, const char* key,
-                     const std::string& value) {
-  out << "\"" << key << "\":\"" << value << "\"";
-}
-
-std::string spec_to_json(const RunSpec& spec) {
-  std::ostringstream out;
-  out << "{";
-  append_json_str(out, "format", kReplayFormat);
-  out << ",";
-  append_json_str(out, "algorithm", spec.algorithm);
-  out << ",\"beta\":" << spec.beta << ",";
-  append_json_str(out, "input", spec.input);
-  out << ",";
-  append_json_str(out, "gen", spec.gen);
-  char avg_deg[64];
-  std::snprintf(avg_deg, sizeof(avg_deg), "%.17g", spec.avg_deg);
-  out << ",\"n\":" << spec.n << ",\"avg_deg\":" << avg_deg
-      << ",\"seed\":" << spec.seed << ",\"machines\":" << spec.machines
-      << ",\"memory_words\":" << spec.memory_words
-      << ",\"threads\":" << spec.threads << ",\"budget\":" << spec.budget
-      << ",";
-  append_json_str(out, "faults", spec.faults);
-  out << ",\"checkpoint_every\":" << spec.checkpoint_every << ",";
-  append_json_str(out, "budget_policy", spec.budget_policy);
-  out << ",\"deadline\":" << spec.deadline << "}";
-  return out.str();
-}
-
-// Minimal extraction from the flat JSON the recorder writes: values are
-// unescaped strings or plain numbers, keys are unique. Not a JSON parser.
-std::string json_value(const std::string& line, const std::string& key) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) {
-    throw std::invalid_argument("replay log: meta line lacks key '" + key +
-                                "'");
-  }
-  std::size_t v = at + needle.size();
-  if (v < line.size() && line[v] == '"') {
-    const std::size_t end = line.find('"', v + 1);
-    if (end == std::string::npos) {
-      throw std::invalid_argument("replay log: unterminated string for '" +
-                                  key + "'");
-    }
-    return line.substr(v + 1, end - v - 1);
-  }
-  std::size_t end = v;
-  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
-  return line.substr(v, end - v);
-}
-
-std::uint64_t json_u64(const std::string& line, const std::string& key) {
-  const std::string value = json_value(line, key);
-  try {
-    std::size_t consumed = 0;
-    const std::uint64_t v = std::stoull(value, &consumed);
-    if (consumed != value.size()) throw std::invalid_argument(value);
-    return v;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("replay log: key '" + key +
-                                "' has non-numeric value '" + value + "'");
-  }
-}
-
-double json_double(const std::string& line, const std::string& key) {
-  const std::string value = json_value(line, key);
-  try {
-    std::size_t consumed = 0;
-    const double v = std::stod(value, &consumed);
-    if (consumed != value.size()) throw std::invalid_argument(value);
-    return v;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("replay log: key '" + key +
-                                "' has non-numeric value '" + value + "'");
-  }
-}
-
-RunSpec spec_from_json(const std::string& line) {
-  if (const std::string format = json_value(line, "format");
-      format != kReplayFormat) {
-    throw std::invalid_argument("replay log: format is '" + format +
-                                "', this build replays " + kReplayFormat +
-                                " only");
-  }
-  RunSpec spec;
-  spec.algorithm = json_value(line, "algorithm");
-  spec.beta = static_cast<std::uint32_t>(json_u64(line, "beta"));
-  spec.input = json_value(line, "input");
-  spec.gen = json_value(line, "gen");
-  spec.n = json_u64(line, "n");
-  spec.avg_deg = json_double(line, "avg_deg");
-  spec.seed = json_u64(line, "seed");
-  spec.machines = static_cast<std::uint32_t>(json_u64(line, "machines"));
-  spec.memory_words = json_u64(line, "memory_words");
-  spec.threads = static_cast<std::uint32_t>(json_u64(line, "threads"));
-  spec.budget = json_u64(line, "budget");
-  spec.faults = json_value(line, "faults");
-  spec.checkpoint_every = json_u64(line, "checkpoint_every");
-  spec.budget_policy = json_value(line, "budget_policy");
-  mpc::parse_budget_policy(spec.budget_policy);  // validate before running
-  spec.deadline = json_u64(line, "deadline");
-  return spec;
-}
-
-Graph build_graph(const RunSpec& spec) {
-  if (!spec.input.empty()) {
-    return read_edge_list_file(spec.input);
-  }
-  const auto n = static_cast<VertexId>(spec.n);
-  if (spec.gen == "gnp") return gen::gnp(n, spec.avg_deg / n, spec.seed);
-  if (spec.gen == "gnm") {
-    return gen::gnm(n, static_cast<std::uint64_t>(spec.avg_deg * n / 2),
-                    spec.seed);
-  }
-  if (spec.gen == "power_law") {
-    return gen::power_law(n, 2.5, spec.avg_deg, spec.seed);
-  }
-  if (spec.gen == "regular") {
-    auto d = static_cast<std::uint32_t>(spec.avg_deg);
-    if ((static_cast<std::uint64_t>(n) * d) % 2 != 0) ++d;
-    return gen::random_regular(n, d, spec.seed);
-  }
-  if (spec.gen == "ba") {
-    return gen::barabasi_albert(
-        n,
-        std::max<std::uint32_t>(1,
-                                static_cast<std::uint32_t>(spec.avg_deg / 2)),
-        spec.seed);
-  }
-  if (spec.gen == "tree") return gen::random_tree(n, spec.seed);
-  if (spec.gen == "grid") {
-    const auto side = static_cast<std::uint32_t>(std::sqrt(n));
-    return gen::grid(side, side);
-  }
-  throw std::invalid_argument("unknown generator: " + spec.gen);
-}
-
-RulingSetOptions options_from_spec(const RunSpec& spec) {
-  const auto algorithm = algorithm_from_name(spec.algorithm);
-  if (!algorithm) {
-    throw std::invalid_argument("unknown algorithm: " + spec.algorithm);
-  }
-  RulingSetOptions options;
-  options.algorithm = *algorithm;
-  options.beta = spec.beta;
-  options.mpc.num_machines = spec.machines;
-  options.mpc.memory_words = static_cast<std::size_t>(spec.memory_words);
-  options.mpc.seed = spec.seed;
-  options.mpc.num_threads = spec.threads;
-  options.mpc.faults = mpc::parse_fault_spec(spec.faults);
-  options.mpc.checkpoint_every = spec.checkpoint_every;
-  options.mpc.budget_policy = mpc::parse_budget_policy(spec.budget_policy);
-  options.mpc.round_deadline = spec.deadline;
-  options.congest.seed = spec.seed;
-  options.gather_budget_words = spec.budget;
-  return options;
-}
-
-// FNV-1a over the sorted vertex ids — a cheap, stable fingerprint of the
-// output set for the replay summary line.
-std::uint64_t set_hash(const std::vector<VertexId>& set) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (VertexId v : set) {
-    h ^= static_cast<std::uint64_t>(v);
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
-std::string summary_json(const RulingSetResult& result) {
-  const mpc::MpcMetrics& m = result.metrics;
-  std::ostringstream out;
-  out << "{\"summary\":1,\"size\":" << result.ruling_set.size()
-      << ",\"phases\":" << result.phases << ",\"rounds\":" << m.rounds
-      << ",\"messages\":" << m.messages << ",\"total_words\":" << m.total_words
-      << ",\"max_send_words\":" << m.max_send_words
-      << ",\"max_recv_words\":" << m.max_recv_words
-      << ",\"max_storage_words\":" << m.max_storage_words
-      << ",\"violations\":" << m.violations
-      << ",\"random_words\":" << m.random_words
-      << ",\"faults_injected\":" << m.faults_injected
-      << ",\"checkpoints\":" << m.checkpoints
-      << ",\"recovery_rounds\":" << m.recovery_rounds
-      << ",\"degraded_subrounds\":" << m.degraded_subrounds
-      << ",\"deadline_misses\":" << m.deadline_misses
-      << ",\"speculative_rounds\":" << m.speculative_rounds
-      << ",\"set_hash\":" << set_hash(result.ruling_set) << "}";
-  return out.str();
-}
-
-std::string record_line(const mpc::RoundTrace& trace) {
-  // Wall time is the only nondeterministic trace field; zero it so recorded
-  // lines are byte-reproducible.
-  mpc::RoundTrace stable = trace;
-  stable.wall_ms = 0.0;
-  return mpc::to_json(stable);
 }
 
 int run_replay(const std::string& path) {
@@ -371,64 +154,50 @@ int run_replay(const std::string& path) {
               << "summary lines)\n";
     return 2;
   }
-  const RunSpec spec = spec_from_json(lines.front());
-  const Graph g = build_graph(spec);
-  RulingSetOptions options = options_from_spec(spec);
-
-  // Recorded phase lines sit between the meta line and the summary line.
-  const std::size_t num_recorded = lines.size() - 2;
-  std::size_t emitted = 0;
-  std::uint64_t mismatches = 0;
-  std::string first_mismatch;
-  options.mpc.trace_hook = [&](const mpc::RoundTrace& trace) {
-    const std::string got = record_line(trace);
-    if (emitted >= num_recorded) {
-      ++mismatches;
-      if (first_mismatch.empty()) {
-        first_mismatch = "extra phase beyond recorded log: " + got;
-      }
-    } else if (got != lines[1 + emitted]) {
-      ++mismatches;
-      if (first_mismatch.empty()) {
-        first_mismatch = "line " + std::to_string(2 + emitted) +
-                         "\n  recorded: " + lines[1 + emitted] +
-                         "\n  replayed: " + got;
-      }
-    }
-    ++emitted;
-  };
-
-  const RulingSetResult result = compute_ruling_set(g, options);
-  if (emitted < num_recorded) {
-    ++mismatches;
-    if (first_mismatch.empty()) {
-      first_mismatch = "replay produced " + std::to_string(emitted) +
-                       " phases, log has " + std::to_string(num_recorded);
-    }
-  }
-  const std::string summary = summary_json(result);
-  if (summary != lines.back()) {
-    ++mismatches;
-    if (first_mismatch.empty()) {
-      first_mismatch = "summary\n  recorded: " + lines.back() +
-                       "\n  replayed: " + summary;
-    }
-  }
-
-  std::cout << "replay=" << (mismatches == 0 ? "ok" : "mismatch") << "\n"
+  const ReplayReport report = replay_log(lines);
+  std::cout << "replay=" << (report.ok() ? "ok" : "mismatch") << "\n"
             << "replay_file=" << path << "\n"
-            << "algorithm=" << spec.algorithm << "\n"
-            << "phases_checked=" << emitted << "\n"
-            << "rounds=" << result.metrics.rounds << "\n"
-            << "faults_injected=" << result.metrics.faults_injected << "\n"
-            << "checkpoints=" << result.metrics.checkpoints << "\n"
-            << "recovery_rounds=" << result.metrics.recovery_rounds << "\n";
-  if (mismatches != 0) {
-    std::cerr << "replay mismatch (" << mismatches << " total), first at "
-              << first_mismatch << "\n";
+            << "algorithm=" << report.spec.algorithm << "\n"
+            << "phases_checked=" << report.phases_checked << "\n"
+            << "rounds=" << report.result.metrics.rounds << "\n"
+            << "faults_injected=" << report.result.metrics.faults_injected
+            << "\n"
+            << "checkpoints=" << report.result.metrics.checkpoints << "\n"
+            << "recovery_rounds=" << report.result.metrics.recovery_rounds
+            << "\n";
+  if (!report.ok()) {
+    std::cerr << "replay mismatch (" << report.mismatches
+              << " total), first at " << report.first_mismatch << "\n";
     return 1;
   }
   return 0;
+}
+
+int run_soak(const Flags& flags) {
+  ChaosOptions options;
+  options.schedules =
+      static_cast<std::uint64_t>(flags.get_int("soak", 200));
+  options.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  options.n = static_cast<std::uint64_t>(flags.get_int("n", 600));
+  options.avg_deg = flags.get_double("avg_deg", 6.0);
+  options.machines = static_cast<std::uint32_t>(flags.get_int("machines", 8));
+  const ChaosReport report = run_chaos_soak(options);
+  std::cout << "soak=" << (report.ok() ? "ok" : "failed") << "\n"
+            << "schedules=" << report.schedules_run << "\n"
+            << "runs=" << report.runs << "\n"
+            << "faults_injected=" << report.faults_injected << "\n"
+            << "corrupt_detected=" << report.corrupt_detected << "\n"
+            << "integrity_retries=" << report.integrity_retries << "\n"
+            << "quarantined_rounds=" << report.quarantined_rounds << "\n"
+            << "recovery_rounds=" << report.recovery_rounds << "\n"
+            << "certified=" << report.certified << "\n"
+            << "failures=" << report.failures.size() << "\n";
+  for (const ChaosFailure& f : report.failures) {
+    std::cerr << "soak failure: schedule " << f.schedule << " algorithm "
+              << f.algorithm << " faults " << f.fault_spec << ": " << f.what
+              << "\n";
+  }
+  return report.ok() ? 0 : 1;
 }
 
 }  // namespace
@@ -443,9 +212,10 @@ int main(int argc, char** argv) {
   static const std::set<std::string> kKnownFlags = {
       "algorithm", "avg_deg",  "beta",     "budget",   "budget-policy",
       "checkpoint-every",      "deadline", "faults",   "gen",
-      "input",     "machines", "memory_words",         "n",
-      "out",       "paranoid", "print_set",            "record",
-      "replay",    "seed",     "threads",  "trace",    "verbose"};
+      "input",     "integrity",            "machines", "memory_words",
+      "n",         "out",      "paranoid", "print_set",
+      "record",    "replay",   "seed",     "soak",     "threads",
+      "trace",     "verbose"};
   for (const std::string& key : flags.keys()) {
     if (kKnownFlags.count(key) == 0) {
       return usage("unknown flag: --" + key);
@@ -456,8 +226,12 @@ int main(int argc, char** argv) {
     if (flags.has("replay")) {
       return run_replay(flags.get("replay", ""));
     }
+    if (flags.has("soak")) {
+      return run_soak(flags);
+    }
     if (!flags.has("input") && !flags.has("gen")) {
-      return usage("need --input=FILE, --gen=NAME, or --replay=FILE");
+      return usage(
+          "need --input=FILE, --gen=NAME, --replay=FILE, or --soak=N");
     }
 
     const RunSpec spec = spec_from_flags(flags);
@@ -539,6 +313,16 @@ int main(int argc, char** argv) {
                   << "checkpoints=" << result.metrics.checkpoints << "\n"
                   << "recovery_rounds=" << result.metrics.recovery_rounds
                   << "\n";
+      }
+      // Integrity-ledger keys appear whenever verification ran (forced by
+      // corruption faults or opted into with --integrity).
+      if (options.mpc.integrity || options.mpc.faults.corrupt_prob > 0.0) {
+        std::cout << "corrupt_detected=" << result.metrics.corrupt_detected
+                  << "\n"
+                  << "integrity_retries=" << result.metrics.integrity_retries
+                  << "\n"
+                  << "quarantined_rounds="
+                  << result.metrics.quarantined_rounds << "\n";
       }
       if (options.mpc.budget_policy == mpc::BudgetPolicy::kDegrade) {
         std::cout << "degraded_subrounds="
