@@ -158,6 +158,14 @@ inline int run_bench_main(int argc, char** argv, const char* bench_name) {
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  // google-benchmark's own library_build_type describes the *library*
+  // binary (a debug system package here), so stamp how THIS code was
+  // compiled; tools/check_bench_baseline.sh refuses baselines whose stamp
+  // is not Release.
+#ifndef RSETS_BENCH_BUILD_TYPE
+#define RSETS_BENCH_BUILD_TYPE ""
+#endif
+  benchmark::AddCustomContext("rsets_build_type", RSETS_BENCH_BUILD_TYPE);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

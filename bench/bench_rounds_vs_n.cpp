@@ -24,6 +24,7 @@
 #include "core/det_ruling.hpp"
 #include "core/luby.hpp"
 #include "core/sample_gather.hpp"
+#include "mpc/simulator.hpp"
 
 namespace rsets::bench {
 namespace {
@@ -131,6 +132,84 @@ void BM_DetRulingThreads(benchmark::State& state) {
   }
 }
 
+// E1b storm rows — the transport redesign's headline microbench. A pure
+// communication storm at 16+ machines: every machine sends kMsgsPerPeer
+// tiny messages to every other machine each round, which is exactly the
+// workload the per-message legacy transport is worst at (one heap-allocated
+// payload vector per send) and the aggregated arena transport amortizes to
+// plain word appends. Rows run legacy first (registration order), so the
+// aggregated rows report `speedup_vs_legacy` against the same machine
+// count; `identical` asserts both modes delivered the same words. Model
+// counters (messages/words) are transport-invariant by construction.
+void BM_TransportStorm(benchmark::State& state) {
+  const auto machines = static_cast<mpc::MachineId>(state.range(0));
+  const bool aggregated = state.range(1) != 0;
+  constexpr int kRounds = 48;  // long enough to amortize cold-start noise
+  constexpr int kMsgsPerPeer = 64;
+  std::uint64_t digest = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  double wall_ms = 0.0;
+  for (auto _ : state) {
+    mpc::MpcConfig cfg;
+    cfg.num_machines = machines;
+    cfg.memory_words = std::size_t{1} << 26;
+    cfg.seed = 7;
+    cfg.transport = aggregated ? mpc::TransportMode::kAggregated
+                               : mpc::TransportMode::kLegacy;
+    mpc::Simulator sim(cfg);
+    digest = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < kRounds; ++r) {
+      sim.round([&](mpc::Machine& m, const mpc::Inbox& inbox) {
+        for (const mpc::MessageView& msg : inbox.all()) {
+          digest += msg.payload[0] * (msg.src + 1);
+        }
+        for (mpc::MachineId dst = 0; dst < machines; ++dst) {
+          if (dst == m.id()) continue;
+          for (int k = 0; k < kMsgsPerPeer; ++k) {
+            m.sender(dst, 1).push(m.id() * kMsgsPerPeer + k);
+          }
+        }
+      });
+    }
+    sim.drain([&](mpc::Machine&, const mpc::Inbox& inbox) {
+      for (const mpc::MessageView& msg : inbox.all()) {
+        digest += msg.payload[0] * (msg.src + 1);
+      }
+    });
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    messages = sim.metrics().messages;
+    words = sim.metrics().total_words;
+  }
+  state.counters["machines"] = static_cast<double>(machines);
+  state.counters["aggregated"] = aggregated ? 1.0 : 0.0;
+  state.counters["messages"] = static_cast<double>(messages);
+  state.counters["words"] = static_cast<double>(words);
+  state.counters["wall_ms"] = wall_ms;
+  // Legacy rows run first (registration order) and seed the per-machine-
+  // count baseline the aggregated rows compare against.
+  static std::map<mpc::MachineId, std::pair<double, std::uint64_t>> baseline;
+  if (!aggregated) baseline[machines] = {wall_ms, digest};
+  const auto it = baseline.find(machines);
+  if (it != baseline.end()) {
+    state.counters["speedup_vs_legacy"] =
+        it->second.first / std::max(wall_ms, 1e-9);
+    state.counters["identical"] = it->second.second == digest ? 1.0 : 0.0;
+  }
+}
+
+void StormSweep(benchmark::internal::Benchmark* b) {
+  for (long machines : {16, 32}) {
+    // legacy (0) first: it is the baseline speedup_vs_legacy divides by.
+    for (long aggregated : {0, 1}) {
+      b->Args({machines, aggregated});
+    }
+  }
+}
+
 void ThreadSweep(benchmark::internal::Benchmark* b) {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   for (VertexId n : {8000, 32000}) {
@@ -164,6 +243,7 @@ BENCHMARK(BM_SampleGather)->Apply(SparseAndDenseSizes)->Iterations(1)->Unit(benc
 BENCHMARK(BM_Luby)->Apply(SparseAndDenseSizes)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DetLuby)->Apply(SmallSizes)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DetRulingThreads)->Apply(ThreadSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TransportStorm)->Apply(StormSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace rsets::bench

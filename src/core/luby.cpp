@@ -84,7 +84,7 @@ RulingSetResult luby_mis_mpc(const Graph& g, const mpc::MpcConfig& cfg) {
           consider(static_cast<VertexId>(local[i]), local[i + 1],
                    static_cast<VertexId>(local[i + 2]));
         }
-        for (const mpc::Message& msg : inbox.with_tag(0x70)) {
+        for (const mpc::MessageView& msg : inbox.with_tag(0x70)) {
           for (std::size_t i = 0; i + 3 <= msg.payload.size(); i += 3) {
             consider(static_cast<VertexId>(msg.payload[i]),
                      msg.payload[i + 1],

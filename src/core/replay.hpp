@@ -43,15 +43,19 @@ struct RunSpec {
   std::string budget_policy = "strict";
   std::uint64_t deadline = 0;
   bool integrity = false;  // force verify-on-receive in fault-free runs
+  std::string transport = "aggregated";  // mpc::parse_transport_mode
 };
 
 // v2: the meta line gains budget_policy/deadline and the summary line gains
 // the degradation and deadline ledgers.
 // v3: the meta line gains integrity and the summary line gains the
 // integrity ledger (corrupt_detected/integrity_retries/quarantined_rounds).
+// v4: the meta line gains transport (aggregated|legacy) — fault draws are
+// per aggregated buffer since the transport redesign, so a v3 log's faulty
+// records would not replay bit-identically.
 // Older logs are rejected with a clear version diagnostic rather than
 // replayed against mismatched semantics.
-inline constexpr const char* kReplayFormat = "rsets-replay-v3";
+inline constexpr const char* kReplayFormat = "rsets-replay-v4";
 
 // Meta line round trip. spec_from_json throws std::invalid_argument on a
 // missing key, a malformed value, or a log whose format tag is not

@@ -74,11 +74,11 @@ RulingSetCertificate certify_ruling_set(const Graph& g,
     std::vector<std::vector<Word>> out(machines);
     for (const VertexId v : valid) out[dg.owner(v)].push_back(v);
     for (MachineId t = 0; t < machines; ++t) {
-      if (!out[t].empty()) m.send(t, kTagMember, std::move(out[t]));
+      if (!out[t].empty()) m.send(t, kTagMember, out[t]);
     }
   });
   sim.drain([&](Machine&, const Inbox& inbox) {
-    for (const Message& msg : inbox.with_tag(kTagMember)) {
+    for (const MessageView& msg : inbox.with_tag(kTagMember)) {
       for (const Word w : msg.payload) {
         const VertexId v = static_cast<VertexId>(w);
         member[v] = 1;
@@ -104,13 +104,13 @@ RulingSetCertificate certify_ruling_set(const Graph& g,
         }
       }
       for (MachineId t = 0; t < machines; ++t) {
-        if (!out[t].empty()) m.send(t, kTagCover, std::move(out[t]));
+        if (!out[t].empty()) m.send(t, kTagCover, out[t]);
       }
     });
     std::vector<std::uint64_t> newly(machines, 0);
     std::vector<std::uint64_t> conflict_messages(machines, 0);
     sim.drain([&](Machine& m, const Inbox& inbox) {
-      for (const Message& msg : inbox.with_tag(kTagCover)) {
+      for (const MessageView& msg : inbox.with_tag(kTagCover)) {
         for (const Word w : msg.payload) {
           const VertexId u = static_cast<VertexId>(w);
           if (level == 1 && member[u]) ++conflict_messages[m.id()];

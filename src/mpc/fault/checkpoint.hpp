@@ -209,7 +209,10 @@ inline constexpr std::uint64_t kCheckpointMagic = 0x3130544B43535253ull;  // "RS
 // the image ends with a whole-image FNV-1a digest (see seal_checkpoint) so
 // bit rot in a durable checkpoint is detected at read time instead of
 // surfacing as a silently wrong restore.
-inline constexpr std::uint64_t kCheckpointVersion = 3;
+// v4: the in-flight section serializes aggregated transport buffers —
+// (src, dst, messages, arena) per buffer, framing validated on decode —
+// instead of per-message (src, dst, tag, payload) records.
+inline constexpr std::uint64_t kCheckpointVersion = 4;
 
 // Appends the 64-bit FNV-1a digest of `bytes` to `bytes` itself — the last
 // encoding step of every v3 image. The digest covers everything before it,

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace rsets::mpc {
 
 Machine::Machine(MachineId id, const MpcConfig& config)
     : id_(id),
       config_(&config),
-      rng_(Rng::for_stream(config.seed, id)) {}
+      rng_(Rng::for_stream(config.seed, id)) {
+  if (config.transport == TransportMode::kAggregated) {
+    out_arenas_.resize(config.num_machines);
+    out_counts_.assign(config.num_machines, 0);
+  }
+}
 
 void Machine::charge_storage(std::size_t words) {
   storage_words_ += words;
@@ -34,48 +40,106 @@ void Machine::release_storage(std::size_t words) {
   storage_words_ -= words;
 }
 
-void Machine::send(MachineId dst, std::uint32_t tag,
-                   std::vector<Word> payload) {
-  if (dst >= config_->num_machines) {
-    throw std::out_of_range("Machine::send: bad destination");
+void Machine::bad_dst() {
+  throw std::out_of_range("Machine::send: bad destination");
+}
+
+void Machine::send_budget_overflow() {
+  if (config_->budget_policy == BudgetPolicy::kStrict) {
+    throw MpcViolation("machine " + std::to_string(id_) +
+                       " exceeded send bandwidth in one round: " +
+                       std::to_string(sent_words_this_round_) + " > " +
+                       std::to_string(config_->memory_words) + " words");
   }
+  if (config_->budget_policy == BudgetPolicy::kTrace) ++violations_;
+}
+
+void Machine::close_legacy_record(MachineId dst) {
   Message msg;
   msg.src = id_;
   msg.dst = dst;
-  msg.tag = tag;
-  msg.payload = std::move(payload);
-  sent_words_this_round_ += msg.words();
-  if (sent_words_this_round_ > config_->memory_words) {
-    if (config_->budget_policy == BudgetPolicy::kStrict) {
-      throw MpcViolation("machine " + std::to_string(id_) +
-                         " exceeded send bandwidth in one round: " +
-                         std::to_string(sent_words_this_round_) + " > " +
-                         std::to_string(config_->memory_words) + " words");
-    }
-    if (config_->budget_policy == BudgetPolicy::kTrace) ++violations_;
-  }
+  msg.tag = legacy_sender_tag_;
+  msg.payload = std::move(legacy_sender_payload_);
+  legacy_sender_payload_ = {};
+  const std::size_t words = msg.words();
   outbox_.push_back(std::move(msg));
+  charge_send(words);
 }
 
-Inbox::Inbox(std::vector<Message> messages) : messages_(std::move(messages)) {
-  // Sort by (tag, src): tag lookups become contiguous ranges, and delivery
-  // order is deterministic regardless of routing order.
-  std::sort(messages_.begin(), messages_.end(),
-            [](const Message& a, const Message& b) {
-              if (a.tag != b.tag) return a.tag < b.tag;
-              return a.src < b.src;
-            });
-  for (const Message& m : messages_) total_words_ += m.words();
+Inbox::Inbox(std::span<const AggBuffer> buffers) {
+  std::size_t count = 0;
+  for (const AggBuffer& buf : buffers) {
+    count += buf.messages;
+    total_words_ += buf.words();
+  }
+  index_.reserve(count);
+  // Track whether the (tag, src) walk order is already sorted as the index
+  // is built: buffers arrive src-ascending (canonical merge order), so
+  // single-tag rounds — the common shape — need no sort at all.
+  bool sorted = true;
+  std::uint32_t prev_tag = 0;
+  MachineId prev_src = 0;
+  for (const AggBuffer& buf : buffers) {
+    // Walk the framed records. The framing is simulator-stamped (and, when
+    // the integrity layer is active, covered by the batch checksum verified
+    // before delivery), so a malformed walk here means the transport itself
+    // is broken — fail loudly rather than deliver garbage views.
+    const std::vector<Word>& arena = buf.arena;
+    std::size_t at = 0;
+    for (std::uint32_t i = 0; i < buf.messages; ++i) {
+      if (arena.size() - at < kHeaderWords) {
+        throw MpcViolation("transport: truncated record framing from machine " +
+                           std::to_string(buf.src));
+      }
+      const auto tag = static_cast<std::uint32_t>(arena[at]);
+      const std::uint64_t len = arena[at + 1];
+      if (len > arena.size() - at - kHeaderWords) {
+        throw MpcViolation("transport: record length overruns arena from "
+                           "machine " +
+                           std::to_string(buf.src));
+      }
+      MessageView view;
+      view.src = buf.src;
+      view.tag = tag;
+      view.payload = {arena.data() + at + kHeaderWords,
+                      static_cast<std::size_t>(len)};
+      if (!index_.empty() &&
+          (tag < prev_tag || (tag == prev_tag && buf.src < prev_src))) {
+        sorted = false;
+      }
+      prev_tag = tag;
+      prev_src = buf.src;
+      index_.push_back(view);
+      at += kHeaderWords + static_cast<std::size_t>(len);
+    }
+    if (at != arena.size()) {
+      throw MpcViolation("transport: trailing words after last record from "
+                         "machine " +
+                         std::to_string(buf.src));
+    }
+  }
+  // Stable sort by (tag, src): tag lookups become contiguous ranges, order
+  // within a (tag, src) group stays send order, and delivery iteration is
+  // deterministic regardless of routing order. Skipped when the walk above
+  // saw an already-sorted order — the sort would be the identity and only
+  // cost time and scratch allocation.
+  if (!sorted) {
+    std::stable_sort(index_.begin(), index_.end(),
+                     [](const MessageView& a, const MessageView& b) {
+                       if (a.tag != b.tag) return a.tag < b.tag;
+                       return a.src < b.src;
+                     });
+  }
 }
 
-std::span<const Message> Inbox::with_tag(std::uint32_t tag) const {
+std::span<const MessageView> Inbox::with_tag(std::uint32_t tag) const {
   const auto lo = std::lower_bound(
-      messages_.begin(), messages_.end(), tag,
-      [](const Message& m, std::uint32_t t) { return m.tag < t; });
+      index_.begin(), index_.end(), tag,
+      [](const MessageView& m, std::uint32_t t) { return m.tag < t; });
   const auto hi = std::upper_bound(
-      messages_.begin(), messages_.end(), tag,
-      [](std::uint32_t t, const Message& m) { return t < m.tag; });
-  return {messages_.data() + (lo - messages_.begin()),
+      index_.begin(), index_.end(), tag,
+      [](std::uint32_t t, const MessageView& m) { return t < m.tag; });
+  return {index_.data() + (lo - index_.begin()),
           static_cast<std::size_t>(hi - lo)};
 }
 

@@ -1,14 +1,14 @@
-// A simulated MPC machine: storage accounting, an outbox, and a private
-// deterministic RNG stream.
+// A simulated MPC machine: storage accounting, per-destination aggregation
+// buffers, and a private deterministic RNG stream.
 //
 // Thread discipline: when the simulator runs rounds in parallel
 // (MpcConfig::num_threads != 1), each Machine is touched by exactly one
 // worker during a phase — its own callback. Everything here (storage
-// counters, outbox, RNG) is therefore unsynchronized by design; cross-
-// machine state must live in messages or in driver arrays indexed so that
-// machine i's callback writes only slice i (and never through a bit-packed
-// container such as std::vector<bool>, whose neighboring elements share
-// bytes).
+// counters, outbox arenas, RNG) is therefore unsynchronized by design;
+// cross-machine state must live in messages or in driver arrays indexed so
+// that machine i's callback writes only slice i (and never through a
+// bit-packed container such as std::vector<bool>, whose neighboring
+// elements share bytes).
 #pragma once
 
 #include <cstddef>
@@ -31,15 +31,120 @@ class Machine {
   // --- persistent storage accounting -------------------------------------
   // Algorithms charge the words they keep across rounds (adjacency lists,
   // replicated bitsets, gathered subgraphs, ...). Violations of the memory
-  // budget surface according to MpcConfig::enforce.
+  // budget surface according to MpcConfig::budget_policy.
   void charge_storage(std::size_t words);
   void release_storage(std::size_t words);
   std::size_t storage_words() const { return storage_words_; }
 
   // --- sending ------------------------------------------------------------
-  void send(MachineId dst, std::uint32_t tag, std::vector<Word> payload);
+  // The batch send API: one logical message whose payload is copied (once)
+  // into the per-destination aggregation arena. Accepts anything
+  // span-convertible — a std::vector<Word> lvalue binds directly, so the
+  // common `send(dst, tag, bucket)` call sites need no conversion.
+  void send(MachineId dst, std::uint32_t tag, std::span<const Word> payload) {
+    check_dst(dst);
+    if (config_->transport == TransportMode::kAggregated) {
+      const std::size_t len_at = open_record(dst, tag);
+      std::vector<Word>& arena = out_arenas_[dst];
+      arena.insert(arena.end(), payload.begin(), payload.end());
+      arena[len_at] = payload.size();
+    } else {
+      Message msg;
+      msg.src = id_;
+      msg.dst = dst;
+      msg.tag = tag;
+      msg.payload.assign(payload.begin(), payload.end());
+      outbox_.push_back(std::move(msg));
+    }
+    charge_send(payload.size() + kHeaderWords);
+  }
+
+  // Streaming construction of one message directly inside the aggregation
+  // arena — no intermediate payload vector at all. The record is framed when
+  // the Sender is opened and finalized (length patched, bandwidth charged)
+  // when it goes out of scope:
+  //
+  //   m.sender(dst, tag).push(v).push(deg);   // one 2-word-payload message
+  //
+  // At most one Sender per destination may be open at a time (a second
+  // would interleave into the same arena record).
+  class Sender {
+   public:
+    Sender(Sender&& other) noexcept
+        : machine_(other.machine_), dst_(other.dst_), len_at_(other.len_at_) {
+      other.machine_ = nullptr;
+    }
+    Sender(const Sender&) = delete;
+    Sender& operator=(const Sender&) = delete;
+    Sender& operator=(Sender&&) = delete;
+    ~Sender() { close(); }
+
+    Sender& push(Word value) {
+      if (machine_->config_->transport == TransportMode::kAggregated) {
+        machine_->out_arenas_[dst_].push_back(value);
+      } else {
+        machine_->legacy_sender_payload_.push_back(value);
+      }
+      return *this;
+    }
+    Sender& append(std::span<const Word> values) {
+      std::vector<Word>& out =
+          machine_->config_->transport == TransportMode::kAggregated
+              ? machine_->out_arenas_[dst_]
+              : machine_->legacy_sender_payload_;
+      out.insert(out.end(), values.begin(), values.end());
+      return *this;
+    }
+
+   private:
+    friend class Machine;
+    Sender(Machine* machine, MachineId dst, std::size_t len_at)
+        : machine_(machine), dst_(dst), len_at_(len_at) {}
+    void close() {
+      if (machine_ == nullptr) return;
+      Machine& m = *machine_;
+      machine_ = nullptr;
+      if (m.config_->transport == TransportMode::kAggregated) {
+        std::vector<Word>& arena = m.out_arenas_[dst_];
+        const std::size_t payload_words = arena.size() - len_at_ - 1;
+        arena[len_at_] = payload_words;
+        m.charge_send(payload_words + kHeaderWords);
+      } else {
+        m.close_legacy_record(dst_);
+      }
+    }
+
+    Machine* machine_;
+    MachineId dst_;
+    // Arena index of the record's payload-length word (aggregated mode) or
+    // unused (legacy mode, where the payload accumulates in a Message).
+    std::size_t len_at_;
+  };
+
+  Sender sender(MachineId dst, std::uint32_t tag) {
+    check_dst(dst);
+    if (config_->transport == TransportMode::kAggregated) {
+      return Sender(this, dst, open_record(dst, tag));
+    }
+    legacy_sender_payload_.clear();
+    legacy_sender_tag_ = tag;
+    return Sender(this, dst, 0);
+  }
+
+  // --- one-release deprecation shims --------------------------------------
+  // The pre-aggregation idioms. Both forward to the batch API above (the
+  // vector is copied into the arena either way, so the by-value signature
+  // buys nothing); they will be removed next release.
+  [[deprecated(
+      "use send(dst, tag, std::span<const Word>) — a vector lvalue binds "
+      "directly")]]
+  void send(MachineId dst, std::uint32_t tag, std::vector<Word>&& payload) {
+    send(dst, tag, std::span<const Word>(payload));
+  }
+  [[deprecated("use sender(dst, tag).push(value)")]]
   void send_word(MachineId dst, std::uint32_t tag, Word value) {
-    send(dst, tag, std::vector<Word>{value});
+    const Word one[1] = {value};
+    send(dst, tag, std::span<const Word>(one));
   }
 
   // --- randomness ---------------------------------------------------------
@@ -50,33 +155,74 @@ class Machine {
  private:
   friend class Simulator;
 
+  // Opens a framed record in the dst arena and returns the index of its
+  // payload-length word. Aggregated mode only.
+  std::size_t open_record(MachineId dst, std::uint32_t tag) {
+    std::vector<Word>& arena = out_arenas_[dst];
+    arena.push_back(tag);
+    arena.push_back(0);  // payload length, patched when the record closes
+    ++out_counts_[dst];
+    return arena.size() - 1;
+  }
+  // Charges `words` against this round's send budget, enforcing
+  // MpcConfig::budget_policy. The over-budget tail is out of line so the
+  // per-message fast path stays a compare-and-add.
+  void charge_send(std::size_t words) {
+    sent_words_this_round_ += words;
+    if (sent_words_this_round_ > config_->memory_words) send_budget_overflow();
+  }
+  void send_budget_overflow();
+  // Finalizes a legacy-mode Sender: moves the scratch payload into an
+  // outbox Message and charges it.
+  void close_legacy_record(MachineId dst);
+  void check_dst(MachineId dst) const {
+    if (dst >= config_->num_machines) bad_dst();
+  }
+  [[noreturn]] static void bad_dst();
+
   MachineId id_;
   const MpcConfig* config_;
   std::size_t storage_words_ = 0;
   std::size_t peak_storage_words_ = 0;
   std::uint64_t sent_words_this_round_ = 0;
   std::uint64_t violations_ = 0;
+  // Aggregated transport: one framed-record arena and message count per
+  // destination. Arenas are std::moved into AggBuffers at outbox merge and
+  // replaced from the simulator's recycle pool, so steady-state rounds
+  // allocate nothing on the send path.
+  std::vector<std::vector<Word>> out_arenas_;
+  std::vector<std::uint32_t> out_counts_;
+  // Legacy transport: one heap-allocated Message per send, converted to the
+  // same canonical AggBuffer sequence at merge.
   std::vector<Message> outbox_;
+  // Scratch payload for a Sender in legacy mode (mirrors the arena record
+  // the aggregated mode builds in place).
+  std::vector<Word> legacy_sender_payload_;
+  std::uint32_t legacy_sender_tag_ = 0;
   Rng rng_;
 };
 
-// Messages delivered to one machine in one round, sorted by (src, tag) for
-// deterministic iteration.
+// Everything delivered to one machine in one phase: whole per-(src, dst)
+// aggregation buffers plus a flat index of per-message views sorted by
+// (tag, src) for deterministic iteration. Views alias the buffers' arenas —
+// building an Inbox copies no payload words.
 class Inbox {
  public:
-  explicit Inbox(std::vector<Message> messages);
+  // `buffers` must outlive the Inbox (the simulator owns them for the whole
+  // phase and recycles the arenas only after every callback returned).
+  explicit Inbox(std::span<const AggBuffer> buffers);
 
-  std::span<const Message> all() const { return messages_; }
-  bool empty() const { return messages_.empty(); }
-  std::size_t size() const { return messages_.size(); }
+  std::span<const MessageView> all() const { return index_; }
+  bool empty() const { return index_.empty(); }
+  std::size_t size() const { return index_.size(); }
 
   // All messages with the given tag (contiguous thanks to sorting).
-  std::span<const Message> with_tag(std::uint32_t tag) const;
+  std::span<const MessageView> with_tag(std::uint32_t tag) const;
 
   std::uint64_t total_words() const { return total_words_; }
 
  private:
-  std::vector<Message> messages_;
+  std::vector<MessageView> index_;
   std::uint64_t total_words_ = 0;
 };
 

@@ -9,12 +9,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "mpc/fault/fault.hpp"
 #include "mpc/trace.hpp"
+#include "util/error.hpp"
 #include "util/fnv.hpp"
 
 namespace rsets::mpc {
@@ -30,34 +32,101 @@ using MachineId = std::uint32_t;
 // words, which is why enabling integrity checking never moves the ledger.
 inline constexpr std::size_t kHeaderWords = 2;
 
+// The legacy per-message transport unit. Still produced by
+// TransportMode::kLegacy senders (one heap-allocated payload per send) so
+// the parity tests can byte-compare the aggregated path against the
+// historical cost profile; the simulator converts these to AggBuffers at
+// outbox merge, so everything downstream of the send API is shared.
 struct Message {
   MachineId src = 0;
   MachineId dst = 0;
   std::uint32_t tag = 0;
   std::vector<Word> payload;
-  // Transport header fields, stamped by the simulator when the message is
-  // merged into the in-flight sequence (never by senders): `seq` is the
-  // position in canonical machine-id merge order — the self-healing anchor
-  // reorder faults are sorted back by — and `checksum` is the FNV-1a digest
-  // verify-on-receive compares against (stamped only while the integrity
-  // layer is active).
-  std::uint64_t seq = 0;
-  Word checksum = 0;
 
   std::size_t words() const { return payload.size() + kHeaderWords; }
 };
 
+// The transport unit since the aggregated redesign: every (src, dst) pair
+// with traffic in a phase moves exactly one AggBuffer. The arena is a flat
+// Word sequence of framed records, one per logical message:
+//
+//   [tag, payload_len, payload_0, ..., payload_{len-1}] ...
+//
+// The two framing words per record ARE the charged kHeaderWords — they carry
+// the tag and the record boundary, and (amortized across the buffer) the
+// addressing, sequence number, and batch checksum below — so
+// words() == arena.size() and the word ledger is exactly where the
+// per-message transport had it.
+struct AggBuffer {
+  MachineId src = 0;
+  MachineId dst = 0;
+  // Logical messages framed in the arena.
+  std::uint32_t messages = 0;
+  // Transport header fields, stamped by the simulator when the buffer is
+  // merged into the in-flight sequence (never by senders): `seq` is the
+  // position in canonical machine-id merge order — the self-healing anchor
+  // reorder faults are sorted back by — and `checksum` is the FNV-1a batch
+  // digest verify-on-receive compares against (stamped only while the
+  // integrity layer is active).
+  std::uint64_t seq = 0;
+  Word checksum = 0;
+  std::vector<Word> arena;
+
+  std::size_t words() const { return arena.size(); }
+};
+
 // FNV-1a digest of everything the transport must deliver intact: addressing
-// plus payload. The multiply-by-odd-prime step makes the digest sensitive to
-// every single-bit flip within a word (see util/fnv.hpp), which is exactly
-// the corruption the fault model injects.
-inline Word message_checksum(const Message& m) {
+// plus the whole framed arena — ONE digest per aggregated buffer instead of
+// one per message. The multiply-by-odd-prime step makes the digest sensitive
+// to every single-bit flip within a word (see util/fnv.hpp), which is
+// exactly the corruption the fault model injects.
+inline Word buffer_checksum(const AggBuffer& b) {
   std::uint64_t h = kFnvOffsetBasis;
-  h = fnv1a_word(h, m.src);
-  h = fnv1a_word(h, m.dst);
-  h = fnv1a_word(h, m.tag);
-  for (const Word w : m.payload) h = fnv1a_word(h, w);
+  h = fnv1a_word(h, b.src);
+  h = fnv1a_word(h, b.dst);
+  h = fnv1a_word(h, b.messages);
+  for (const Word w : b.arena) h = fnv1a_word(h, w);
   return h;
+}
+
+// A decoded view of one logical message inside a delivered AggBuffer. The
+// payload span aliases the buffer's arena — receiving copies nothing.
+struct MessageView {
+  MachineId src = 0;
+  std::uint32_t tag = 0;
+  std::span<const Word> payload;
+};
+
+// How senders hand words to the transport.
+enum class TransportMode : std::uint8_t {
+  // Per-destination aggregation (the default): Machine::send appends framed
+  // records into a flat per-destination Word arena; delivery moves whole
+  // buffers. One allocation per (src, dst) pair per phase, amortized to
+  // zero by arena recycling.
+  kAggregated = 0,
+  // The pre-aggregation cost profile: one heap-allocated Message per send,
+  // converted to AggBuffers at outbox merge. Deprecated — kept one release
+  // for parity comparison and as the bench baseline; results, metrics, and
+  // record logs are byte-identical to kAggregated by construction.
+  kLegacy = 1,
+};
+
+inline const char* transport_mode_name(TransportMode mode) {
+  switch (mode) {
+    case TransportMode::kAggregated:
+      return "aggregated";
+    case TransportMode::kLegacy:
+      return "legacy";
+  }
+  return "?";
+}
+
+// Parses "aggregated" | "legacy"; throws rsets::Error(kBadFlag) otherwise.
+inline TransportMode parse_transport_mode(const std::string& name) {
+  if (name == "aggregated") return TransportMode::kAggregated;
+  if (name == "legacy") return TransportMode::kLegacy;
+  throw Error(ErrorCode::kBadFlag,
+              "transport must be aggregated|legacy, got '" + name + "'");
 }
 
 // What happens when a machine exceeds its S-word storage or per-round
@@ -90,20 +159,28 @@ inline const char* budget_policy_name(BudgetPolicy policy) {
   return "?";
 }
 
-// Parses "trace" | "strict" | "degrade"; throws std::invalid_argument
-// otherwise.
+// Parses "trace" | "strict" | "degrade"; throws rsets::Error(kBadFlag)
+// otherwise — the same structured taxonomy every other user-facing parser
+// (fault specs, edge lists, CLI flags) reports through.
 inline BudgetPolicy parse_budget_policy(const std::string& name) {
   if (name == "trace") return BudgetPolicy::kTrace;
   if (name == "strict") return BudgetPolicy::kStrict;
   if (name == "degrade") return BudgetPolicy::kDegrade;
-  throw std::invalid_argument("budget policy must be trace|strict|degrade, got '" +
-                              name + "'");
+  throw Error(ErrorCode::kBadFlag,
+              "budget policy must be trace|strict|degrade, got '" + name +
+                  "'");
 }
 
 struct MpcConfig {
   MachineId num_machines = 8;
   std::size_t memory_words = std::size_t{1} << 20;  // S
   BudgetPolicy budget_policy = BudgetPolicy::kStrict;
+  // Send-path representation (see TransportMode). Either value produces
+  // byte-identical results, metrics, traces, and record logs — only the
+  // wall-clock cost of the send path differs (tests/test_transport_parity
+  // gates this) — because the legacy outbox is converted to the same
+  // canonical AggBuffer sequence at merge.
+  TransportMode transport = TransportMode::kAggregated;
   std::uint64_t seed = 1;  // base seed for per-machine RNG streams
   // Worker threads executing the per-machine round callbacks: 1 runs them
   // sequentially on the calling thread (the historical behavior), 0 uses

@@ -34,8 +34,8 @@ std::vector<std::vector<Word>> broadcast(Simulator& sim, MachineId root,
     (void)inbox;  // messages land next round
   });
   sim.drain([&](Machine& machine, const Inbox& inbox) {
-    for (const Message& msg : inbox.with_tag(tag)) {
-      received[machine.id()] = msg.payload;
+    for (const MessageView& msg : inbox.with_tag(tag)) {
+      received[machine.id()].assign(msg.payload.begin(), msg.payload.end());
     }
   });
   return received;
@@ -57,8 +57,8 @@ std::vector<std::vector<Word>> gather_to(
   });
   sim.drain([&](Machine& machine, const Inbox& inbox) {
     if (machine.id() != root) return;
-    for (const Message& msg : inbox.with_tag(tag)) {
-      received[msg.src] = msg.payload;
+    for (const MessageView& msg : inbox.with_tag(tag)) {
+      received[msg.src].assign(msg.payload.begin(), msg.payload.end());
     }
   });
   return received;
@@ -114,13 +114,13 @@ std::vector<double> allreduce_sum_compute(
     if (m == 0) {
       received[0] = std::move(packed);
     } else {
-      machine.send(0, tag, std::move(packed));
+      machine.send(0, tag, std::span<const Word>(packed));
     }
   });
   sim.drain([&](Machine& machine, const Inbox& inbox) {
     if (machine.id() != 0) return;
-    for (const Message& msg : inbox.with_tag(tag)) {
-      received[msg.src] = msg.payload;
+    for (const MessageView& msg : inbox.with_tag(tag)) {
+      received[msg.src].assign(msg.payload.begin(), msg.payload.end());
     }
   });
   // Same summation order as allreduce_sum: machines ascending, then index.
@@ -185,8 +185,8 @@ std::vector<std::vector<std::vector<Word>>> all_to_all(
     }
   });
   sim.drain([&](Machine& machine, const Inbox& inbox) {
-    for (const Message& msg : inbox.with_tag(tag)) {
-      in[machine.id()][msg.src] = msg.payload;
+    for (const MessageView& msg : inbox.with_tag(tag)) {
+      in[machine.id()][msg.src].assign(msg.payload.begin(), msg.payload.end());
     }
   });
   return in;

@@ -157,39 +157,44 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
     deferred_round_charge = handle_barrier(fault_events);
   }
 
-  // Deliver: partition in-flight messages by destination. Message order
-  // within a destination follows in_flight_ order, which run_phase fixed by
-  // merging outboxes in machine-id order last phase — so delivery is
+  // Deliver: partition in-flight aggregated buffers by destination. Buffer
+  // order within a destination follows in_flight_ order, which run_phase
+  // fixed by merging outboxes in canonical order last phase — so delivery is
   // identical regardless of how the upcoming callbacks are scheduled.
-  // Transport faults are drawn here, per message in merged order: the
+  // Transport faults are drawn here, per buffer in merged order: the
   // reliable-delivery layer retransmits a dropped copy and deduplicates a
   // duplicated one within the barrier, so the inbox contents are unchanged
   // and only the retransmitted words are charged (into this phase's ledger,
-  // keeping the trace-sum == metrics identity).
+  // keeping the trace-sum == metrics identity). Since aggregation, the unit
+  // the adversary can drop/duplicate/corrupt is the whole (src, dst) buffer
+  // — one wire transfer — so a retransmission recharges every message it
+  // carried.
   std::uint64_t retransmit_messages = 0;
   std::uint64_t retransmit_words = 0;
   const bool transport_faults = injector_ && injector_->has_transport_faults();
   const bool corrupt_faults = injector_ && injector_->has_corrupt_faults();
 
-  // Reorder fault: the adversary permutes this delivery's in-flight
+  // Reorder fault: the adversary permutes this delivery's in-flight buffer
   // sequence; the transport heals by re-sorting on the sequence numbers
   // stamped at outbox merge, restoring canonical order before any
-  // per-message draw or partition happens. No words are charged — sequence
-  // numbers ride in the already-charged header.
+  // per-buffer draw or partition happens. No words are charged — sequence
+  // numbers ride in the already-charged framing words.
   if (injector_ && injector_->has_reorder_faults()) {
     std::vector<std::uint32_t> perm;
     if (injector_->reorder_fault(metrics_.rounds, in_flight_.size(), perm)) {
-      std::vector<Message> shuffled(in_flight_.size());
+      std::vector<AggBuffer> shuffled(in_flight_.size());
       for (std::size_t i = 0; i < perm.size(); ++i) {
         shuffled[i] = std::move(in_flight_[perm[i]]);
       }
       in_flight_ = std::move(shuffled);
       std::sort(in_flight_.begin(), in_flight_.end(),
-                [](const Message& a, const Message& b) { return a.seq < b.seq; });
+                [](const AggBuffer& a, const AggBuffer& b) {
+                  return a.seq < b.seq;
+                });
       FaultEvent e;
       e.kind = FaultKind::kReorder;
       e.round = metrics_.rounds;
-      e.words = in_flight_.size();  // messages permuted
+      e.words = in_flight_.size();  // buffers permuted
       ++metrics_.faults_injected;
       fault_events.push_back(e);
     }
@@ -204,13 +209,30 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
     exhausted_src.assign(config_.num_machines, 0);
   }
 
-  std::vector<std::vector<Message>> delivery(config_.num_machines);
-  for (Message& msg : in_flight_) {
+  // Maps the flat payload-bit index the injector drew to the arena word
+  // holding it, walking the record framing (framing words carry addressing
+  // and are modelled as protected — only payload bits corrupt, exactly as
+  // in the per-message transport).
+  const auto payload_word_at = [](const AggBuffer& buf,
+                                  std::uint64_t word_idx) -> std::size_t {
+    std::size_t at = 0;
+    while (true) {
+      const std::uint64_t len = buf.arena[at + 1];
+      if (word_idx < len) {
+        return at + kHeaderWords + static_cast<std::size_t>(word_idx);
+      }
+      word_idx -= len;
+      at += kHeaderWords + static_cast<std::size_t>(len);
+    }
+  };
+
+  std::vector<std::vector<AggBuffer>> delivery(config_.num_machines);
+  for (AggBuffer& buf : in_flight_) {
     if (transport_faults) {
       FaultEvent event;
-      if (injector_->transport_fault(metrics_.rounds, msg.src, msg.words(),
+      if (injector_->transport_fault(metrics_.rounds, buf.src, buf.words(),
                                      event)) {
-        ++retransmit_messages;
+        retransmit_messages += buf.messages;
         retransmit_words += event.words;
         ++metrics_.faults_injected;
         fault_events.push_back(event);
@@ -218,24 +240,28 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
     }
     if (corrupt_faults) {
       // Bounded self-healing delivery: each attempt may corrupt (the
-      // injector flips a real payload bit); the receive-side checksum
-      // catches the flip and triggers a retransmission, charged like a
-      // dropped-message retransmit. The retry re-draws, so a noisy link can
-      // corrupt its own retry — after kMaxIntegrityRetries corrupted
-      // attempts the transport delivers the pristine copy and hands the
-      // source to quarantine instead of retrying forever.
+      // injector flips a real payload bit somewhere in the buffer); the
+      // receive-side batch checksum catches the flip and triggers a
+      // retransmission of the whole buffer, charged like a dropped-buffer
+      // retransmit. The retry re-draws, so a noisy link can corrupt its own
+      // retry — after kMaxIntegrityRetries corrupted attempts the transport
+      // delivers the pristine copy and hands the source to quarantine
+      // instead of retrying forever.
       const std::uint64_t payload_bits =
-          static_cast<std::uint64_t>(msg.payload.size()) * 64;
+          static_cast<std::uint64_t>(buf.words() -
+                                     std::size_t{kHeaderWords} * buf.messages) *
+          64;
       for (unsigned attempt = 1;; ++attempt) {
         FaultEvent event;
         std::uint64_t bit = 0;
-        if (!injector_->corrupt_fault(metrics_.rounds, msg.src, msg.words(),
+        if (!injector_->corrupt_fault(metrics_.rounds, buf.src, buf.words(),
                                       payload_bits, event, bit)) {
           break;  // this attempt delivered clean
         }
         const std::uint64_t mask = std::uint64_t{1} << (bit & 63);
-        msg.payload[bit >> 6] ^= mask;  // the flip happens for real
-        if (message_checksum(msg) == msg.checksum) {
+        const std::size_t flipped = payload_word_at(buf, bit >> 6);
+        buf.arena[flipped] ^= mask;  // the flip happens for real
+        if (buffer_checksum(buf) == buf.checksum) {
           // Unreachable: FNV-1a detects every single-bit flip in a word
           // (see util/fnv.hpp). Kept as the honest alternative — if the
           // digest ever missed, the corrupted payload would be delivered.
@@ -246,27 +272,28 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
         fault_events.push_back(event);
         // Heal: the sender retransmits the pristine copy (undo the flip),
         // charged into this phase's ledger like a drop retransmission.
-        msg.payload[bit >> 6] ^= mask;
+        buf.arena[flipped] ^= mask;
         ++metrics_.integrity_retries;
-        ++retransmit_messages;
-        retransmit_words += msg.words();
-        corrupted_src[msg.src] = 1;
+        retransmit_messages += buf.messages;
+        retransmit_words += buf.words();
+        corrupted_src[buf.src] = 1;
         if (attempt >= kMaxIntegrityRetries) {
-          exhausted_src[msg.src] = 1;
+          exhausted_src[buf.src] = 1;
           break;
         }
       }
     }
-    if (integrity_active_ && message_checksum(msg) != msg.checksum) {
-      // Verify-on-receive. After the healing loop above a mismatch means
-      // the transport itself is broken, so it is a hard failure — and in
-      // fault-free integrity runs this check is exactly what
-      // tools/check_integrity_parity.sh proves to be free.
+    if (integrity_active_ && buffer_checksum(buf) != buf.checksum) {
+      // Verify-on-receive, one digest per aggregated buffer. After the
+      // healing loop above a mismatch means the transport itself is broken,
+      // so it is a hard failure — and in fault-free integrity runs this
+      // check is exactly what tools/check_integrity_parity.sh proves to be
+      // free.
       throw MpcViolation("integrity: checksum mismatch on delivery from "
                          "machine " +
-                         std::to_string(msg.src));
+                         std::to_string(buf.src));
     }
-    delivery[msg.dst].push_back(std::move(msg));
+    delivery[buf.dst].push_back(std::move(buf));
   }
   in_flight_.clear();
 
@@ -317,7 +344,10 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
   auto run_machine = [&](MachineId m) {
     Machine& machine = machines_[m];
     if (reset_send_budget) machine.sent_words_this_round_ = 0;
-    const Inbox inbox(std::move(delivery[m]));
+    // The inbox only indexes the delivered buffers — payload views alias
+    // their arenas, which the coordinator keeps alive (and recycles) after
+    // every callback has returned.
+    const Inbox inbox(std::span<const AggBuffer>(delivery[m]));
     recv_words[m] = inbox.total_words();
     if (recv_words[m] > config_.memory_words) {
       // kDegrade spreads the over-budget receive across sub-rounds, charged
@@ -359,25 +389,78 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
     }
   }
 
-  // Collect sends in machine-id order: the merged in_flight_ sequence (and
-  // with it all downstream delivery, accounting, and tie-breaking) is
-  // independent of callback scheduling.
+  // Every callback has returned: the delivered arenas are dead weight now,
+  // so hand them to the recycle pool before the merge below asks for fresh
+  // ones. Coordinator thread only.
+  for (std::vector<AggBuffer>& bufs : delivery) {
+    for (AggBuffer& buf : bufs) recycle_arena(std::move(buf.arena));
+    bufs.clear();
+  }
+
+  // Collect sends in canonical merge order — machines in id order,
+  // destinations ascending within a machine, send order within a buffer —
+  // so the merged in_flight_ sequence (and with it all downstream delivery,
+  // accounting, and tie-breaking) is independent of callback scheduling.
+  // Both transport modes produce the exact same AggBuffer sequence here:
+  // aggregated senders built it in place, legacy outboxes are converted
+  // record by record — which is what makes the modes byte-identical
+  // everywhere downstream.
   std::uint64_t phase_messages = retransmit_messages;
   std::uint64_t phase_words = retransmit_words;
-  for (MachineId m = 0; m < config_.num_machines; ++m) {
-    Machine& machine = machines_[m];
-    for (Message& msg : machine.outbox_) {
-      ++phase_messages;
-      phase_words += msg.words();
-      // Stamp the transport header at merge time: seq is the position in
-      // canonical merge order (the anchor reorder healing sorts back to);
-      // the checksum is computed only when verification will run. Both ride
-      // in the 2-word header already charged above.
-      msg.seq = in_flight_.size();
-      if (integrity_active_) msg.checksum = message_checksum(msg);
-      in_flight_.push_back(std::move(msg));
+  const auto emit_buffer = [&](MachineId src, MachineId dst,
+                               std::uint32_t messages,
+                               std::vector<Word>&& arena) {
+    AggBuffer buf;
+    buf.src = src;
+    buf.dst = dst;
+    buf.messages = messages;
+    buf.arena = std::move(arena);
+    phase_messages += messages;
+    phase_words += buf.words();
+    // Stamp the transport header at merge time: seq is the position in
+    // canonical merge order (the anchor reorder healing sorts back to); the
+    // batch checksum is computed only when verification will run. Both ride
+    // in the per-record framing words already charged at send time.
+    buf.seq = in_flight_.size();
+    if (integrity_active_) buf.checksum = buffer_checksum(buf);
+    in_flight_.push_back(std::move(buf));
+  };
+  if (config_.transport == TransportMode::kAggregated) {
+    for (MachineId m = 0; m < config_.num_machines; ++m) {
+      Machine& machine = machines_[m];
+      for (MachineId dst = 0; dst < config_.num_machines; ++dst) {
+        const std::uint32_t messages = machine.out_counts_[dst];
+        if (messages == 0) continue;
+        machine.out_counts_[dst] = 0;
+        std::vector<Word> arena = std::move(machine.out_arenas_[dst]);
+        machine.out_arenas_[dst] = acquire_arena();
+        emit_buffer(m, dst, messages, std::move(arena));
+      }
     }
-    machine.outbox_.clear();
+  } else {
+    // Legacy conversion: frame each heap-allocated Message into the same
+    // canonical per-destination arenas the aggregated senders would have
+    // built directly. The extra copy IS the legacy cost profile the bench
+    // baseline measures.
+    std::vector<std::vector<Word>> arenas(config_.num_machines);
+    std::vector<std::uint32_t> counts(config_.num_machines, 0);
+    for (MachineId m = 0; m < config_.num_machines; ++m) {
+      Machine& machine = machines_[m];
+      for (const Message& msg : machine.outbox_) {
+        std::vector<Word>& arena = arenas[msg.dst];
+        arena.push_back(msg.tag);
+        arena.push_back(msg.payload.size());
+        arena.insert(arena.end(), msg.payload.begin(), msg.payload.end());
+        ++counts[msg.dst];
+      }
+      machine.outbox_.clear();
+      for (MachineId dst = 0; dst < config_.num_machines; ++dst) {
+        if (counts[dst] == 0) continue;
+        emit_buffer(m, dst, counts[dst], std::move(arenas[dst]));
+        arenas[dst] = {};
+        counts[dst] = 0;
+      }
+    }
   }
   metrics_.messages += phase_messages;
   metrics_.total_words += phase_words;
@@ -530,6 +613,8 @@ std::uint64_t Simulator::handle_barrier(std::vector<FaultEvent>& events) {
       machine.sent_words_this_round_ = ~std::uint64_t{0};
       machine.violations_ = ~std::uint64_t{0};
       machine.outbox_.clear();
+      for (std::vector<Word>& arena : machine.out_arenas_) arena.clear();
+      machine.out_counts_.assign(machine.out_counts_.size(), 0);
       Rng::State junk;
       for (std::uint64_t& s : junk.s) s = 0xDEADDEADDEADDEADull;
       junk.draws = ~std::uint64_t{0};
@@ -592,13 +677,15 @@ Checkpoint Simulator::make_checkpoint() const {
   w.u64(metrics_.corrupt_detected);
   w.u64(metrics_.integrity_retries);
   w.u64(metrics_.quarantined_rounds);
-  // In-flight messages (awaiting delivery at this barrier).
+  // In-flight aggregated buffers (awaiting delivery at this barrier) —
+  // format v4: (src, dst, messages, arena) per buffer; seq and checksum are
+  // derived and re-stamped on restore.
   w.u64(in_flight_.size());
-  for (const Message& msg : in_flight_) {
-    w.u64(msg.src);
-    w.u64(msg.dst);
-    w.u64(msg.tag);
-    w.vec(msg.payload);
+  for (const AggBuffer& buf : in_flight_) {
+    w.u64(buf.src);
+    w.u64(buf.dst);
+    w.u64(buf.messages);
+    w.vec(buf.arena);
   }
   // Per-machine counters and RNG cursors.
   for (MachineId m = 0; m < config_.num_machines; ++m) {
@@ -664,24 +751,37 @@ void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
   metrics_.corrupt_detected = r.u64();
   metrics_.integrity_retries = r.u64();
   metrics_.quarantined_rounds = r.u64();
-  const std::uint64_t num_messages = r.u64();
+  const std::uint64_t num_buffers = r.u64();
   in_flight_.clear();
-  for (std::uint64_t i = 0; i < num_messages; ++i) {
-    Message msg;
-    msg.src = static_cast<MachineId>(r.u64());
-    msg.dst = static_cast<MachineId>(r.u64());
-    msg.tag = static_cast<std::uint32_t>(r.u64());
-    r.vec(msg.payload);
-    if (msg.dst >= config_.num_machines) {
-      throw CheckpointError("restore_checkpoint: message to unknown machine");
+  for (std::uint64_t i = 0; i < num_buffers; ++i) {
+    AggBuffer buf;
+    buf.src = static_cast<MachineId>(r.u64());
+    buf.dst = static_cast<MachineId>(r.u64());
+    buf.messages = static_cast<std::uint32_t>(r.u64());
+    r.vec(buf.arena);
+    if (buf.dst >= config_.num_machines) {
+      throw CheckpointError("restore_checkpoint: buffer to unknown machine");
+    }
+    // Validate the record framing before accepting the buffer: a decoder
+    // must never hand the delivery path an arena whose walk would overrun.
+    std::size_t at = 0;
+    for (std::uint32_t msg = 0; msg < buf.messages; ++msg) {
+      if (buf.arena.size() - at < kHeaderWords ||
+          buf.arena[at + 1] > buf.arena.size() - at - kHeaderWords) {
+        throw CheckpointError("restore_checkpoint: malformed buffer framing");
+      }
+      at += kHeaderWords + static_cast<std::size_t>(buf.arena[at + 1]);
+    }
+    if (at != buf.arena.size()) {
+      throw CheckpointError("restore_checkpoint: malformed buffer framing");
     }
     // Transport header fields are not serialized; re-stamp them exactly as
-    // the outbox merge did — seq is the in-flight position and the checksum
-    // is a pure function of the payload, so the restored sequence is
-    // byte-identical to the snapshotted one.
-    msg.seq = in_flight_.size();
-    if (integrity_active_) msg.checksum = message_checksum(msg);
-    in_flight_.push_back(std::move(msg));
+    // the outbox merge did — seq is the in-flight position and the batch
+    // checksum is a pure function of the buffer, so the restored sequence
+    // is byte-identical to the snapshotted one.
+    buf.seq = in_flight_.size();
+    if (integrity_active_) buf.checksum = buffer_checksum(buf);
+    in_flight_.push_back(std::move(buf));
   }
   for (MachineId m = 0; m < config_.num_machines; ++m) {
     Machine& machine = machines_[m];
@@ -694,6 +794,8 @@ void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
     rng.draws = r.u64();
     machine.rng_.set_state(rng);
     machine.outbox_.clear();
+    for (std::vector<Word>& arena : machine.out_arenas_) arena.clear();
+    machine.out_counts_.assign(machine.out_counts_.size(), 0);
     deadline_streak_[m] = r.u64();
     corrupt_streak_[m] = r.u64();
   }
@@ -728,6 +830,18 @@ void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
   // Trace attribution cannot span a restore: the next trace line reports
   // violations observed from this barrier onward.
   last_traced_violations_ = metrics_.violations;
+}
+
+std::vector<Word> Simulator::acquire_arena() {
+  if (arena_pool_.empty()) return {};
+  std::vector<Word> arena = std::move(arena_pool_.back());
+  arena_pool_.pop_back();
+  return arena;
+}
+
+void Simulator::recycle_arena(std::vector<Word>&& arena) {
+  arena.clear();  // capacity is the whole point; contents are dead
+  arena_pool_.push_back(std::move(arena));
 }
 
 void Simulator::sync_metrics() {

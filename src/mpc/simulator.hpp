@@ -69,7 +69,7 @@ class Simulator {
   // of <= S words each). The receive-side bandwidth cap is enforced here.
   void drain(const RoundBody& body);
 
-  // True if any message is still awaiting delivery.
+  // True if any aggregated buffer is still awaiting delivery.
   bool messages_in_flight() const { return !in_flight_.empty(); }
 
   // Folds per-machine counters (storage peaks, violations, RNG draws) into
@@ -129,6 +129,13 @@ class Simulator {
   // charge to apply after the phase's trace hook ran.
   std::uint64_t handle_barrier(std::vector<FaultEvent>& events);
 
+  // Arena recycling (coordinator thread only): delivered buffers hand their
+  // arenas back after the phase's callbacks returned, and the outbox merge
+  // hands them out again — so steady-state rounds allocate nothing on the
+  // transport path.
+  std::vector<Word> acquire_arena();
+  void recycle_arena(std::vector<Word>&& arena);
+
   MpcConfig config_;
   unsigned effective_threads_ = 1;
   // Checksum verification on every delivery: forced on by corruption faults
@@ -137,7 +144,12 @@ class Simulator {
   // this flag never moves the word ledger.
   bool integrity_active_ = false;
   std::vector<Machine> machines_;
-  std::vector<Message> in_flight_;
+  // One aggregated buffer per (src, dst) pair with traffic, in canonical
+  // merge order: machines in id order, destinations ascending within a
+  // machine, send order within a buffer.
+  std::vector<AggBuffer> in_flight_;
+  // Spare arenas, cleared but with capacity retained (see acquire_arena).
+  std::vector<std::vector<Word>> arena_pool_;
   MpcMetrics metrics_;
   std::unique_ptr<WorkerPool> pool_;  // created on demand, only if parallel
   std::unique_ptr<FaultInjector> injector_;  // only if config_.faults.enabled

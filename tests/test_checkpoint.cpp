@@ -108,10 +108,10 @@ struct RingDriver {
   void step(Simulator& sim) {
     sim.round([this](Machine& m, const Inbox& inbox) {
       for (const auto& msg : inbox.all()) {
-        sums[m.id()] += msg.payload.at(0);
+        sums[m.id()] += msg.payload[0];
       }
       const MachineId next = (m.id() + 1) % static_cast<MachineId>(sums.size());
-      m.send_word(next, 1, m.id() + (m.rng().next() & 0xFF));
+      m.sender(next, 1).push(m.id() + (m.rng().next() & 0xFF));
     });
   }
 
@@ -151,7 +151,7 @@ TEST(SimulatorCheckpoint, RestoreReplaysTailBitIdentically) {
 TEST(SimulatorCheckpoint, CapturesInFlightMessages) {
   Simulator sim(small_config(2));
   sim.round([](Machine& m, const Inbox&) {
-    if (m.id() == 0) m.send_word(1, 5, 77);
+    if (m.id() == 0) m.sender(1, 5).push(77);
   });
   // The 0->1 message is in flight at this barrier; the snapshot must carry
   // it so the restored run still delivers it.
@@ -159,14 +159,14 @@ TEST(SimulatorCheckpoint, CapturesInFlightMessages) {
 
   std::uint64_t got = 0;
   sim.round([&](Machine& m, const Inbox& inbox) {
-    if (m.id() == 1 && !inbox.empty()) got = inbox.all()[0].payload.at(0);
+    if (m.id() == 1 && !inbox.empty()) got = inbox.all()[0].payload[0];
   });
   ASSERT_EQ(got, 77u);
 
   got = 0;
   sim.restore_checkpoint(at_barrier);
   sim.round([&](Machine& m, const Inbox& inbox) {
-    if (m.id() == 1 && !inbox.empty()) got = inbox.all()[0].payload.at(0);
+    if (m.id() == 1 && !inbox.empty()) got = inbox.all()[0].payload[0];
   });
   EXPECT_EQ(got, 77u);
 }

@@ -16,6 +16,7 @@
 #include "graph/generators.hpp"
 #include "graph/verify.hpp"
 #include "mpc/trace.hpp"
+#include "util/error.hpp"
 
 namespace rsets {
 namespace {
@@ -151,7 +152,12 @@ TEST(Degrade, PolicyNamesRoundTrip) {
        {BudgetPolicy::kTrace, BudgetPolicy::kStrict, BudgetPolicy::kDegrade}) {
     EXPECT_EQ(mpc::parse_budget_policy(mpc::budget_policy_name(p)), p);
   }
-  EXPECT_THROW(mpc::parse_budget_policy("lenient"), std::invalid_argument);
+  EXPECT_THROW(mpc::parse_budget_policy("lenient"), Error);
+  try {
+    mpc::parse_budget_policy("lenient");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadFlag);
+  }
 }
 
 }  // namespace

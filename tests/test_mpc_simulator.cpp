@@ -28,13 +28,13 @@ TEST(Simulator, MessagesDeliverNextRound) {
   Simulator sim(small_config(2));
   bool got = false;
   sim.round([](Machine& m, const Inbox&) {
-    if (m.id() == 0) m.send_word(1, 5, 42);
+    if (m.id() == 0) m.sender(1, 5).push(42);
   });
   sim.round([&](Machine& m, const Inbox& inbox) {
     if (m.id() == 1) {
       const auto msgs = inbox.with_tag(5);
       ASSERT_EQ(msgs.size(), 1u);
-      EXPECT_EQ(msgs[0].payload.at(0), 42u);
+      EXPECT_EQ(msgs[0].payload[0], 42u);
       EXPECT_EQ(msgs[0].src, 0u);
       got = true;
     }
@@ -45,7 +45,7 @@ TEST(Simulator, MessagesDeliverNextRound) {
 TEST(Simulator, DrainDeliversWithoutSpendingARound) {
   Simulator sim(small_config(2));
   sim.round([](Machine& m, const Inbox&) {
-    if (m.id() == 0) m.send_word(1, 1, 9);
+    if (m.id() == 0) m.sender(1, 1).push(9);
   });
   const auto before = sim.metrics().rounds;
   bool got = false;
@@ -59,8 +59,8 @@ TEST(Simulator, DrainDeliversWithoutSpendingARound) {
 TEST(Simulator, InboxSortedByTagThenSource) {
   Simulator sim(small_config(3));
   sim.round([](Machine& m, const Inbox&) {
-    if (m.id() == 2) m.send_word(0, 7, 1);
-    if (m.id() == 1) m.send_word(0, 3, 2);
+    if (m.id() == 2) m.sender(0, 7).push(1);
+    if (m.id() == 1) m.sender(0, 3).push(2);
   });
   sim.round([](Machine& m, const Inbox& inbox) {
     if (m.id() != 0) return;
@@ -75,7 +75,8 @@ TEST(Simulator, SendBandwidthEnforced) {
   Simulator sim(cfg);
   EXPECT_THROW(sim.round([](Machine& m, const Inbox&) {
     if (m.id() == 0) {
-      m.send(1, 1, std::vector<Word>(32, 0));  // 32 + header > 16
+      const std::vector<Word> big(32, 0);
+      m.send(1, 1, big);  // 32 + header > 16
     }
   }),
                MpcViolation);
@@ -87,7 +88,10 @@ TEST(Simulator, ReceiveBandwidthEnforced) {
   MpcConfig cfg = small_config(5, /*memory=*/24);
   Simulator sim(cfg);
   sim.round([](Machine& m, const Inbox&) {
-    if (m.id() != 0) m.send(0, 1, std::vector<Word>(6, 1));
+    if (m.id() != 0) {
+      const std::vector<Word> chunk(6, 1);
+      m.send(0, 1, chunk);
+    }
   });
   EXPECT_THROW(sim.round([](Machine&, const Inbox&) {}), MpcViolation);
 }
@@ -137,7 +141,7 @@ TEST(Simulator, PerMachineRngStreamsDiffer) {
 TEST(Simulator, BadDestinationThrows) {
   Simulator sim(small_config(2));
   EXPECT_THROW(
-      sim.round([](Machine& m, const Inbox&) { m.send_word(9, 0, 0); }),
+      sim.round([](Machine& m, const Inbox&) { m.sender(9, 0).push(0); }),
       std::out_of_range);
 }
 
@@ -150,7 +154,10 @@ TEST(Simulator, ZeroMachinesRejected) {
 TEST(Simulator, WordAccountingIncludesHeaders) {
   Simulator sim(small_config(2));
   sim.round([](Machine& m, const Inbox&) {
-    if (m.id() == 0) m.send(1, 1, std::vector<Word>(3, 0));
+    if (m.id() == 0) {
+      const std::vector<Word> payload(3, 0);
+      m.send(1, 1, payload);
+    }
   });
   EXPECT_EQ(sim.metrics().total_words, 3 + kHeaderWords);
   EXPECT_EQ(sim.metrics().messages, 1u);

@@ -115,6 +115,7 @@ TEST(ReplayRoundTrip, SpecJsonRoundTrips) {
   spec.budget_policy = "degrade";
   spec.deadline = 7;
   spec.integrity = true;
+  spec.transport = "legacy";
 
   const RunSpec back = spec_from_json(spec_to_json(spec));
   EXPECT_EQ(back.algorithm, spec.algorithm);
@@ -132,6 +133,13 @@ TEST(ReplayRoundTrip, SpecJsonRoundTrips) {
   EXPECT_EQ(back.budget_policy, spec.budget_policy);
   EXPECT_EQ(back.deadline, spec.deadline);
   EXPECT_EQ(back.integrity, spec.integrity);
+  EXPECT_EQ(back.transport, spec.transport);
+}
+
+TEST(ReplayRoundTrip, BadTransportInSpecIsRejected) {
+  RunSpec spec = small_spec("det_ruling_mpc", "");
+  spec.transport = "pigeon";
+  EXPECT_THROW(spec_from_json(spec_to_json(spec)), Error);
 }
 
 TEST(ReplayRoundTrip, IntegrityFlagSurvivesTheRoundTrip) {
@@ -154,23 +162,24 @@ TEST(ReplayRoundTrip, SummaryCarriesTheIntegrityLedger) {
 }
 
 TEST(ReplayRoundTrip, OlderFormatVersionsAreRejectedWithDiagnostic) {
-  // A v2 log — recorded before the integrity layer existed — must be
-  // rejected by version, not replayed against v3 semantics.
+  // A v3 log — recorded before the aggregated transport — must be rejected
+  // by version, not replayed against v4 semantics (fault draws are per
+  // buffer now, so a v3 faulty log would not reproduce).
   std::vector<std::string> log =
       record_run(small_spec("det_ruling_mpc", ""));
   std::string& meta = log.front();
-  const std::size_t at = meta.find("rsets-replay-v3");
+  const std::size_t at = meta.find("rsets-replay-v4");
   ASSERT_NE(at, std::string::npos);
-  meta.replace(at, 15, "rsets-replay-v2");
+  meta.replace(at, 15, "rsets-replay-v3");
 
   try {
     replay_log(log);
-    FAIL() << "v2 meta line was accepted";
+    FAIL() << "v3 meta line was accepted";
   } catch (const std::invalid_argument& e) {
     const std::string what = e.what();
     // The diagnostic names the version found and the version required.
-    EXPECT_NE(what.find("rsets-replay-v2"), std::string::npos) << what;
     EXPECT_NE(what.find("rsets-replay-v3"), std::string::npos) << what;
+    EXPECT_NE(what.find("rsets-replay-v4"), std::string::npos) << what;
   }
 }
 
@@ -178,7 +187,7 @@ TEST(ReplayRoundTrip, GarbageMetaLineIsRejected) {
   EXPECT_THROW(replay_log({"not json", "also not json"}),
                std::invalid_argument);
   EXPECT_THROW(replay_log({}), std::invalid_argument);
-  EXPECT_THROW(spec_from_json("{\"format\":\"rsets-replay-v3\"}"),
+  EXPECT_THROW(spec_from_json("{\"format\":\"rsets-replay-v4\"}"),
                std::invalid_argument);
 }
 

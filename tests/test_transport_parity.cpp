@@ -1,0 +1,221 @@
+// Aggregated vs. legacy transport parity.
+//
+// The contract of the transport redesign: TransportMode is a pure cost-model
+// knob. For every algorithm, thread count, and fault kind, the aggregated
+// path must produce the byte-identical ruling set, metrics ledger, and
+// record log that the legacy per-message path produces — the legacy outbox
+// is converted to the same canonical AggBuffer sequence at merge, so every
+// downstream decision (delivery order, fault draws, checksums, degrade
+// waves) is shared. These tests pin that equivalence; if they fail, the
+// modes have diverged structurally, not just in wall clock.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/replay.hpp"
+#include "core/ruling_set.hpp"
+#include "graph/generators.hpp"
+#include "mpc/simulator.hpp"
+
+namespace rsets {
+namespace {
+
+RunSpec parity_spec(const std::string& algorithm, const std::string& faults,
+                    std::uint32_t threads) {
+  RunSpec spec;
+  spec.algorithm = algorithm;
+  spec.gen = "gnp";
+  spec.n = 300;
+  spec.avg_deg = 6.0;
+  spec.seed = 11;
+  spec.machines = 8;
+  spec.threads = threads;
+  spec.faults = faults;
+  return spec;
+}
+
+void expect_metrics_equal(const mpc::MpcMetrics& a, const mpc::MpcMetrics& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.rounds, b.rounds) << label;
+  EXPECT_EQ(a.messages, b.messages) << label;
+  EXPECT_EQ(a.total_words, b.total_words) << label;
+  EXPECT_EQ(a.max_send_words, b.max_send_words) << label;
+  EXPECT_EQ(a.max_recv_words, b.max_recv_words) << label;
+  EXPECT_EQ(a.max_storage_words, b.max_storage_words) << label;
+  EXPECT_EQ(a.violations, b.violations) << label;
+  EXPECT_EQ(a.random_words, b.random_words) << label;
+  EXPECT_EQ(a.faults_injected, b.faults_injected) << label;
+  EXPECT_EQ(a.checkpoints, b.checkpoints) << label;
+  EXPECT_EQ(a.recovery_rounds, b.recovery_rounds) << label;
+  EXPECT_EQ(a.degraded_subrounds, b.degraded_subrounds) << label;
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses) << label;
+  EXPECT_EQ(a.speculative_rounds, b.speculative_rounds) << label;
+  EXPECT_EQ(a.corrupt_detected, b.corrupt_detected) << label;
+  EXPECT_EQ(a.integrity_retries, b.integrity_retries) << label;
+  EXPECT_EQ(a.quarantined_rounds, b.quarantined_rounds) << label;
+}
+
+// Runs the spec through both transports and byte-compares the record log
+// (meta line excluded — it names the transport — every phase line and the
+// summary included) plus the set and the full metrics ledger.
+void expect_transport_parity(RunSpec spec, const std::string& label) {
+  spec.transport = "aggregated";
+  RulingSetResult agg_result;
+  const std::vector<std::string> agg_log = record_run(spec, &agg_result);
+
+  spec.transport = "legacy";
+  RulingSetResult legacy_result;
+  const std::vector<std::string> legacy_log = record_run(spec, &legacy_result);
+
+  EXPECT_EQ(agg_result.ruling_set, legacy_result.ruling_set) << label;
+  expect_metrics_equal(agg_result.metrics, legacy_result.metrics, label);
+  ASSERT_EQ(agg_log.size(), legacy_log.size()) << label;
+  for (std::size_t i = 1; i < agg_log.size(); ++i) {
+    EXPECT_EQ(agg_log[i], legacy_log[i]) << label << " line " << i;
+  }
+}
+
+std::uint32_t hw_threads() { return 0; }  // 0 = hardware concurrency
+
+TEST(TransportParity, EveryMpcAlgorithmFaultFree) {
+  for (const AlgorithmInfo& info : algorithm_registry()) {
+    if (info.model != Model::kMpc) continue;
+    for (const std::uint32_t threads : {1u, 4u, hw_threads()}) {
+      RunSpec spec = parity_spec(std::string(info.name), "", threads);
+      spec.beta = info.min_beta;
+      expect_transport_parity(spec, std::string(info.name) + " threads=" +
+                                        std::to_string(threads));
+    }
+  }
+}
+
+struct ParityFaultCase {
+  const char* name;
+  const char* faults;
+  std::uint64_t checkpoint_every = 0;
+  const char* budget_policy = "strict";
+  std::uint64_t deadline = 0;
+};
+
+class TransportParityFaults
+    : public ::testing::TestWithParam<ParityFaultCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, TransportParityFaults,
+    ::testing::Values(
+        ParityFaultCase{"crash", "crash~0.02,seed=3", 2},
+        ParityFaultCase{"straggler", "straggler~0.1,seed=3"},
+        ParityFaultCase{"drop", "drop~0.05,seed=3"},
+        ParityFaultCase{"duplicate", "dup~0.05,seed=3"},
+        ParityFaultCase{"corrupt", "corrupt~0.1,seed=3"},
+        ParityFaultCase{"reorder", "reorder~0.5,seed=3"},
+        ParityFaultCase{"quarantine", "corrupt~1.0,seed=3"},
+        ParityFaultCase{"degrade", "drop~0.02,seed=3", 0, "degrade"},
+        ParityFaultCase{"deadline", "straggler~0.1,seed=3", 0, "strict", 4},
+        ParityFaultCase{"everything",
+                        "crash~0.01,straggler~0.02,drop~0.01,dup~0.01,"
+                        "corrupt~0.05,reorder~0.25,seed=3",
+                        2}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST_P(TransportParityFaults, ByteIdenticalAcrossThreadCounts) {
+  for (const std::uint32_t threads : {1u, 4u, hw_threads()}) {
+    RunSpec spec =
+        parity_spec("det_ruling_mpc", GetParam().faults, threads);
+    spec.checkpoint_every = GetParam().checkpoint_every;
+    spec.budget_policy = GetParam().budget_policy;
+    spec.deadline = GetParam().deadline;
+    expect_transport_parity(spec, std::string(GetParam().name) +
+                                      " threads=" + std::to_string(threads));
+  }
+}
+
+TEST(TransportParity, LegacyRecordReplaysOnLegacyTransport) {
+  // A log recorded on the legacy path must replay on the legacy path (the
+  // meta line carries the transport), byte for byte, faults and all.
+  RunSpec spec =
+      parity_spec("det_ruling_mpc", "corrupt~0.05,reorder~0.25,seed=4", 1);
+  spec.transport = "legacy";
+  const std::vector<std::string> log = record_run(spec);
+  const ReplayReport report = replay_log(log);
+  EXPECT_TRUE(report.ok()) << report.first_mismatch;
+  EXPECT_EQ(report.spec.transport, "legacy");
+}
+
+// The one-release deprecation shims must stay behaviorally identical to the
+// batch API they forward to.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(TransportParity, DeprecatedShimsStillDeliver) {
+  mpc::MpcConfig cfg;
+  cfg.num_machines = 2;
+  cfg.memory_words = 1 << 16;
+  mpc::Simulator sim(cfg);
+  sim.round([](mpc::Machine& m, const mpc::Inbox&) {
+    if (m.id() != 0) return;
+    m.send(1, 7, std::vector<mpc::Word>{1, 2, 3});  // rvalue → deprecated
+    m.send_word(1, 9, 42);
+  });
+  bool checked = false;
+  sim.drain([&](mpc::Machine& m, const mpc::Inbox& inbox) {
+    if (m.id() != 1) return;
+    const auto vecs = inbox.with_tag(7);
+    ASSERT_EQ(vecs.size(), 1u);
+    EXPECT_EQ(vecs[0].payload.size(), 3u);
+    EXPECT_EQ(vecs[0].payload[2], 3u);
+    const auto words = inbox.with_tag(9);
+    ASSERT_EQ(words.size(), 1u);
+    EXPECT_EQ(words[0].payload[0], 42u);
+    checked = true;
+  });
+  EXPECT_TRUE(checked);
+  // Shim charges match the batch API: 2 messages, 3 + 1 payload words, a
+  // 2-word header each.
+  EXPECT_EQ(sim.metrics().total_words, 4 + 2 * mpc::kHeaderWords);
+  EXPECT_EQ(sim.metrics().messages, 2u);
+}
+#pragma GCC diagnostic pop
+
+TEST(TransportParity, SenderStreamsMultipleRecordsPerDestination) {
+  mpc::MpcConfig cfg;
+  cfg.num_machines = 2;
+  cfg.memory_words = 1 << 16;
+  mpc::Simulator sim(cfg);
+  sim.round([](mpc::Machine& m, const mpc::Inbox&) {
+    if (m.id() != 0) return;
+    m.sender(1, 3).push(10).push(11);
+    const std::vector<mpc::Word> tail = {12, 13, 14};
+    m.sender(1, 3).append(tail).push(15);
+  });
+  sim.drain([](mpc::Machine& m, const mpc::Inbox& inbox) {
+    if (m.id() != 1) return;
+    const auto msgs = inbox.with_tag(3);
+    ASSERT_EQ(msgs.size(), 2u);
+    // Send order preserved within (tag, src).
+    EXPECT_EQ(msgs[0].payload.size(), 2u);
+    EXPECT_EQ(msgs[0].payload[1], 11u);
+    EXPECT_EQ(msgs[1].payload.size(), 4u);
+    EXPECT_EQ(msgs[1].payload[3], 15u);
+  });
+  EXPECT_EQ(sim.metrics().messages, 2u);
+  EXPECT_EQ(sim.metrics().total_words, 6 + 2 * mpc::kHeaderWords);
+}
+
+TEST(TransportParity, TransportModeNamesRoundTrip) {
+  using mpc::TransportMode;
+  for (const TransportMode t :
+       {TransportMode::kAggregated, TransportMode::kLegacy}) {
+    EXPECT_EQ(mpc::parse_transport_mode(mpc::transport_mode_name(t)), t);
+  }
+  EXPECT_THROW(mpc::parse_transport_mode("carrier"), Error);
+  try {
+    mpc::parse_transport_mode("carrier");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadFlag);
+  }
+}
+
+}  // namespace
+}  // namespace rsets

@@ -1,0 +1,107 @@
+#!/usr/bin/env sh
+# Gate: the checked-in bench baselines must be Release-recorded and still
+# representative of this machine.
+#
+#   1. Every bench/baselines/BENCH_*.json must carry
+#      "rsets_build_type": "Release" — the context stamp recording how the
+#      bench code itself was compiled (google-benchmark's own
+#      library_build_type only describes the benchmark *library*, a debug
+#      system package here). A baseline recorded from an unoptimized build
+#      is inflated, so every later comparison would pass vacuously —
+#      reject it outright.
+#   2. The E1b transport-storm rows are re-run from the Release tree and
+#      each row's real_time is compared against the checked-in baseline
+#      within a generous factor (default 4x either way). That catches
+#      order-of-magnitude regressions — an accidental O(n^2), a debug-only
+#      code path — while tolerating machine-to-machine and load noise.
+#   3. The re-run's aggregated rows must keep speedup_vs_legacy >= 3 at
+#      every machine count. The recorded baseline shows >= 5x; the looser
+#      live floor keeps the gate meaningful without being flaky.
+#
+# Usage: tools/check_bench_baseline.sh [build_dir] [tolerance]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-release"}
+tolerance=${2:-4.0}
+baselines="$repo_root/bench/baselines"
+
+if [ ! -d "$baselines" ]; then
+  echo "check_bench_baseline: bench/baselines/ missing — run tools/bench_baseline.sh first" >&2
+  exit 1
+fi
+
+found=0
+for f in "$baselines"/BENCH_*.json; do
+  [ -e "$f" ] || break
+  found=1
+  if ! grep -q '"rsets_build_type": "Release"' "$f"; then
+    echo "check_bench_baseline: $(basename "$f") was not recorded from a Release build (rsets_build_type != Release); re-record with tools/bench_baseline.sh" >&2
+    exit 1
+  fi
+done
+if [ "$found" -eq 0 ]; then
+  echo "check_bench_baseline: no BENCH_*.json baselines found — run tools/bench_baseline.sh first" >&2
+  exit 1
+fi
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$build_dir" -j "$(nproc)" --target bench_rounds_vs_n
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$build_dir/bench/bench_rounds_vs_n" \
+    --benchmark_filter=BM_TransportStorm \
+    --benchmark_out="$tmp/current.json" --benchmark_out_format=json \
+    > /dev/null
+
+# google-benchmark JSON keeps one key per line, so field extraction is a
+# plain awk pass: remember the row name, print "name value" on the keys we
+# compare.
+rows() {
+  awk -F'"' -v key="$2" '
+    $2 == "name" { name = $4 }
+    $2 == key    { v = $3; gsub(/[:, ]/, "", v); print name, v }
+  ' "$1"
+}
+
+rows "$baselines/BENCH_rounds_vs_n.json" real_time \
+    | grep '^BM_TransportStorm' | sort > "$tmp/base.txt"
+rows "$tmp/current.json" real_time \
+    | grep '^BM_TransportStorm' | sort > "$tmp/cur.txt"
+
+if ! [ -s "$tmp/base.txt" ]; then
+  echo "check_bench_baseline: baseline BENCH_rounds_vs_n.json has no transport-storm rows; re-record with tools/bench_baseline.sh" >&2
+  exit 1
+fi
+
+awk -v tol="$tolerance" '
+  NR == FNR { base[$1] = $2; next }
+  {
+    if (!($1 in base)) {
+      printf "check_bench_baseline: no baseline row for %s\n", $1
+      bad = 1
+      next
+    }
+    ratio = $2 / base[$1]
+    if (ratio > tol || ratio * tol < 1) {
+      printf "check_bench_baseline: %s real_time drifted %.2fx vs baseline (%.3f vs %.3f ms, tolerance %.1fx)\n", \
+             $1, ratio, $2, base[$1], tol
+      bad = 1
+    }
+  }
+  END { exit bad }
+' "$tmp/base.txt" "$tmp/cur.txt"
+
+rows "$tmp/current.json" speedup_vs_legacy | awk '
+  $1 ~ /\/1\/iterations/ {
+    if ($2 + 0 < 3.0) {
+      printf "check_bench_baseline: %s speedup_vs_legacy fell to %.2fx (< 3x floor)\n", $1, $2
+      bad = 1
+    }
+  }
+  END { exit bad }
+'
+
+echo "check_bench_baseline: PASS"

@@ -20,11 +20,15 @@
 #   8. Chaos soak smoke: 200 seeded mixed-fault schedules across every MPC
 #      algorithm; each faulty run must match its fault-free twin
 #      bit-for-bit and certify (60 s budget; the soak runs in ~5 s).
+#   9. Bench baseline gate: checked-in bench/baselines/*.json must be
+#      Release-recorded, and a Release re-run of the E1b transport-storm
+#      rows must stay within a generous real_time tolerance of them
+#      (tools/check_bench_baseline.sh).
 #
 # Usage: tools/ci.sh
 #
-# Build trees: build/ (regular), build-tsan/, build-asan/ — each gate keeps
-# its own tree so reruns are incremental.
+# Build trees: build/ (regular), build-tsan/, build-asan/, build-release/ —
+# each gate keeps its own tree so reruns are incremental.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -62,5 +66,8 @@ echo "=== ci: integrity parity (plain vs --integrity vs corrupted) ==="
 
 echo "=== ci: chaos soak (200 seeded mixed-fault schedules) ==="
 timeout 60 "$repo_root/build/tools/chaos_soak" --schedules=200 --seed=1
+
+echo "=== ci: bench baseline (release-recorded, within tolerance) ==="
+"$repo_root/tools/check_bench_baseline.sh" "$repo_root/build-release"
 
 echo "ci: PASS"
