@@ -27,12 +27,17 @@ bool beats(std::uint32_t deg_u, VertexId u, std::uint32_t deg_v, VertexId v) {
 
 RulingSetResult det_luby_mis_mpc(const Graph& g, const mpc::MpcConfig& cfg,
                                  const DetLubyOptions& options) {
+  mpc::Simulator sim(cfg);
+  mpc::DistGraph dg(sim, g);
+  return det_luby_mis_mpc(sim, dg, options);
+}
+
+RulingSetResult det_luby_mis_mpc(mpc::Simulator& sim, mpc::DistGraph& dg,
+                                 const DetLubyOptions& options) {
   if (options.chunk_bits < 1 || options.chunk_bits > 12) {
     throw std::invalid_argument("det_luby: chunk_bits must be in [1, 12]");
   }
-  mpc::Simulator sim(cfg);
-  mpc::DistGraph dg(sim, g);
-  const VertexId n = g.num_vertices();
+  const VertexId n = dg.num_vertices();
   const MachineId m_count = sim.num_machines();
 
   RulingSetResult result;

@@ -18,6 +18,11 @@
 
 #include "core/ruling_set.hpp"
 
+namespace rsets::mpc {
+class DistGraph;
+class Simulator;
+}  // namespace rsets::mpc
+
 namespace rsets {
 
 struct DetLubyOptions {
@@ -25,6 +30,11 @@ struct DetLubyOptions {
 };
 
 RulingSetResult det_luby_mis_mpc(const Graph& g, const mpc::MpcConfig& cfg,
+                                 const DetLubyOptions& options = {});
+
+// Same algorithm on an already-loaded distributed graph (sharded ingestion
+// path); the materialized overload wraps this one.
+RulingSetResult det_luby_mis_mpc(mpc::Simulator& sim, mpc::DistGraph& dg,
                                  const DetLubyOptions& options = {});
 
 }  // namespace rsets

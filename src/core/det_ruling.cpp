@@ -22,17 +22,22 @@ using mpc::Simulator;
 
 RulingSetResult det_ruling_set_mpc(const Graph& g, const mpc::MpcConfig& cfg,
                                    const DetRulingOptions& options) {
+  Simulator sim(cfg);
+  mpc::DistGraph dg(sim, g);
+  return det_ruling_set_mpc(sim, dg, options);
+}
+
+RulingSetResult det_ruling_set_mpc(Simulator& sim, mpc::DistGraph& dg,
+                                   const DetRulingOptions& options) {
   if (options.beta < 2) {
     throw std::invalid_argument(
         "det_ruling_set_mpc: beta must be >= 2 (use det_luby for MIS)");
   }
-  Simulator sim(cfg);
-  mpc::DistGraph dg(sim, g);
-  const VertexId n = g.num_vertices();
+  const VertexId n = dg.num_vertices();
 
   std::uint64_t budget = options.gather_budget_words;
   if (budget == 0) budget = 32ull * std::max<VertexId>(n, 1);
-  budget = std::min<std::uint64_t>(budget, cfg.memory_words);
+  budget = std::min<std::uint64_t>(budget, sim.config().memory_words);
 
   RulingSetResult result;
   result.beta = options.beta;

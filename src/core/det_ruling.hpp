@@ -25,6 +25,11 @@
 #include "graph/graph.hpp"
 #include "mpc/message.hpp"
 
+namespace rsets::mpc {
+class DistGraph;
+class Simulator;
+}  // namespace rsets::mpc
+
 namespace rsets {
 
 struct DetRulingOptions {
@@ -35,6 +40,14 @@ struct DetRulingOptions {
 };
 
 RulingSetResult det_ruling_set_mpc(const Graph& g, const mpc::MpcConfig& cfg,
+                                   const DetRulingOptions& options = {});
+
+// Runs the phase loop on an already-loaded distributed graph. This is how
+// sharded inputs execute the algorithm: the caller ingests a ShardedSource
+// into `dg` (never materializing a global Graph) and hands it over. The
+// materialized overload above is a thin wrapper around this one, so both
+// paths execute byte-identically given the same CSR.
+RulingSetResult det_ruling_set_mpc(mpc::Simulator& sim, mpc::DistGraph& dg,
                                    const DetRulingOptions& options = {});
 
 }  // namespace rsets

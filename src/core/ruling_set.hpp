@@ -18,6 +18,11 @@
 #include "graph/graph.hpp"
 #include "mpc/message.hpp"
 
+namespace rsets::shard {
+class ShardedSource;
+struct IngestOptions;
+}  // namespace rsets::shard
+
 namespace rsets {
 
 enum class Algorithm {
@@ -124,5 +129,18 @@ struct RulingSetResult {
 // RulingSetResult::beta).
 RulingSetResult compute_ruling_set(const Graph& g,
                                    const RulingSetOptions& options);
+
+// Runs the selected MPC algorithm on a sharded input: each simulated
+// machine generates its own edge shard and the input is ingested directly
+// into the distributed store (optionally spilling to disk, see
+// shard::IngestOptions) — no global Graph is ever materialized, so problem
+// size is bounded by disk, not by a single process's edge list. Supported
+// algorithms: kDetRulingMpc, kDetLubyMpc, kLubyMpc (the vertex-centric MPC
+// drivers); anything else throws std::invalid_argument. Results and the
+// full metrics ledger are bit-identical to compute_ruling_set on the
+// materialized equivalent of the same source.
+RulingSetResult compute_ruling_set_sharded(const shard::ShardedSource& src,
+                                           const shard::IngestOptions& ingest,
+                                           const RulingSetOptions& options);
 
 }  // namespace rsets

@@ -1,0 +1,173 @@
+#include "graph/shard/shard_csr.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rsets::shard {
+namespace {
+
+// Counts raw symmetric degrees and validates endpoints.
+struct CountSink final : EdgeSink {
+  std::vector<std::uint64_t>* deg;
+  VertexId n;
+
+  void consume(std::span<const Edge> batch) override {
+    for (const Edge& e : batch) {
+      if (e.u >= n || e.v >= n) {
+        throw Error(ErrorCode::kVertexIdOverflow,
+                    "sharded stream emitted endpoint " +
+                        std::to_string(std::max(e.u, e.v)) + " >= n=" +
+                        std::to_string(n));
+      }
+      if (e.u == e.v) continue;  // self-loops dropped, like Graph::from_edges
+      ++(*deg)[e.u];
+      ++(*deg)[e.v];
+    }
+  }
+};
+
+// Scatters both arc directions at the per-vertex write cursors. Periodic
+// whole-mapping eviction keeps the dirty-page footprint of the scattered
+// writes bounded during spilled builds.
+struct ScatterSink final : EdgeSink {
+  VertexId* adj;
+  std::vector<std::uint64_t>* cursor;
+  ShardSpill* spill;  // null for in-RAM builds
+  std::uint64_t stride;
+  std::uint64_t since_evict = 0;
+
+  void consume(std::span<const Edge> batch) override {
+    std::vector<std::uint64_t>& cur = *cursor;
+    for (const Edge& e : batch) {
+      if (e.u == e.v) continue;
+      adj[cur[e.u]++] = e.v;
+      adj[cur[e.v]++] = e.u;
+    }
+    if (spill != nullptr) {
+      since_evict += batch.size();
+      if (since_evict >= stride) {
+        spill->evict_all();
+        since_evict = 0;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void validate_spill_dir(const std::string& dir) {
+  if (dir.empty()) {
+    throw Error(ErrorCode::kBadFlag, "--spill-dir: empty path");
+  }
+  std::string probe = dir + "/rsets-spill-probe-XXXXXX";
+  std::vector<char> buf(probe.begin(), probe.end());
+  buf.push_back('\0');
+  const int fd = mkstemp(buf.data());
+  if (fd < 0) {
+    throw Error(ErrorCode::kBadFlag,
+                "--spill-dir: '" + dir +
+                    "' is not a writable directory (cannot create files "
+                    "there)");
+  }
+  close(fd);
+  unlink(buf.data());
+}
+
+ShardCsr build_shard_csr(const ShardedSource& src,
+                         const IngestOptions& options) {
+  const VertexId n = src.num_vertices();
+  const std::uint32_t shards = src.num_shards();
+
+  ShardCsr csr;
+  csr.n_ = n;
+  csr.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  if (n == 0) {
+    csr.adj_ = csr.adj_ram_.data();
+    return csr;
+  }
+
+  // Pass A: raw symmetric degree of every vertex (duplicates included).
+  {
+    std::vector<std::uint64_t> deg(n, 0);
+    CountSink count;
+    count.deg = &deg;
+    count.n = n;
+    for (std::uint32_t s = 0; s < shards; ++s) src.stream_shard(s, count);
+    for (VertexId v = 0; v < n; ++v) csr.offsets_[v + 1] = deg[v];
+  }
+  for (VertexId v = 0; v < n; ++v) csr.offsets_[v + 1] += csr.offsets_[v];
+  const std::uint64_t raw_words = csr.offsets_[n];
+
+  // Adjacency storage: RAM vector or memory-mapped spill.
+  const bool spilled = !options.spill_dir.empty();
+  if (spilled) {
+    csr.spill_ =
+        ShardSpill::create(options.spill_dir, raw_words * sizeof(VertexId));
+    csr.adj_ = static_cast<VertexId*>(csr.spill_.data());
+  } else {
+    csr.adj_ram_.resize(raw_words);
+    csr.adj_ = csr.adj_ram_.data();
+  }
+
+  // Pass B: scattered symmetrized writes at the running cursors.
+  {
+    std::vector<std::uint64_t> cursor(csr.offsets_.begin(),
+                                      csr.offsets_.end() - 1);
+    ScatterSink scatter;
+    scatter.adj = csr.adj_;
+    scatter.cursor = &cursor;
+    scatter.spill = spilled ? &csr.spill_ : nullptr;
+    scatter.stride = std::max<std::uint64_t>(options.evict_stride_edges, 1);
+    for (std::uint32_t s = 0; s < shards; ++s) src.stream_shard(s, scatter);
+  }
+
+  // Pass C: per-vertex sort + dedup, compacting in place. The write head w
+  // never passes the read head (deduped words <= raw words at every
+  // prefix), so one sweep suffices; offsets are rewritten to the compacted
+  // positions as it goes.
+  std::uint64_t w = 0;
+  std::uint64_t prev_lo = 0;
+  std::uint64_t since_evict = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint64_t lo = prev_lo;
+    const std::uint64_t hi = csr.offsets_[v + 1];
+    prev_lo = hi;
+    std::sort(csr.adj_ + lo, csr.adj_ + hi);
+    csr.offsets_[v] = w;
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      if (i == lo || csr.adj_[i] != csr.adj_[w - 1]) {
+        csr.adj_[w++] = csr.adj_[i];
+      }
+    }
+    if (spilled) {
+      since_evict += hi - lo;
+      if (since_evict >= std::max<std::uint64_t>(options.evict_stride_edges,
+                                                 1)) {
+        // Everything below the write head is final; evict it.
+        csr.spill_.evict(0, w * sizeof(VertexId));
+        since_evict = 0;
+      }
+    }
+  }
+  csr.offsets_[n] = w;
+  csr.half_edges_ = w / 2;
+
+  // Shrink to the deduped size and drop build-time pages from RSS.
+  if (spilled) {
+    csr.spill_.resize(w * sizeof(VertexId));
+    csr.adj_ = static_cast<VertexId*>(csr.spill_.data());
+    csr.spill_.evict_all();
+  } else {
+    csr.adj_ram_.resize(w);
+    csr.adj_ram_.shrink_to_fit();
+    csr.adj_ = csr.adj_ram_.data();
+  }
+  return csr;
+}
+
+}  // namespace rsets::shard

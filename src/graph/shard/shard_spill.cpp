@@ -1,0 +1,115 @@
+#include "graph/shard/shard_spill.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rsets::shard {
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw Error(ErrorCode::kIoFailure, what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+ShardSpill::~ShardSpill() { reset(); }
+
+ShardSpill::ShardSpill(ShardSpill&& other) noexcept
+    : fd_(other.fd_), data_(other.data_), bytes_(other.bytes_) {
+  other.fd_ = -1;
+  other.data_ = nullptr;
+  other.bytes_ = 0;
+}
+
+ShardSpill& ShardSpill::operator=(ShardSpill&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = std::exchange(other.fd_, -1);
+    data_ = std::exchange(other.data_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+  }
+  return *this;
+}
+
+void ShardSpill::reset() noexcept {
+  if (data_ != nullptr) munmap(data_, bytes_);
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  data_ = nullptr;
+  bytes_ = 0;
+}
+
+ShardSpill ShardSpill::create(const std::string& dir, std::uint64_t bytes) {
+  std::string path = dir + "/rsets-spill-XXXXXX";
+  std::vector<char> buf(path.begin(), path.end());
+  buf.push_back('\0');
+  const int fd = mkstemp(buf.data());
+  if (fd < 0) io_fail("spill: cannot create temp file in '" + dir + "'");
+  // Unlinked immediately: the kernel keeps the inode alive while the fd is
+  // open, and a crash cannot leave stale spill files behind.
+  unlink(buf.data());
+
+  ShardSpill spill;
+  spill.fd_ = fd;
+  spill.bytes_ = bytes == 0 ? 1 : bytes;
+  if (ftruncate(fd, static_cast<off_t>(spill.bytes_)) != 0) {
+    const int saved = errno;
+    close(fd);
+    errno = saved;
+    io_fail("spill: cannot size file to " + std::to_string(bytes) + " bytes");
+  }
+  void* mapped = mmap(nullptr, spill.bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+  if (mapped == MAP_FAILED) {
+    const int saved = errno;
+    close(fd);
+    errno = saved;
+    io_fail("spill: mmap failed");
+  }
+  spill.data_ = mapped;
+  spill.fd_ = fd;
+  return spill;
+}
+
+void ShardSpill::resize(std::uint64_t bytes) {
+  if (!valid()) {
+    throw Error(ErrorCode::kIoFailure, "spill: resize on an empty spill");
+  }
+  const std::uint64_t new_bytes = bytes == 0 ? 1 : bytes;
+  if (munmap(data_, bytes_) != 0) io_fail("spill: munmap failed");
+  data_ = nullptr;
+  if (ftruncate(fd_, static_cast<off_t>(new_bytes)) != 0) {
+    io_fail("spill: cannot resize file to " + std::to_string(bytes) +
+            " bytes");
+  }
+  void* mapped =
+      mmap(nullptr, new_bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+  if (mapped == MAP_FAILED) io_fail("spill: remap failed");
+  data_ = mapped;
+  bytes_ = new_bytes;
+}
+
+void ShardSpill::evict(std::uint64_t offset, std::uint64_t length) {
+  if (!valid() || length == 0 || offset >= bytes_) return;
+  const std::uint64_t page = static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+  const std::uint64_t lo = (offset / page) * page;
+  const std::uint64_t hi = std::min(offset + length, bytes_);
+  char* base = static_cast<char*>(data_);
+  // Writeback is asynchronous: MADV_DONTNEED on a shared file mapping only
+  // drops the pages from this mapping; dirty contents live on in the page
+  // cache and reach the file on the kernel's schedule.
+  msync(base + lo, hi - lo, MS_ASYNC);
+  madvise(base + lo, hi - lo, MADV_DONTNEED);
+}
+
+}  // namespace rsets::shard

@@ -1,0 +1,55 @@
+// Memory-mapped spill backing for shards larger than RAM.
+//
+// A ShardSpill is an anonymous *file-backed* byte range: a temp file is
+// created under the caller's spill directory, unlinked immediately (so a
+// crash leaks nothing), and mapped MAP_SHARED. File-backed pages are what
+// makes the CSR pageable — under memory pressure the kernel writes dirty
+// pages back and reclaims them, and evict() forces exactly that, so peak
+// RSS is decoupled from the mapped size. Accesses after an evict fault the
+// pages back in transparently; nothing on the round hot path allocates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rsets::shard {
+
+class ShardSpill {
+ public:
+  ShardSpill() = default;
+  ~ShardSpill();
+  ShardSpill(ShardSpill&& other) noexcept;
+  ShardSpill& operator=(ShardSpill&& other) noexcept;
+  ShardSpill(const ShardSpill&) = delete;
+  ShardSpill& operator=(const ShardSpill&) = delete;
+
+  // Creates an unlinked temp file of `bytes` under `dir` and maps it
+  // read-write. Throws rsets::Error(kIoFailure) when the directory does not
+  // admit creating or sizing the file.
+  static ShardSpill create(const std::string& dir, std::uint64_t bytes);
+
+  bool valid() const { return data_ != nullptr; }
+  void* data() { return data_; }
+  const void* data() const { return data_; }
+  std::uint64_t size() const { return bytes_; }
+
+  // Shrinks (or grows) the file and remaps. Existing contents up to the new
+  // size are preserved; the data pointer may change.
+  void resize(std::uint64_t bytes);
+
+  // Schedules writeback of dirty pages in [offset, offset+length) and drops
+  // them from this process's RSS; the next access faults them back in from
+  // the file. The build passes call this on a cadence so ingest RSS stays
+  // bounded by the eviction window, not the CSR size.
+  void evict(std::uint64_t offset, std::uint64_t length);
+  void evict_all() { evict(0, bytes_); }
+
+ private:
+  void reset() noexcept;
+
+  int fd_ = -1;
+  void* data_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace rsets::shard

@@ -19,28 +19,29 @@ constexpr std::uint32_t kTagConflictSum = 0x54;
 constexpr std::uint32_t kTagUncoveredSum = 0x55;
 constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
 
-}  // namespace
-
-RulingSetCertificate certify_ruling_set(const Graph& g,
-                                        std::span<const VertexId> set,
-                                        std::uint32_t beta,
-                                        const MpcConfig& config) {
-  RulingSetCertificate cert;
-  cert.beta = beta;
-  cert.set_size = set.size();
-  cert.level_counts.assign(static_cast<std::size_t>(beta) + 1, 0);
-
+// Scrubs caller knobs that must not perturb the clean-room audit.
+MpcConfig clean_config(const MpcConfig& config) {
   MpcConfig clean = config;
   clean.trace_hook = nullptr;
   clean.faults = FaultConfig{};
   clean.checkpoint_every = 0;
   clean.round_deadline = 0;
   clean.budget_policy = BudgetPolicy::kDegrade;
+  return clean;
+}
 
-  Simulator sim(clean);
-  DistGraph dg(sim, g);
+// The pass itself, independent of how `dg` was loaded (materialized or
+// sharded): screening, member routing, conflict exchange, beta-hop BFS.
+RulingSetCertificate certify_on(Simulator& sim, const DistGraph& dg,
+                                std::span<const VertexId> set,
+                                std::uint32_t beta) {
+  RulingSetCertificate cert;
+  cert.beta = beta;
+  cert.set_size = set.size();
+  cert.level_counts.assign(static_cast<std::size_t>(beta) + 1, 0);
+
   const MachineId machines = sim.num_machines();
-  const VertexId n = g.num_vertices();
+  const VertexId n = dg.num_vertices();
 
   // Screening happens where the claimed set lives (machine 0) before
   // anything is routed; the storage for the claim is charged there.
@@ -144,6 +145,27 @@ RulingSetCertificate certify_ruling_set(const Graph& g,
   sim.sync_metrics();
   cert.rounds = sim.metrics().rounds;
   return cert;
+}
+
+}  // namespace
+
+RulingSetCertificate certify_ruling_set(const Graph& g,
+                                        std::span<const VertexId> set,
+                                        std::uint32_t beta,
+                                        const MpcConfig& config) {
+  Simulator sim(clean_config(config));
+  DistGraph dg(sim, g);
+  return certify_on(sim, dg, set, beta);
+}
+
+RulingSetCertificate certify_ruling_set(const shard::ShardedSource& src,
+                                        const shard::IngestOptions& ingest,
+                                        std::span<const VertexId> set,
+                                        std::uint32_t beta,
+                                        const MpcConfig& config) {
+  Simulator sim(clean_config(config));
+  DistGraph dg(sim, src, ingest);
+  return certify_on(sim, dg, set, beta);
 }
 
 }  // namespace rsets::mpc

@@ -26,6 +26,11 @@
 #include "graph/verify.hpp"
 #include "mpc/message.hpp"
 
+namespace rsets::shard {
+class ShardedSource;
+struct IngestOptions;
+}  // namespace rsets::shard
+
 namespace rsets::mpc {
 
 // Runs the certification pass on its own simulator built from `config`.
@@ -33,6 +38,16 @@ namespace rsets::mpc {
 // a clean-room pass — and the budget policy is forced to kDegrade so an
 // undersized configuration degrades instead of aborting the audit.
 RulingSetCertificate certify_ruling_set(const Graph& g,
+                                        std::span<const VertexId> set,
+                                        std::uint32_t beta,
+                                        const MpcConfig& config);
+
+// Sharded variant: the clean-room simulator re-ingests the input from its
+// shards (never materializing a global Graph), then runs the identical
+// pass. For out-of-core runs this is the *only* validity check that scales
+// — the sequential cross-validation needs the materialized graph.
+RulingSetCertificate certify_ruling_set(const shard::ShardedSource& src,
+                                        const shard::IngestOptions& ingest,
                                         std::span<const VertexId> set,
                                         std::uint32_t beta,
                                         const MpcConfig& config);

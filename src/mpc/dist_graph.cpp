@@ -18,6 +18,26 @@ DistGraph::DistGraph(Simulator& sim, const Graph& g,
       active_(g.num_vertices(), true),
       active_count_(g.num_vertices()),
       charged_words_(sim.num_machines(), 0) {
+  finish_load(sim);
+}
+
+DistGraph::DistGraph(Simulator& sim, const shard::ShardedSource& src,
+                     const shard::IngestOptions& ingest,
+                     std::uint64_t partition_salt)
+    : graph_(nullptr),
+      csr_(shard::build_shard_csr(src, ingest)),
+      num_vertices_(csr_.num_vertices()),
+      num_edges_(csr_.num_edges()),
+      num_machines_(sim.num_machines()),
+      salt_(partition_salt),
+      owned_(sim.num_machines()),
+      active_(csr_.num_vertices(), true),
+      active_count_(csr_.num_vertices()),
+      charged_words_(sim.num_machines(), 0) {
+  finish_load(sim);
+}
+
+void DistGraph::finish_load(Simulator& sim) {
   for (VertexId v = 0; v < num_vertices_; ++v) {
     owned_[owner(v)].push_back(v);
   }
@@ -27,7 +47,7 @@ DistGraph::DistGraph(Simulator& sim, const Graph& g,
   for (MachineId m = 0; m < num_machines_; ++m) {
     std::size_t words = bitset_words;
     for (VertexId v : owned_[m]) {
-      words += 2 + graph_->degree(v);
+      words += 2 + degree(v);
     }
     charged_words_[m] = words;
     sim.machine(m).charge_storage(words);
@@ -45,7 +65,7 @@ MachineId DistGraph::owner(VertexId v) const {
 
 std::uint32_t DistGraph::active_degree(VertexId v) const {
   std::uint32_t d = 0;
-  for (VertexId u : graph_->neighbors(v)) {
+  for (VertexId u : neighbors(v)) {
     if (active_[u]) ++d;
   }
   return d;

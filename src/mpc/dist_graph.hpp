@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/shard/shard_csr.hpp"
+#include "graph/shard/sharded_source.hpp"
 #include "mpc/primitives.hpp"
 #include "mpc/simulator.hpp"
 
@@ -28,6 +30,15 @@ class DistGraph : public Snapshotable {
  public:
   // Loads `g` into `sim`, charging storage and the distribution round.
   DistGraph(Simulator& sim, const Graph& g, std::uint64_t partition_salt = 0);
+
+  // Sharded ingestion: each machine generates its own shard of `src` and
+  // the union is assembled into an out-of-core CSR (see shard/shard_csr.hpp)
+  // without ever building a global Graph. The CSR is bit-identical to what
+  // the materialized constructor stores, so storage charges, round counts,
+  // and the whole metrics ledger match the global path exactly.
+  DistGraph(Simulator& sim, const shard::ShardedSource& src,
+            const shard::IngestOptions& ingest = {},
+            std::uint64_t partition_salt = 0);
 
   VertexId num_vertices() const { return num_vertices_; }
   std::uint64_t num_edges() const { return num_edges_; }
@@ -43,9 +54,14 @@ class DistGraph : public Snapshotable {
   // Adjacency of an owned vertex; caller must be (conceptually) machine
   // owner(v).
   std::span<const VertexId> neighbors(VertexId v) const {
-    return graph_->neighbors(v);
+    return graph_ != nullptr ? graph_->neighbors(v) : csr_.neighbors(v);
   }
-  std::uint32_t degree(VertexId v) const { return graph_->degree(v); }
+  std::uint32_t degree(VertexId v) const {
+    return graph_ != nullptr ? graph_->degree(v) : csr_.degree(v);
+  }
+
+  // True when this graph was ingested from a ShardedSource.
+  bool sharded() const { return graph_ == nullptr; }
 
   // --- replicated activity ------------------------------------------------
   bool active(VertexId v) const { return active_[v]; }
@@ -77,8 +93,13 @@ class DistGraph : public Snapshotable {
   void restore(SnapshotReader& r) override;
 
  private:
+  // Charges per-machine storage (bitset + owned adjacency) and the
+  // distribution round; shared by both constructors.
+  void finish_load(Simulator& sim);
+
   const Graph* graph_;  // simulation backing store; per-machine slices are
                         // what is *charged*, access discipline is by owner
+  shard::ShardCsr csr_;  // backing store for sharded ingestion (graph_ null)
   VertexId num_vertices_ = 0;
   std::uint64_t num_edges_ = 0;
   MachineId num_machines_ = 1;

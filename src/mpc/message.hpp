@@ -77,16 +77,19 @@ struct AggBuffer {
 
 // FNV-1a digest of everything the transport must deliver intact: addressing
 // plus the whole framed arena — ONE digest per aggregated buffer instead of
-// one per message. The multiply-by-odd-prime step makes the digest sensitive
-// to every single-bit flip within a word (see util/fnv.hpp), which is
-// exactly the corruption the fault model injects.
+// one per message. The arena (the bulk of the work) goes through the
+// four-lane batch construction so the word multiplies pipeline instead of
+// serializing; every lane keeps the multiply-by-odd-prime bijection, so the
+// digest stays sensitive to every single-bit flip within a word (see
+// util/fnv.hpp) — exactly the corruption the fault model injects. Checksums
+// are recomputed at stamp and verify time, never persisted, so the digest
+// formula is free to change between releases.
 inline Word buffer_checksum(const AggBuffer& b) {
   std::uint64_t h = kFnvOffsetBasis;
   h = fnv1a_word(h, b.src);
   h = fnv1a_word(h, b.dst);
   h = fnv1a_word(h, b.messages);
-  for (const Word w : b.arena) h = fnv1a_word(h, w);
-  return h;
+  return fnv1a_words_batch(b.arena.data(), b.arena.size(), h);
 }
 
 // A decoded view of one logical message inside a delivered AggBuffer. The

@@ -35,4 +35,66 @@ inline std::uint64_t fnv1a_bytes(const void* data, std::size_t size,
   return h;
 }
 
+// Batch digest over a word array: four independent FNV-1a lanes absorb the
+// stream strided (lane j takes words j, j+4, j+8, ...), then the lane
+// digests and the word count are folded into the running state. The lanes
+// carry no sequential dependence on each other, so the hot loop sustains
+// four multiplies in flight instead of one — a different (fixed, versioned)
+// construction from sequential FNV-1a, with the same per-word bijection and
+// therefore the same single-bit-flip sensitivity. Seeding each lane with
+// fnv1a_word(h, lane index) makes the lanes distinct and chains the caller's
+// prefix state; absorbing `count` at the end separates a short stream from
+// its zero-padded extension.
+inline constexpr std::size_t kFnvBatchLanes = 4;
+
+// Reference implementation: one loop, lane selected by index. This is the
+// specification the unrolled variant must match bit-for-bit (asserted in
+// tests/test_fnv_batch.cpp); keep the two in sync.
+inline std::uint64_t fnv1a_words_batch_reference(
+    const std::uint64_t* words, std::size_t count,
+    std::uint64_t h = kFnvOffsetBasis) {
+  std::uint64_t lane[kFnvBatchLanes];
+  for (std::size_t j = 0; j < kFnvBatchLanes; ++j) {
+    lane[j] = fnv1a_word(h, j);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    lane[i % kFnvBatchLanes] = fnv1a_word(lane[i % kFnvBatchLanes], words[i]);
+  }
+  std::uint64_t out = h;
+  for (std::size_t j = 0; j < kFnvBatchLanes; ++j) {
+    out = fnv1a_word(out, lane[j]);
+  }
+  return fnv1a_word(out, count);
+}
+
+// Unrolled implementation of the same construction: the main loop retires
+// four words per iteration with the lane multiplies independent, so the
+// compiler can keep all four chains in flight (and auto-vectorize where the
+// target has a 64-bit SIMD multiply). The <= 3 leftover words land on lanes
+// 0..2 because the unrolled loop always leaves `i` a multiple of 4.
+inline std::uint64_t fnv1a_words_batch(const std::uint64_t* words,
+                                       std::size_t count,
+                                       std::uint64_t h = kFnvOffsetBasis) {
+  std::uint64_t l0 = fnv1a_word(h, 0);
+  std::uint64_t l1 = fnv1a_word(h, 1);
+  std::uint64_t l2 = fnv1a_word(h, 2);
+  std::uint64_t l3 = fnv1a_word(h, 3);
+  std::size_t i = 0;
+  for (; i + kFnvBatchLanes <= count; i += kFnvBatchLanes) {
+    l0 = fnv1a_word(l0, words[i]);
+    l1 = fnv1a_word(l1, words[i + 1]);
+    l2 = fnv1a_word(l2, words[i + 2]);
+    l3 = fnv1a_word(l3, words[i + 3]);
+  }
+  if (i < count) l0 = fnv1a_word(l0, words[i]);
+  if (i + 1 < count) l1 = fnv1a_word(l1, words[i + 1]);
+  if (i + 2 < count) l2 = fnv1a_word(l2, words[i + 2]);
+  std::uint64_t out = h;
+  out = fnv1a_word(out, l0);
+  out = fnv1a_word(out, l1);
+  out = fnv1a_word(out, l2);
+  out = fnv1a_word(out, l3);
+  return fnv1a_word(out, count);
+}
+
 }  // namespace rsets

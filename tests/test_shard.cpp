@@ -1,0 +1,402 @@
+// Sharded streaming generation: parse errors, shard-union determinism,
+// out-of-core ingest parity, sharded-vs-materialized run equivalence, and
+// the cross-shard validator (green on correct sources, red on a broken one).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/ruling_set.hpp"
+#include "graph/shard/shard_csr.hpp"
+#include "graph/shard/sharded_source.hpp"
+#include "graph/shard/validator.hpp"
+#include "mpc/fault/fault.hpp"
+#include "util/error.hpp"
+
+namespace rsets::shard {
+namespace {
+
+ShardSpec graph500_spec(std::uint32_t scale = 10, std::uint32_t ef = 8) {
+  ShardSpec spec;
+  spec.family = ShardFamily::kGraph500;
+  spec.scale = scale;
+  spec.edgefactor = ef;
+  spec.seed = 42;
+  return spec;
+}
+
+ShardSpec rmat_spec() {
+  ShardSpec spec;
+  spec.family = ShardFamily::kRmat;
+  spec.scale = 10;
+  spec.edgefactor = 8;
+  spec.a = 0.45;
+  spec.b = 0.22;
+  spec.c = 0.22;
+  spec.seed = 7;
+  return spec;
+}
+
+ShardSpec geometric_spec() {
+  ShardSpec spec;
+  spec.family = ShardFamily::kGeometric3d;
+  spec.n = 3000;
+  spec.radius = 0.05;
+  spec.seed = 5;
+  return spec;
+}
+
+std::vector<ShardSpec> all_family_specs() {
+  return {graph500_spec(), rmat_spec(), geometric_spec()};
+}
+
+// The multiset of raw edges across all shards, sorted for comparison.
+std::vector<std::pair<VertexId, VertexId>> sorted_union(
+    const ShardedSource& src) {
+  struct Collector : EdgeSink {
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    void consume(std::span<const Edge> batch) override {
+      for (const Edge& e : batch) edges.emplace_back(e.u, e.v);
+    }
+  } sink;
+  for (std::uint32_t s = 0; s < src.num_shards(); ++s) {
+    src.stream_shard(s, sink);
+  }
+  std::sort(sink.edges.begin(), sink.edges.end());
+  return sink.edges;
+}
+
+// ---------------------------------------------------------------- parsing
+
+TEST(ShardSpecParse, Graph500WithDefaults) {
+  const ShardSpec spec = parse_shard_spec("graph500:scale=20", 9);
+  EXPECT_EQ(spec.family, ShardFamily::kGraph500);
+  EXPECT_EQ(spec.scale, 20u);
+  EXPECT_EQ(spec.edgefactor, 16u);  // default
+  EXPECT_EQ(spec.seed, 9u);        // default_seed applies
+  EXPECT_EQ(spec.num_vertices(), VertexId{1} << 20);
+}
+
+TEST(ShardSpecParse, RmatCornerWeights) {
+  const ShardSpec spec =
+      parse_shard_spec("rmat:scale=12,edgefactor=4,a=0.5,b=0.2,c=0.2,seed=3");
+  EXPECT_EQ(spec.family, ShardFamily::kRmat);
+  EXPECT_EQ(spec.scale, 12u);
+  EXPECT_EQ(spec.edgefactor, 4u);
+  EXPECT_DOUBLE_EQ(spec.a, 0.5);
+  EXPECT_DOUBLE_EQ(spec.b, 0.2);
+  EXPECT_DOUBLE_EQ(spec.c, 0.2);
+  EXPECT_EQ(spec.seed, 3u);  // explicit seed wins over default_seed
+}
+
+TEST(ShardSpecParse, Geometric3d) {
+  const ShardSpec spec =
+      parse_shard_spec("geometric3d:n=100000,radius=0.01");
+  EXPECT_EQ(spec.family, ShardFamily::kGeometric3d);
+  EXPECT_EQ(spec.n, 100000u);
+  EXPECT_DOUBLE_EQ(spec.radius, 0.01);
+}
+
+TEST(ShardSpecParse, ToStringRoundTrips) {
+  for (const ShardSpec& spec : all_family_specs()) {
+    const std::string text = spec.to_string();
+    const ShardSpec back = parse_shard_spec(text);
+    EXPECT_EQ(back.to_string(), text) << text;
+    EXPECT_EQ(back.family, spec.family);
+    EXPECT_EQ(back.seed, spec.seed);
+  }
+}
+
+// Malformed specs must carry the kBadFlag taxonomy and point at the failing
+// token, matching parse_fault_spec's error reporting.
+void expect_bad_flag(const std::string& text, const std::string& fragment) {
+  try {
+    parse_shard_spec(text);
+    FAIL() << "parse_shard_spec accepted: " << text;
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadFlag) << text;
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "diagnostic for '" << text << "' was: " << e.what();
+  }
+}
+
+TEST(ShardSpecParse, RejectsMalformedSpecs) {
+  expect_bad_flag("", "empty");
+  expect_bad_flag("klein_bottle:scale=4", "family");
+  expect_bad_flag("graph500:scale=0", "token 1");
+  expect_bad_flag("graph500:scale=35", "token 1");
+  expect_bad_flag("graph500:scale=ten", "token 1");
+  expect_bad_flag("graph500:scale=8,bogus=1", "token 2");
+  expect_bad_flag("rmat:scale=8,a=0.6,b=0.3,c=0.3", "a+b+c");
+  expect_bad_flag("rmat:scale=8,a=-0.1", "token 2");
+  expect_bad_flag("geometric3d:n=1000", "radius");
+  expect_bad_flag("geometric3d:radius=0.1", "n");
+  expect_bad_flag("geometric3d:n=1000,radius=1.5", "token 2");
+  // Keys from the wrong family are rejected, not silently ignored.
+  expect_bad_flag("graph500:scale=8,radius=0.1", "token 2");
+}
+
+TEST(ShardSpecParse, BareKroneckerFamilyUsesDefaults) {
+  // graph500/rmat have sensible defaults for every key, so the bare family
+  // name is a valid spec; geometric3d has no default n/radius and is not.
+  const ShardSpec spec = parse_shard_spec("graph500");
+  EXPECT_EQ(spec.scale, 16u);
+  EXPECT_EQ(spec.edgefactor, 16u);
+}
+
+// --------------------------------------------------- shard determinism
+
+TEST(ShardDeterminism, UnionInvariantAcrossShardCounts) {
+  for (const ShardSpec& spec : all_family_specs()) {
+    const auto one = sorted_union(*make_sharded_source(spec, 1));
+    const auto four = sorted_union(*make_sharded_source(spec, 4));
+    const auto sixteen = sorted_union(*make_sharded_source(spec, 16));
+    EXPECT_EQ(one, four) << spec.to_string();
+    EXPECT_EQ(four, sixteen) << spec.to_string();
+    EXPECT_FALSE(one.empty()) << spec.to_string();
+  }
+}
+
+TEST(ShardDeterminism, RestreamingIsDeterministic) {
+  const auto src = make_sharded_source(graph500_spec(), 4);
+  EXPECT_EQ(sorted_union(*src), sorted_union(*src));
+}
+
+TEST(ShardDeterminism, SeedChangesTheUnion) {
+  ShardSpec a = graph500_spec();
+  ShardSpec b = graph500_spec();
+  b.seed = a.seed + 1;
+  EXPECT_NE(sorted_union(*make_sharded_source(a, 4)),
+            sorted_union(*make_sharded_source(b, 4)));
+}
+
+TEST(ShardDeterminism, AdvertisedRawEdgesMatchesStream) {
+  for (const ShardSpec& spec : {graph500_spec(), rmat_spec()}) {
+    const auto src = make_sharded_source(spec, 4);
+    EXPECT_EQ(src->raw_edges(), sorted_union(*src).size()) << spec.to_string();
+  }
+  // geometric3d is data-dependent and must advertise 0.
+  EXPECT_EQ(make_sharded_source(geometric_spec(), 4)->raw_edges(), 0u);
+}
+
+// --------------------------------------------------------- CSR ingestion
+
+void expect_csr_equals_graph(const ShardCsr& csr, const Graph& g) {
+  ASSERT_EQ(csr.num_vertices(), g.num_vertices());
+  EXPECT_EQ(csr.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto got = csr.neighbors(v);
+    const auto want = g.neighbors(v);
+    ASSERT_EQ(got.size(), want.size()) << "degree of " << v;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()))
+        << "adjacency of " << v;
+  }
+}
+
+TEST(ShardCsrTest, MatchesMaterializedGraphEveryFamily) {
+  for (const ShardSpec& spec : all_family_specs()) {
+    const auto src = make_sharded_source(spec, 4);
+    const ShardCsr csr = build_shard_csr(*src);
+    expect_csr_equals_graph(csr, materialize(spec));
+  }
+}
+
+TEST(ShardCsrTest, SpilledBuildIsBitIdenticalToRam) {
+  const auto src = make_sharded_source(graph500_spec(), 4);
+  const ShardCsr ram = build_shard_csr(*src);
+  IngestOptions spill;
+  spill.spill_dir = ::testing::TempDir();
+  spill.evict_stride_edges = 1024;  // exercise mid-build eviction
+  const ShardCsr spilled = build_shard_csr(*src, spill);
+  EXPECT_FALSE(ram.spilled());
+  EXPECT_TRUE(spilled.spilled());
+  ASSERT_EQ(spilled.num_vertices(), ram.num_vertices());
+  EXPECT_EQ(spilled.num_edges(), ram.num_edges());
+  for (VertexId v = 0; v < ram.num_vertices(); ++v) {
+    const auto a = ram.neighbors(v);
+    const auto b = spilled.neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << v;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << v;
+  }
+}
+
+TEST(ShardCsrTest, ValidateSpillDirRejectsBadPaths) {
+  try {
+    validate_spill_dir("/nonexistent/definitely/not/a/dir");
+    FAIL() << "validate_spill_dir accepted a nonexistent path";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadFlag);
+    EXPECT_NE(std::string(e.what()).find("--spill-dir"), std::string::npos);
+  }
+  EXPECT_NO_THROW(validate_spill_dir(::testing::TempDir()));
+}
+
+// -------------------------------------- sharded == materialized execution
+
+void expect_metrics_equal(const mpc::MpcMetrics& a, const mpc::MpcMetrics& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.total_words, b.total_words);
+  EXPECT_EQ(a.max_send_words, b.max_send_words);
+  EXPECT_EQ(a.max_recv_words, b.max_recv_words);
+  EXPECT_EQ(a.max_storage_words, b.max_storage_words);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.random_words, b.random_words);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.checkpoints, b.checkpoints);
+  EXPECT_EQ(a.recovery_rounds, b.recovery_rounds);
+  EXPECT_EQ(a.degraded_subrounds, b.degraded_subrounds);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.speculative_rounds, b.speculative_rounds);
+  EXPECT_EQ(a.corrupt_detected, b.corrupt_detected);
+  EXPECT_EQ(a.integrity_retries, b.integrity_retries);
+  EXPECT_EQ(a.quarantined_rounds, b.quarantined_rounds);
+}
+
+// The load-bearing equivalence: same algorithm, same config, one run on the
+// materialized graph and one on the sharded stream — identical output set
+// AND an identical metrics ledger, entry for entry. Nothing downstream of
+// the DistGraph constructor may be able to tell the ingestion paths apart.
+TEST(ShardedExecution, DetRulingMatchesGlobalIngestion) {
+  const ShardSpec spec = graph500_spec(10, 8);
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kDetRulingMpc;
+  options.beta = 2;
+  options.mpc.num_machines = 4;
+
+  const RulingSetResult global =
+      compute_ruling_set(materialize(spec), options);
+  const RulingSetResult sharded = compute_ruling_set_sharded(
+      *make_sharded_source(spec, options.mpc.num_machines), {}, options);
+
+  EXPECT_EQ(sharded.ruling_set, global.ruling_set);
+  EXPECT_EQ(sharded.phases, global.phases);
+  EXPECT_EQ(sharded.mark_steps, global.mark_steps);
+  EXPECT_EQ(sharded.derand_chunks, global.derand_chunks);
+  EXPECT_EQ(sharded.degree_trajectory, global.degree_trajectory);
+  expect_metrics_equal(sharded.metrics, global.metrics);
+}
+
+TEST(ShardedExecution, MisDriversMatchGlobalIngestion) {
+  const ShardSpec spec = rmat_spec();
+  for (const Algorithm algorithm :
+       {Algorithm::kDetLubyMpc, Algorithm::kLubyMpc}) {
+    RulingSetOptions options;
+    options.algorithm = algorithm;
+    options.beta = 1;
+    options.mpc.num_machines = 4;
+    const RulingSetResult global =
+        compute_ruling_set(materialize(spec), options);
+    const RulingSetResult sharded = compute_ruling_set_sharded(
+        *make_sharded_source(spec, options.mpc.num_machines), {}, options);
+    EXPECT_EQ(sharded.ruling_set, global.ruling_set);
+    expect_metrics_equal(sharded.metrics, global.metrics);
+  }
+}
+
+TEST(ShardedExecution, SpilledIngestionSameResult) {
+  const ShardSpec spec = graph500_spec(10, 8);
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kDetRulingMpc;
+  options.beta = 2;
+  options.mpc.num_machines = 4;
+  const auto src = make_sharded_source(spec, options.mpc.num_machines);
+  const RulingSetResult ram = compute_ruling_set_sharded(*src, {}, options);
+  IngestOptions spill;
+  spill.spill_dir = ::testing::TempDir();
+  const RulingSetResult spilled =
+      compute_ruling_set_sharded(*src, spill, options);
+  EXPECT_EQ(spilled.ruling_set, ram.ruling_set);
+  expect_metrics_equal(spilled.metrics, ram.metrics);
+}
+
+TEST(ShardedExecution, UnsupportedAlgorithmThrows) {
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kGreedySequential;
+  options.beta = 2;
+  EXPECT_THROW(compute_ruling_set_sharded(
+                   *make_sharded_source(graph500_spec(), 4), {}, options),
+               std::invalid_argument);
+}
+
+// Crash + checkpoint recovery must work when the input was sharded: the
+// DistGraph participates in checkpoints identically, so a crashed machine
+// recovers and the output matches the fault-free run bit for bit.
+TEST(ShardedExecution, CrashRecoveryMatchesFaultFree) {
+  const ShardSpec spec = graph500_spec(10, 8);
+  RulingSetOptions options;
+  options.algorithm = Algorithm::kDetRulingMpc;
+  options.beta = 2;
+  options.mpc.num_machines = 4;
+  const auto src = make_sharded_source(spec, options.mpc.num_machines);
+  const RulingSetResult clean = compute_ruling_set_sharded(*src, {}, options);
+
+  options.mpc.faults = mpc::parse_fault_spec("crash@3:1,seed=11");
+  options.mpc.checkpoint_every = 2;
+  const RulingSetResult faulty = compute_ruling_set_sharded(*src, {}, options);
+
+  EXPECT_EQ(faulty.ruling_set, clean.ruling_set);
+  EXPECT_GE(faulty.metrics.faults_injected, 1u);
+  EXPECT_GE(faulty.metrics.recovery_rounds, 1u);
+  EXPECT_GE(faulty.metrics.checkpoints, 1u);
+}
+
+// ---------------------------------------------------------------- validator
+
+TEST(ShardValidator, GreenOnEveryFamily) {
+  for (const ShardSpec& spec : all_family_specs()) {
+    const auto src = make_sharded_source(spec, 4);
+    const ShardValidationReport report = validate_sharded_source(*src);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    EXPECT_TRUE(report.cross_checked) << spec.to_string();
+    EXPECT_GE(report.shard_counts_probed, 2u);
+  }
+}
+
+// A source that violates the contract — it silently drops the first edge of
+// shard 0 — must be caught, not trusted.
+class DropOneSource : public ShardedSource {
+ public:
+  explicit DropOneSource(std::unique_ptr<ShardedSource> inner)
+      : inner_(std::move(inner)) {}
+
+  const ShardSpec& spec() const override { return inner_->spec(); }
+  VertexId num_vertices() const override { return inner_->num_vertices(); }
+  std::uint32_t num_shards() const override { return inner_->num_shards(); }
+  std::uint64_t raw_edges() const override { return inner_->raw_edges(); }
+
+  void stream_shard(std::uint32_t s, EdgeSink& sink) const override {
+    if (s != 0) {
+      inner_->stream_shard(s, sink);
+      return;
+    }
+    struct Dropper : EdgeSink {
+      EdgeSink* out = nullptr;
+      bool dropped = false;
+      void consume(std::span<const Edge> batch) override {
+        if (!dropped && !batch.empty()) {
+          dropped = true;
+          batch = batch.subspan(1);
+        }
+        if (!batch.empty()) out->consume(batch);
+      }
+    } dropper;
+    dropper.out = &sink;
+    inner_->stream_shard(s, dropper);
+  }
+
+ private:
+  std::unique_ptr<ShardedSource> inner_;
+};
+
+TEST(ShardValidator, CatchesAContractViolation) {
+  const DropOneSource broken(make_sharded_source(graph500_spec(), 4));
+  const ShardValidationReport report = validate_sharded_source(broken);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.failures.empty());
+}
+
+}  // namespace
+}  // namespace rsets::shard

@@ -45,6 +45,13 @@ if [ "$found" -eq 0 ]; then
   exit 1
 fi
 
+# E12 must have a recorded baseline: the out-of-core path is gated on a
+# checked-in peak-RSS/rate reference, not just on the smoke test passing.
+if [ ! -f "$baselines/BENCH_shard_ooc.json" ]; then
+  echo "check_bench_baseline: BENCH_shard_ooc.json (E12 out-of-core) missing — run tools/bench_baseline.sh" >&2
+  exit 1
+fi
+
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$build_dir" -j "$(nproc)" --target bench_rounds_vs_n
 

@@ -20,9 +20,13 @@
 #   8. Chaos soak smoke: 200 seeded mixed-fault schedules across every MPC
 #      algorithm; each faulty run must match its fault-free twin
 #      bit-for-bit and certify (60 s budget; the soak runs in ~5 s).
-#   9. Bench baseline gate: checked-in bench/baselines/*.json must be
-#      Release-recorded, and a Release re-run of the E1b transport-storm
-#      rows must stay within a generous real_time tolerance of them
+#   9. Sharded-generation gate: the cross-shard validator plus a
+#      10^7-edge out-of-core smoke run (sharded graph500, spill-backed,
+#      certified in-model) through rsets_cli --sharded.
+#  10. Bench baseline gate: checked-in bench/baselines/*.json must be
+#      Release-recorded (E12's BENCH_shard_ooc.json must exist), and a
+#      Release re-run of the E1b transport-storm rows must stay within a
+#      generous real_time tolerance of them
 #      (tools/check_bench_baseline.sh).
 #
 # Usage: tools/ci.sh
@@ -66,6 +70,19 @@ echo "=== ci: integrity parity (plain vs --integrity vs corrupted) ==="
 
 echo "=== ci: chaos soak (200 seeded mixed-fault schedules) ==="
 timeout 60 "$repo_root/build/tools/chaos_soak" --schedules=200 --seed=1
+
+echo "=== ci: sharded generation (validator + 10^7-edge out-of-core smoke) ==="
+# graph500 scale=20, edgefactor=16: 2^24 ~ 1.7e7 raw edges, streamed and
+# spilled — never materialized. The run must validate its shards, complete
+# det_ruling, and certify in-model (exit 0 is the whole contract).
+shard_tmp=$(mktemp -d)
+"$repo_root/build/tools/rsets_cli" \
+    --sharded=graph500:scale=20,edgefactor=16 --machines=8 \
+    --memory_words=67108864 --validate-shards --spill-dir="$shard_tmp" \
+    --algorithm=det_ruling_mpc --beta=2 > "$shard_tmp/out.txt"
+grep -q '^shards_valid=1$' "$shard_tmp/out.txt"
+grep -q '^certified=1$' "$shard_tmp/out.txt"
+rm -rf "$shard_tmp"
 
 echo "=== ci: bench baseline (release-recorded, within tolerance) ==="
 "$repo_root/tools/check_bench_baseline.sh" "$repo_root/build-release"

@@ -32,6 +32,7 @@
 //   2  usage or input errors: bad flags, malformed graph files, missing or
 //      unreadable replay logs
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -41,6 +42,9 @@
 #include "core/chaos.hpp"
 #include "core/replay.hpp"
 #include "core/ruling_set.hpp"
+#include "graph/shard/shard_csr.hpp"
+#include "graph/shard/sharded_source.hpp"
+#include "graph/shard/validator.hpp"
 #include "graph/verify.hpp"
 #include "mpc/certify.hpp"
 #include "mpc/trace.hpp"
@@ -106,6 +110,13 @@ int usage(const std::string& error) {
       << "                     across all MPC algorithms (--n/--avg_deg/\n"
       << "                     --machines/--seed shape the runs)\n"
       << "  --trace=FILE       per-round JSONL trace (MPC algorithms)\n"
+      << "  --sharded=SPEC     stream the input as per-machine shards (no\n"
+      << "                     global edge list): graph500:scale=S[,edgefactor=E]\n"
+      << "                     | rmat:scale=S[,edgefactor=E,a=A,b=B,c=C]\n"
+      << "                     | geometric3d:n=N,radius=R  (--seed applies)\n"
+      << "  --spill-dir=DIR    back the sharded adjacency with an mmapped\n"
+      << "                     spill file in DIR (out-of-core ingestion)\n"
+      << "  --validate-shards  run the cross-shard validator before computing\n"
       << "  --out=FILE         write the set, one vertex per line\n"
       << "  --print_set        print the set to stdout\n"
       << "  --verbose          debug logging\n";
@@ -178,6 +189,109 @@ int run_replay(const std::string& path) {
   return 0;
 }
 
+// Peak resident set (VmHWM) in kB — the number the out-of-core claims are
+// judged by: a spill-backed run must stay well under the materialized
+// edge-list footprint. /proc is Linux-only, as is the mmap spill itself.
+std::uint64_t peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  for (std::string line; std::getline(status, line);) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+// The sharded front end: the input is described by --sharded=SPEC and never
+// materialized — each simulated machine streams its own shard straight into
+// the distributed store. Verification is the in-model certificate (the
+// sequential checker would need the global graph we refuse to build), so
+// exit 0 means the certificate validated.
+int run_sharded(const Flags& flags) {
+  const RunSpec spec = spec_from_flags(flags);
+  RulingSetOptions options = options_from_spec(spec);
+  const AlgorithmInfo& info = algorithm_info(options.algorithm);
+  const bool faulty =
+      options.mpc.faults.enabled || options.mpc.checkpoint_every != 0;
+
+  const shard::ShardSpec shard_spec =
+      shard::parse_shard_spec(flags.get("sharded", ""), spec.seed);
+  shard::IngestOptions ingest;
+  if (flags.has("spill-dir")) {
+    ingest.spill_dir = flags.get("spill-dir", "");
+    shard::validate_spill_dir(ingest.spill_dir);
+  }
+  const auto src = shard::make_sharded_source(shard_spec, spec.machines);
+
+  if (flags.get_bool("validate-shards", false)) {
+    const shard::ShardValidationReport report =
+        shard::validate_sharded_source(*src);
+    std::cout << "shards_valid=" << (report.ok() ? 1 : 0) << "\n";
+    if (!report.ok()) {
+      std::cerr << report.to_string() << "\n";
+      return 1;
+    }
+  }
+
+  std::ofstream trace_out;
+  if (flags.has("trace")) {
+    trace_out.open(flags.get("trace", ""));
+    if (!trace_out) {
+      std::cerr << "error: cannot write " << flags.get("trace", "") << "\n";
+      return 2;
+    }
+    options.mpc.trace_hook = [&trace_out](const mpc::RoundTrace& trace) {
+      trace_out << mpc::to_json(trace) << "\n";
+    };
+  }
+
+  const RulingSetResult result =
+      compute_ruling_set_sharded(*src, ingest, options);
+
+  std::cout << "algorithm=" << info.name << "\n"
+            << "model=mpc\n"
+            << "sharded=" << shard_spec.to_string() << "\n"
+            << "n=" << src->num_vertices() << "\n"
+            << "raw_edges=" << src->raw_edges() << "\n"
+            << "machines=" << spec.machines << "\n"
+            << "beta=" << options.beta << "\n"
+            << "size=" << result.ruling_set.size() << "\n"
+            << "phases=" << result.phases << "\n"
+            << "rounds=" << result.metrics.rounds << "\n"
+            << "words=" << result.metrics.total_words << "\n"
+            << "peak_memory_words=" << result.metrics.max_storage_words
+            << "\n"
+            << "random_words=" << result.metrics.random_words << "\n"
+            << "violations=" << result.metrics.violations << "\n";
+  if (faulty) {
+    std::cout << "faults_injected=" << result.metrics.faults_injected << "\n"
+              << "checkpoints=" << result.metrics.checkpoints << "\n"
+              << "recovery_rounds=" << result.metrics.recovery_rounds << "\n";
+  }
+
+  // Certify through the same sharded ingestion: the clean-room simulator
+  // regenerates its shards, never touching a global edge list.
+  const RulingSetCertificate cert = mpc::certify_ruling_set(
+      *src, ingest, result.ruling_set, options.beta, options.mpc);
+  std::cout << "certificate=" << cert.to_string() << "\n"
+            << "certify_rounds=" << cert.rounds << "\n"
+            << "certified=" << (cert.valid() ? 1 : 0) << "\n"
+            << "peak_rss_kb=" << peak_rss_kb() << "\n";
+
+  if (flags.has("out")) {
+    std::ofstream out(flags.get("out", ""));
+    if (!out) {
+      std::cerr << "error: cannot write " << flags.get("out", "") << "\n";
+      return 2;
+    }
+    for (VertexId v : result.ruling_set) out << v << "\n";
+  }
+  if (flags.get_bool("print_set", false)) {
+    for (VertexId v : result.ruling_set) std::cout << v << "\n";
+  }
+  return cert.valid() ? 0 : 1;
+}
+
 int run_soak(const Flags& flags) {
   ChaosOptions options;
   options.schedules =
@@ -219,8 +333,9 @@ int main(int argc, char** argv) {
       "checkpoint-every",      "deadline", "faults",   "gen",
       "input",     "integrity",            "machines", "memory_words",
       "n",         "out",      "paranoid", "print_set",
-      "record",    "replay",   "seed",     "soak",     "threads",
-      "trace",     "transport",            "verbose"};
+      "record",    "replay",   "seed",     "sharded",  "soak",
+      "spill-dir", "threads",  "trace",    "transport",
+      "validate-shards",       "verbose"};
   for (const std::string& key : flags.keys()) {
     if (kKnownFlags.count(key) == 0) {
       return usage("unknown flag: --" + key);
@@ -228,6 +343,17 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (flags.has("sharded")) {
+      // A sharded run has no global graph, so the modes that need one (or
+      // that record a materialized RunSpec) are incompatible.
+      if (flags.has("input") || flags.has("gen") || flags.has("record") ||
+          flags.has("replay") || flags.has("soak")) {
+        return usage(
+            "--sharded cannot be combined with --input, --gen, --record, "
+            "--replay, or --soak");
+      }
+      return run_sharded(flags);
+    }
     if (flags.has("replay")) {
       return run_replay(flags.get("replay", ""));
     }
@@ -236,7 +362,8 @@ int main(int argc, char** argv) {
     }
     if (!flags.has("input") && !flags.has("gen")) {
       return usage(
-          "need --input=FILE, --gen=NAME, --replay=FILE, or --soak=N");
+          "need --input=FILE, --gen=NAME, --replay=FILE, --soak=N, or "
+          "--sharded=SPEC");
     }
 
     const RunSpec spec = spec_from_flags(flags);
