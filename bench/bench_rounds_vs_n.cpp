@@ -13,6 +13,8 @@
 // E1b (BM_DetRulingThreads) additionally sweeps the simulator's worker
 // thread count at fixed n to measure wall-clock scaling of the threaded
 // round executor; model counters are thread-invariant by construction.
+// E1c (BM_BarrierScaling) sweeps the same thread widths over a pure
+// communication storm, isolating the parallel barrier pipeline itself.
 #include "bench_common.hpp"
 
 #include <chrono>
@@ -132,80 +134,119 @@ void BM_DetRulingThreads(benchmark::State& state) {
   }
 }
 
-// E1b storm rows — the transport redesign's headline microbench. A pure
-// communication storm at 16+ machines: every machine sends kMsgsPerPeer
-// tiny messages to every other machine each round, which is exactly the
-// workload the per-message legacy transport is worst at (one heap-allocated
-// payload vector per send) and the aggregated arena transport amortizes to
-// plain word appends. Rows run legacy first (registration order), so the
-// aggregated rows report `speedup_vs_legacy` against the same machine
-// count; `identical` asserts both modes delivered the same words. Model
-// counters (messages/words) are transport-invariant by construction.
-void BM_TransportStorm(benchmark::State& state) {
-  const auto machines = static_cast<mpc::MachineId>(state.range(0));
-  const bool aggregated = state.range(1) != 0;
-  constexpr int kRounds = 48;  // long enough to amortize cold-start noise
-  constexpr int kMsgsPerPeer = 64;
+// Shared storm workload for the substrate microbenches: every machine sends
+// kMsgsPerPeer tiny messages to every other machine each round — an
+// all-to-all barrage with trivial per-machine compute, so wall clock is
+// dominated by the barrier pipeline (merge, verify, index), not by callback
+// work. Returns an order-insensitive digest of everything delivered.
+struct StormRun {
   std::uint64_t digest = 0;
   std::uint64_t messages = 0;
   std::uint64_t words = 0;
   double wall_ms = 0.0;
+};
+
+StormRun run_storm(mpc::MpcConfig cfg, mpc::MachineId machines) {
+  constexpr int kRounds = 48;  // long enough to amortize cold-start noise
+  constexpr int kMsgsPerPeer = 64;
+  StormRun out;
+  // Callbacks run concurrently at num_threads > 1, so each accumulates
+  // into its own machine's slot; the commutative sum below is
+  // order-insensitive, making the digest comparable across thread widths.
+  std::vector<std::uint64_t> digests(machines, 0);
+  mpc::Simulator sim(cfg);
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < kRounds; ++r) {
+    sim.round([&](mpc::Machine& m, const mpc::Inbox& inbox) {
+      for (const mpc::MessageView& msg : inbox.all()) {
+        digests[m.id()] += msg.payload[0] * (msg.src + 1);
+      }
+      for (mpc::MachineId dst = 0; dst < machines; ++dst) {
+        if (dst == m.id()) continue;
+        for (int k = 0; k < kMsgsPerPeer; ++k) {
+          m.sender(dst, 1).push(m.id() * kMsgsPerPeer + k);
+        }
+      }
+    });
+  }
+  sim.drain([&](mpc::Machine& m, const mpc::Inbox& inbox) {
+    for (const mpc::MessageView& msg : inbox.all()) {
+      digests[m.id()] += msg.payload[0] * (msg.src + 1);
+    }
+  });
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  for (const std::uint64_t d : digests) out.digest += d;
+  out.messages = sim.metrics().messages;
+  out.words = sim.metrics().total_words;
+  return out;
+}
+
+// E1b storm rows — the aggregated-transport microbench, kept as the absolute
+// cost record for the all-to-all barrage. (The original legacy-vs-aggregated
+// comparison rows are retired with the legacy transport itself; the recorded
+// speedups live on as a historical note in EXPERIMENTS.md E1b.)
+void BM_TransportStorm(benchmark::State& state) {
+  const auto machines = static_cast<mpc::MachineId>(state.range(0));
+  StormRun run;
   for (auto _ : state) {
     mpc::MpcConfig cfg;
     cfg.num_machines = machines;
     cfg.memory_words = std::size_t{1} << 26;
     cfg.seed = 7;
-    cfg.transport = aggregated ? mpc::TransportMode::kAggregated
-                               : mpc::TransportMode::kLegacy;
-    mpc::Simulator sim(cfg);
-    digest = 0;
-    const auto start = std::chrono::steady_clock::now();
-    for (int r = 0; r < kRounds; ++r) {
-      sim.round([&](mpc::Machine& m, const mpc::Inbox& inbox) {
-        for (const mpc::MessageView& msg : inbox.all()) {
-          digest += msg.payload[0] * (msg.src + 1);
-        }
-        for (mpc::MachineId dst = 0; dst < machines; ++dst) {
-          if (dst == m.id()) continue;
-          for (int k = 0; k < kMsgsPerPeer; ++k) {
-            m.sender(dst, 1).push(m.id() * kMsgsPerPeer + k);
-          }
-        }
-      });
-    }
-    sim.drain([&](mpc::Machine&, const mpc::Inbox& inbox) {
-      for (const mpc::MessageView& msg : inbox.all()) {
-        digest += msg.payload[0] * (msg.src + 1);
-      }
-    });
-    wall_ms = std::chrono::duration<double, std::milli>(
-                  std::chrono::steady_clock::now() - start)
-                  .count();
-    messages = sim.metrics().messages;
-    words = sim.metrics().total_words;
+    run = run_storm(cfg, machines);
   }
   state.counters["machines"] = static_cast<double>(machines);
-  state.counters["aggregated"] = aggregated ? 1.0 : 0.0;
-  state.counters["messages"] = static_cast<double>(messages);
-  state.counters["words"] = static_cast<double>(words);
-  state.counters["wall_ms"] = wall_ms;
-  // Legacy rows run first (registration order) and seed the per-machine-
-  // count baseline the aggregated rows compare against.
+  state.counters["messages"] = static_cast<double>(run.messages);
+  state.counters["words"] = static_cast<double>(run.words);
+  state.counters["wall_ms"] = run.wall_ms;
+}
+
+// E1c — wall-clock scaling of the parallel barrier (DESIGN.md §4.6). The
+// same storm as BM_TransportStorm, with integrity checksums on (so the
+// verify pass is real work), swept over worker-thread widths at fixed
+// machine counts. threads=1 rows run first (registration order) and seed
+// the per-machine-count baseline; `speedup` is the threads=1 wall clock
+// over this row's, and `identical` asserts the delivered-word digest is
+// bit-identical to the threads=1 row — the parallelism contract.
+void BM_BarrierScaling(benchmark::State& state) {
+  const auto machines = static_cast<mpc::MachineId>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  StormRun run;
+  for (auto _ : state) {
+    mpc::MpcConfig cfg;
+    cfg.num_machines = machines;
+    cfg.memory_words = std::size_t{1} << 26;
+    cfg.seed = 7;
+    cfg.num_threads = threads;
+    cfg.integrity = true;
+    run = run_storm(cfg, machines);
+  }
+  state.counters["machines"] = static_cast<double>(machines);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["messages"] = static_cast<double>(run.messages);
+  state.counters["words"] = static_cast<double>(run.words);
+  state.counters["wall_ms"] = run.wall_ms;
+  // threads=1 rows run first (registration order) and seed the baseline.
   static std::map<mpc::MachineId, std::pair<double, std::uint64_t>> baseline;
-  if (!aggregated) baseline[machines] = {wall_ms, digest};
+  if (threads == 1) baseline[machines] = {run.wall_ms, run.digest};
   const auto it = baseline.find(machines);
   if (it != baseline.end()) {
-    state.counters["speedup_vs_legacy"] =
-        it->second.first / std::max(wall_ms, 1e-9);
-    state.counters["identical"] = it->second.second == digest ? 1.0 : 0.0;
+    state.counters["speedup"] = it->second.first / std::max(run.wall_ms, 1e-9);
+    state.counters["identical"] = it->second.second == run.digest ? 1.0 : 0.0;
   }
 }
 
 void StormSweep(benchmark::internal::Benchmark* b) {
+  for (long machines : {16, 32}) b->Args({machines});
+}
+
+void BarrierSweep(benchmark::internal::Benchmark* b) {
   for (long machines : {16, 32}) {
-    // legacy (0) first: it is the baseline speedup_vs_legacy divides by.
-    for (long aggregated : {0, 1}) {
-      b->Args({machines, aggregated});
+    // threads=1 first: it is the baseline the speedup counter divides by.
+    for (long threads : {1, 2, 4, 8}) {
+      b->Args({machines, threads});
     }
   }
 }
@@ -244,6 +285,7 @@ BENCHMARK(BM_Luby)->Apply(SparseAndDenseSizes)->Iterations(1)->Unit(benchmark::k
 BENCHMARK(BM_DetLuby)->Apply(SmallSizes)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DetRulingThreads)->Apply(ThreadSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TransportStorm)->Apply(StormSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BarrierScaling)->Apply(BarrierSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace rsets::bench

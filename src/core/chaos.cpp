@@ -80,6 +80,14 @@ ChaosReport run_chaos_soak(const ChaosOptions& options) {
       RunSpec run = base;
       run.algorithm = std::string(info.name);
       run.beta = info.min_beta;
+      // Rotate the simulator's thread width across schedules so the soak
+      // (and its TSan stage in tools/check_tsan.sh) exercises the parallel
+      // barrier pipeline — sharded merge, parallel verify/index, threaded
+      // callbacks — not just the sequential path. Results are
+      // thread-invariant by construction; truth and faulty runs share the
+      // width, so the faulty == truth contract is unchanged.
+      static constexpr std::uint32_t kSoakThreadWidths[] = {1, 2, 4};
+      run.threads = kSoakThreadWidths[s % 3];
 
       // Ground truth: the fault-free execution of the same spec.
       const RulingSetResult truth =

@@ -89,9 +89,7 @@ std::string spec_to_json(const RunSpec& spec) {
   out << ",\"checkpoint_every\":" << spec.checkpoint_every << ",";
   append_json_str(out, "budget_policy", spec.budget_policy);
   out << ",\"deadline\":" << spec.deadline
-      << ",\"integrity\":" << (spec.integrity ? 1 : 0) << ",";
-  append_json_str(out, "transport", spec.transport);
-  out << "}";
+      << ",\"integrity\":" << (spec.integrity ? 1 : 0) << "}";
   return out.str();
 }
 
@@ -120,8 +118,6 @@ RunSpec spec_from_json(const std::string& line) {
   mpc::parse_budget_policy(spec.budget_policy);  // validate before running
   spec.deadline = json_u64(line, "deadline");
   spec.integrity = json_u64(line, "integrity") != 0;
-  spec.transport = json_value(line, "transport");
-  mpc::parse_transport_mode(spec.transport);  // validate before running
   return spec;
 }
 
@@ -175,7 +171,6 @@ RulingSetOptions options_from_spec(const RunSpec& spec) {
   options.mpc.budget_policy = mpc::parse_budget_policy(spec.budget_policy);
   options.mpc.round_deadline = spec.deadline;
   options.mpc.integrity = spec.integrity;
-  options.mpc.transport = mpc::parse_transport_mode(spec.transport);
   options.congest.seed = spec.seed;
   options.gather_budget_words = spec.budget;
   return options;

@@ -43,7 +43,6 @@ struct RunSpec {
   std::string budget_policy = "strict";
   std::uint64_t deadline = 0;
   bool integrity = false;  // force verify-on-receive in fault-free runs
-  std::string transport = "aggregated";  // mpc::parse_transport_mode
 };
 
 // v2: the meta line gains budget_policy/deadline and the summary line gains
@@ -53,9 +52,12 @@ struct RunSpec {
 // v4: the meta line gains transport (aggregated|legacy) — fault draws are
 // per aggregated buffer since the transport redesign, so a v3 log's faulty
 // records would not replay bit-identically.
+// v5: transport is dropped from the meta line — the legacy mode is deleted
+// and there is exactly one transport, so the key carried no information; a
+// v4 log naming a transport is rejected rather than silently accepted.
 // Older logs are rejected with a clear version diagnostic rather than
 // replayed against mismatched semantics.
-inline constexpr const char* kReplayFormat = "rsets-replay-v4";
+inline constexpr const char* kReplayFormat = "rsets-replay-v5";
 
 // Meta line round trip. spec_from_json throws std::invalid_argument on a
 // missing key, a malformed value, or a log whose format tag is not

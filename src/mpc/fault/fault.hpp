@@ -26,11 +26,11 @@
 //              Retries are bounded: a source machine that keeps corrupting
 //              is quarantined and its round re-executed from the barrier
 //              snapshot through the checkpoint path.
-//   reorder    the in-flight messages of one delivery are permuted; the
-//              transport restores canonical order from the per-message
-//              sequence numbers stamped at send time (no words charged —
-//              reordering costs determinism, not bandwidth, and the
-//              sequence numbers ride in the existing message header).
+//   reorder    the in-flight buffers of one delivery are permuted; the
+//              transport restores canonical order from the per-buffer
+//              sequence numbers stamped at the barrier merge (no words
+//              charged — reordering costs determinism, not bandwidth, and
+//              the sequence numbers ride in the charged framing words).
 //
 // Faults are drawn from the injector's own RNG stream (see
 // fault/injector.hpp), never from the per-machine algorithm streams, so a
@@ -58,7 +58,7 @@ enum class FaultKind : std::uint8_t {
   // A message payload bit-flip detected by the receive-side checksum and
   // healed by retransmission (one event per corrupted delivery attempt).
   kCorrupt = 6,
-  // The delivery order of one phase's in-flight messages was permuted; the
+  // The delivery order of one phase's in-flight buffers was permuted; the
   // transport re-sorted them back into canonical order.
   kReorder = 7,
   // A source machine exceeded the corruption streak (or exhausted the

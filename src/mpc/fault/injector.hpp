@@ -2,7 +2,7 @@
 //
 // The injector owns a private RNG stream and is consulted only on the
 // simulator's calling thread, in a fixed order (machines in id order at
-// every round barrier, in-flight messages in merged outbox order at every
+// every round barrier, in-flight buffers in canonical merge order at every
 // delivery), so the injected fault sequence is a pure function of
 // (FaultConfig, round structure) — identical at any MpcConfig::num_threads
 // and reproducible for trace replay.

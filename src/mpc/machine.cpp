@@ -10,10 +10,8 @@ Machine::Machine(MachineId id, const MpcConfig& config)
     : id_(id),
       config_(&config),
       rng_(Rng::for_stream(config.seed, id)) {
-  if (config.transport == TransportMode::kAggregated) {
-    out_arenas_.resize(config.num_machines);
-    out_counts_.assign(config.num_machines, 0);
-  }
+  out_arenas_.resize(config.num_machines);
+  out_counts_.assign(config.num_machines, 0);
 }
 
 void Machine::charge_storage(std::size_t words) {
@@ -54,19 +52,9 @@ void Machine::send_budget_overflow() {
   if (config_->budget_policy == BudgetPolicy::kTrace) ++violations_;
 }
 
-void Machine::close_legacy_record(MachineId dst) {
-  Message msg;
-  msg.src = id_;
-  msg.dst = dst;
-  msg.tag = legacy_sender_tag_;
-  msg.payload = std::move(legacy_sender_payload_);
-  legacy_sender_payload_ = {};
-  const std::size_t words = msg.words();
-  outbox_.push_back(std::move(msg));
-  charge_send(words);
-}
-
-Inbox::Inbox(std::span<const AggBuffer> buffers) {
+void Inbox::build(std::span<const AggBuffer> buffers) {
+  index_.clear();
+  total_words_ = 0;
   std::size_t count = 0;
   for (const AggBuffer& buf : buffers) {
     count += buf.messages;

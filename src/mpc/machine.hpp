@@ -3,12 +3,15 @@
 //
 // Thread discipline: when the simulator runs rounds in parallel
 // (MpcConfig::num_threads != 1), each Machine is touched by exactly one
-// worker during a phase — its own callback. Everything here (storage
-// counters, outbox arenas, RNG) is therefore unsynchronized by design;
-// cross-machine state must live in messages or in driver arrays indexed so
-// that machine i's callback writes only slice i (and never through a
-// bit-packed container such as std::vector<bool>, whose neighboring
-// elements share bytes).
+// worker during the callback pass — its own. During the destination-sharded
+// merge pass a machine's per-destination arena slots are each touched by
+// exactly one worker (the one owning that destination); distinct vector
+// elements are distinct objects, so this too is race-free without locks.
+// Everything here (storage counters, outbox arenas, RNG) is therefore
+// unsynchronized by design; cross-machine state must live in messages or in
+// driver arrays indexed so that machine i's callback writes only slice i
+// (and never through a bit-packed container such as std::vector<bool>,
+// whose neighboring elements share bytes).
 #pragma once
 
 #include <cstddef>
@@ -43,19 +46,10 @@ class Machine {
   // common `send(dst, tag, bucket)` call sites need no conversion.
   void send(MachineId dst, std::uint32_t tag, std::span<const Word> payload) {
     check_dst(dst);
-    if (config_->transport == TransportMode::kAggregated) {
-      const std::size_t len_at = open_record(dst, tag);
-      std::vector<Word>& arena = out_arenas_[dst];
-      arena.insert(arena.end(), payload.begin(), payload.end());
-      arena[len_at] = payload.size();
-    } else {
-      Message msg;
-      msg.src = id_;
-      msg.dst = dst;
-      msg.tag = tag;
-      msg.payload.assign(payload.begin(), payload.end());
-      outbox_.push_back(std::move(msg));
-    }
+    const std::size_t len_at = open_record(dst, tag);
+    std::vector<Word>& arena = out_arenas_[dst];
+    arena.insert(arena.end(), payload.begin(), payload.end());
+    arena[len_at] = payload.size();
     charge_send(payload.size() + kHeaderWords);
   }
 
@@ -80,18 +74,11 @@ class Machine {
     ~Sender() { close(); }
 
     Sender& push(Word value) {
-      if (machine_->config_->transport == TransportMode::kAggregated) {
-        machine_->out_arenas_[dst_].push_back(value);
-      } else {
-        machine_->legacy_sender_payload_.push_back(value);
-      }
+      machine_->out_arenas_[dst_].push_back(value);
       return *this;
     }
     Sender& append(std::span<const Word> values) {
-      std::vector<Word>& out =
-          machine_->config_->transport == TransportMode::kAggregated
-              ? machine_->out_arenas_[dst_]
-              : machine_->legacy_sender_payload_;
+      std::vector<Word>& out = machine_->out_arenas_[dst_];
       out.insert(out.end(), values.begin(), values.end());
       return *this;
     }
@@ -104,47 +91,21 @@ class Machine {
       if (machine_ == nullptr) return;
       Machine& m = *machine_;
       machine_ = nullptr;
-      if (m.config_->transport == TransportMode::kAggregated) {
-        std::vector<Word>& arena = m.out_arenas_[dst_];
-        const std::size_t payload_words = arena.size() - len_at_ - 1;
-        arena[len_at_] = payload_words;
-        m.charge_send(payload_words + kHeaderWords);
-      } else {
-        m.close_legacy_record(dst_);
-      }
+      std::vector<Word>& arena = m.out_arenas_[dst_];
+      const std::size_t payload_words = arena.size() - len_at_ - 1;
+      arena[len_at_] = payload_words;
+      m.charge_send(payload_words + kHeaderWords);
     }
 
     Machine* machine_;
     MachineId dst_;
-    // Arena index of the record's payload-length word (aggregated mode) or
-    // unused (legacy mode, where the payload accumulates in a Message).
+    // Arena index of the record's payload-length word.
     std::size_t len_at_;
   };
 
   Sender sender(MachineId dst, std::uint32_t tag) {
     check_dst(dst);
-    if (config_->transport == TransportMode::kAggregated) {
-      return Sender(this, dst, open_record(dst, tag));
-    }
-    legacy_sender_payload_.clear();
-    legacy_sender_tag_ = tag;
-    return Sender(this, dst, 0);
-  }
-
-  // --- one-release deprecation shims --------------------------------------
-  // The pre-aggregation idioms. Both forward to the batch API above (the
-  // vector is copied into the arena either way, so the by-value signature
-  // buys nothing); they will be removed next release.
-  [[deprecated(
-      "use send(dst, tag, std::span<const Word>) — a vector lvalue binds "
-      "directly")]]
-  void send(MachineId dst, std::uint32_t tag, std::vector<Word>&& payload) {
-    send(dst, tag, std::span<const Word>(payload));
-  }
-  [[deprecated("use sender(dst, tag).push(value)")]]
-  void send_word(MachineId dst, std::uint32_t tag, Word value) {
-    const Word one[1] = {value};
-    send(dst, tag, std::span<const Word>(one));
+    return Sender(this, dst, open_record(dst, tag));
   }
 
   // --- randomness ---------------------------------------------------------
@@ -156,7 +117,7 @@ class Machine {
   friend class Simulator;
 
   // Opens a framed record in the dst arena and returns the index of its
-  // payload-length word. Aggregated mode only.
+  // payload-length word.
   std::size_t open_record(MachineId dst, std::uint32_t tag) {
     std::vector<Word>& arena = out_arenas_[dst];
     arena.push_back(tag);
@@ -172,9 +133,6 @@ class Machine {
     if (sent_words_this_round_ > config_->memory_words) send_budget_overflow();
   }
   void send_budget_overflow();
-  // Finalizes a legacy-mode Sender: moves the scratch payload into an
-  // outbox Message and charges it.
-  void close_legacy_record(MachineId dst);
   void check_dst(MachineId dst) const {
     if (dst >= config_->num_machines) bad_dst();
   }
@@ -186,19 +144,12 @@ class Machine {
   std::size_t peak_storage_words_ = 0;
   std::uint64_t sent_words_this_round_ = 0;
   std::uint64_t violations_ = 0;
-  // Aggregated transport: one framed-record arena and message count per
-  // destination. Arenas are std::moved into AggBuffers at outbox merge and
-  // replaced from the simulator's recycle pool, so steady-state rounds
-  // allocate nothing on the send path.
+  // One framed-record arena and message count per destination. Arenas are
+  // std::moved into AggBuffers at outbox merge and replaced from the
+  // simulator's recycle pool, so steady-state rounds allocate nothing on
+  // the send path.
   std::vector<std::vector<Word>> out_arenas_;
   std::vector<std::uint32_t> out_counts_;
-  // Legacy transport: one heap-allocated Message per send, converted to the
-  // same canonical AggBuffer sequence at merge.
-  std::vector<Message> outbox_;
-  // Scratch payload for a Sender in legacy mode (mirrors the arena record
-  // the aggregated mode builds in place).
-  std::vector<Word> legacy_sender_payload_;
-  std::uint32_t legacy_sender_tag_ = 0;
   Rng rng_;
 };
 
@@ -208,9 +159,17 @@ class Machine {
 // building an Inbox copies no payload words.
 class Inbox {
  public:
+  // An empty inbox ready for build(); the simulator keeps one per machine
+  // and rebuilds it each phase so the index vector's capacity is reused.
+  Inbox() = default;
+
   // `buffers` must outlive the Inbox (the simulator owns them for the whole
   // phase and recycles the arenas only after every callback returned).
-  explicit Inbox(std::span<const AggBuffer> buffers);
+  explicit Inbox(std::span<const AggBuffer> buffers) { build(buffers); }
+
+  // Rebuilds the index over a new phase's buffers, retaining capacity.
+  // Throws MpcViolation on malformed framing.
+  void build(std::span<const AggBuffer> buffers);
 
   std::span<const MessageView> all() const { return index_; }
   bool empty() const { return index_.empty(); }

@@ -32,21 +32,7 @@ using MachineId = std::uint32_t;
 // words, which is why enabling integrity checking never moves the ledger.
 inline constexpr std::size_t kHeaderWords = 2;
 
-// The legacy per-message transport unit. Still produced by
-// TransportMode::kLegacy senders (one heap-allocated payload per send) so
-// the parity tests can byte-compare the aggregated path against the
-// historical cost profile; the simulator converts these to AggBuffers at
-// outbox merge, so everything downstream of the send API is shared.
-struct Message {
-  MachineId src = 0;
-  MachineId dst = 0;
-  std::uint32_t tag = 0;
-  std::vector<Word> payload;
-
-  std::size_t words() const { return payload.size() + kHeaderWords; }
-};
-
-// The transport unit since the aggregated redesign: every (src, dst) pair
+// The transport unit: every (src, dst) pair
 // with traffic in a phase moves exactly one AggBuffer. The arena is a flat
 // Word sequence of framed records, one per logical message:
 //
@@ -100,38 +86,6 @@ struct MessageView {
   std::span<const Word> payload;
 };
 
-// How senders hand words to the transport.
-enum class TransportMode : std::uint8_t {
-  // Per-destination aggregation (the default): Machine::send appends framed
-  // records into a flat per-destination Word arena; delivery moves whole
-  // buffers. One allocation per (src, dst) pair per phase, amortized to
-  // zero by arena recycling.
-  kAggregated = 0,
-  // The pre-aggregation cost profile: one heap-allocated Message per send,
-  // converted to AggBuffers at outbox merge. Deprecated — kept one release
-  // for parity comparison and as the bench baseline; results, metrics, and
-  // record logs are byte-identical to kAggregated by construction.
-  kLegacy = 1,
-};
-
-inline const char* transport_mode_name(TransportMode mode) {
-  switch (mode) {
-    case TransportMode::kAggregated:
-      return "aggregated";
-    case TransportMode::kLegacy:
-      return "legacy";
-  }
-  return "?";
-}
-
-// Parses "aggregated" | "legacy"; throws rsets::Error(kBadFlag) otherwise.
-inline TransportMode parse_transport_mode(const std::string& name) {
-  if (name == "aggregated") return TransportMode::kAggregated;
-  if (name == "legacy") return TransportMode::kLegacy;
-  throw Error(ErrorCode::kBadFlag,
-              "transport must be aggregated|legacy, got '" + name + "'");
-}
-
 // What happens when a machine exceeds its S-word storage or per-round
 // bandwidth budget.
 enum class BudgetPolicy : std::uint8_t {
@@ -178,19 +132,16 @@ struct MpcConfig {
   MachineId num_machines = 8;
   std::size_t memory_words = std::size_t{1} << 20;  // S
   BudgetPolicy budget_policy = BudgetPolicy::kStrict;
-  // Send-path representation (see TransportMode). Either value produces
-  // byte-identical results, metrics, traces, and record logs — only the
-  // wall-clock cost of the send path differs (tests/test_transport_parity
-  // gates this) — because the legacy outbox is converted to the same
-  // canonical AggBuffer sequence at merge.
-  TransportMode transport = TransportMode::kAggregated;
   std::uint64_t seed = 1;  // base seed for per-machine RNG streams
-  // Worker threads executing the per-machine round callbacks: 1 runs them
-  // sequentially on the calling thread (the historical behavior), 0 uses
-  // hardware_concurrency, k > 1 uses k workers. Results and metrics are
-  // bit-identical for every value — see "Threading model" in DESIGN.md —
-  // because callbacks only touch their own machine's state slice and
-  // outboxes are merged in machine-id order.
+  // Worker threads executing the per-machine round callbacks AND the
+  // destination-sharded barrier (canonical merge, checksum stamp/verify,
+  // inbox index builds): 1 runs everything sequentially on the calling
+  // thread (the historical behavior), 0 uses hardware_concurrency, k > 1
+  // uses k workers. Results and metrics are bit-identical for every value —
+  // see "Threading model" and §4.6 in DESIGN.md — because callbacks only
+  // touch their own machine's state slice, and each (src, dst) arena slot
+  // and each destination's inbox is written by exactly one worker in the
+  // fixed canonical order.
   unsigned num_threads = 1;
   // Optional per-phase observer (see mpc/trace.hpp). Purely observational:
   // it runs on the simulator's calling thread after the phase completes and

@@ -25,7 +25,7 @@ unsigned resolve_threads(unsigned requested, MachineId num_machines) {
 // claim machine indices through an atomic counter, so scheduling order is
 // arbitrary — correctness does not depend on it because each task touches
 // only its machine's slice; determinism is restored by the caller merging
-// outboxes in machine-id order afterwards.
+// arenas against the serially-fixed canonical plan afterwards.
 class Simulator::WorkerPool {
  public:
   explicit WorkerPool(unsigned workers) {
@@ -121,6 +121,9 @@ Simulator::Simulator(const MpcConfig& config) : config_(config) {
   }
   deadline_streak_.assign(config_.num_machines, 0);
   corrupt_streak_.assign(config_.num_machines, 0);
+  delivery_.resize(config_.num_machines);
+  inboxes_.resize(config_.num_machines);
+  dest_slots_.resize(config_.num_machines);
   if (config_.faults.enabled) {
     injector_ =
         std::make_unique<FaultInjector>(config_.faults, config_.num_machines);
@@ -130,6 +133,33 @@ Simulator::Simulator(const MpcConfig& config) : config_(config) {
 }
 
 Simulator::~Simulator() = default;
+
+void Simulator::run_indexed(std::uint32_t num_tasks,
+                            const std::function<void(std::uint32_t)>& task) {
+  if (effective_threads_ <= 1) {
+    // Sequential path: identical to the historical loop, including the
+    // exception point (a throwing task exits before later tasks run).
+    for (std::uint32_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  if (!pool_) {
+    pool_ = std::make_unique<WorkerPool>(effective_threads_ - 1);
+  }
+  // Parallel path: every task runs (exceptions are captured, not propagated
+  // mid-pass), then the lowest-index exception is rethrown — the same
+  // exception a sequential run surfaces first.
+  std::vector<std::exception_ptr> errors(num_tasks);
+  pool_->run(num_tasks, [&](std::uint32_t i) {
+    try {
+      task(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
 
 void Simulator::round(const RoundBody& body) {
   ++metrics_.rounds;
@@ -159,7 +189,7 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
 
   // Deliver: partition in-flight aggregated buffers by destination. Buffer
   // order within a destination follows in_flight_ order, which run_phase
-  // fixed by merging outboxes in canonical order last phase — so delivery is
+  // fixed by merging send arenas in canonical order last phase — so delivery is
   // identical regardless of how the upcoming callbacks are scheduled.
   // Transport faults are drawn here, per buffer in merged order: the
   // reliable-delivery layer retransmits a dropped copy and deduplicates a
@@ -176,7 +206,7 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
 
   // Reorder fault: the adversary permutes this delivery's in-flight buffer
   // sequence; the transport heals by re-sorting on the sequence numbers
-  // stamped at outbox merge, restoring canonical order before any
+  // stamped at arena merge, restoring canonical order before any
   // per-buffer draw or partition happens. No words are charged — sequence
   // numbers ride in the already-charged framing words.
   if (injector_ && injector_->has_reorder_faults()) {
@@ -226,7 +256,6 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
     }
   };
 
-  std::vector<std::vector<AggBuffer>> delivery(config_.num_machines);
   for (AggBuffer& buf : in_flight_) {
     if (transport_faults) {
       FaultEvent event;
@@ -283,17 +312,7 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
         }
       }
     }
-    if (integrity_active_ && buffer_checksum(buf) != buf.checksum) {
-      // Verify-on-receive, one digest per aggregated buffer. After the
-      // healing loop above a mismatch means the transport itself is broken,
-      // so it is a hard failure — and in fault-free integrity runs this
-      // check is exactly what tools/check_integrity_parity.sh proves to be
-      // free.
-      throw MpcViolation("integrity: checksum mismatch on delivery from "
-                         "machine " +
-                         std::to_string(buf.src));
-    }
-    delivery[buf.dst].push_back(std::move(buf));
+    delivery_[buf.dst].push_back(std::move(buf));
   }
   in_flight_.clear();
 
@@ -340,15 +359,42 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
     }
   }
 
+  // Parallel delivery pass, sharded by destination (DESIGN.md §4.6): one
+  // worker per destination verifies the batch checksum of every buffer
+  // addressed to it (when the integrity layer is active) and builds the
+  // (tag, src) inbox index over the delivered arenas. Worker d touches only
+  // delivery_[d], inboxes_[d], and recv_words[d], so the pass is race-free;
+  // the buffers within a destination are already in canonical order (the
+  // serial partition above preserved in-flight order), so the index —
+  // including its sorted-detection fast path — is byte-identical to the
+  // sequential build.
   std::vector<std::uint64_t> recv_words(config_.num_machines, 0);
-  auto run_machine = [&](MachineId m) {
-    Machine& machine = machines_[m];
-    if (reset_send_budget) machine.sent_words_this_round_ = 0;
+  run_indexed(config_.num_machines, [&](std::uint32_t d) {
+    if (integrity_active_) {
+      for (const AggBuffer& buf : delivery_[d]) {
+        // Verify-on-receive, one digest per aggregated buffer. After the
+        // healing loop above a mismatch means the transport itself is
+        // broken, so it is a hard failure — and in fault-free integrity
+        // runs this check is exactly what tools/check_integrity_parity.sh
+        // proves to be free.
+        if (buffer_checksum(buf) != buf.checksum) {
+          throw MpcViolation("integrity: checksum mismatch on delivery from "
+                             "machine " +
+                             std::to_string(buf.src));
+        }
+      }
+    }
     // The inbox only indexes the delivered buffers — payload views alias
     // their arenas, which the coordinator keeps alive (and recycles) after
     // every callback has returned.
-    const Inbox inbox(std::span<const AggBuffer>(delivery[m]));
-    recv_words[m] = inbox.total_words();
+    inboxes_[d].build(std::span<const AggBuffer>(delivery_[d]));
+    recv_words[d] = inboxes_[d].total_words();
+  });
+
+  auto run_machine = [&](MachineId m) {
+    Machine& machine = machines_[m];
+    if (reset_send_budget) machine.sent_words_this_round_ = 0;
+    const Inbox& inbox = inboxes_[m];
     if (recv_words[m] > config_.memory_words) {
       // kDegrade spreads the over-budget receive across sub-rounds, charged
       // at the phase barrier below; the inbox itself is delivered whole so
@@ -364,35 +410,14 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
     body(machine, inbox);
   };
 
-  if (effective_threads_ <= 1) {
-    // Sequential path: identical to the historical loop, including the
-    // exception point (a violating machine throws before later machines
-    // run).
-    for (MachineId m = 0; m < config_.num_machines; ++m) run_machine(m);
-  } else {
-    if (!pool_) {
-      pool_ = std::make_unique<WorkerPool>(effective_threads_ - 1);
-    }
-    // Parallel path: every callback runs (exceptions are captured, not
-    // propagated mid-phase), then the lowest-machine-id exception is
-    // rethrown — the same exception a sequential run surfaces first.
-    std::vector<std::exception_ptr> errors(config_.num_machines);
-    pool_->run(config_.num_machines, [&](std::uint32_t m) {
-      try {
-        run_machine(static_cast<MachineId>(m));
-      } catch (...) {
-        errors[m] = std::current_exception();
-      }
-    });
-    for (const std::exception_ptr& error : errors) {
-      if (error) std::rethrow_exception(error);
-    }
-  }
+  run_indexed(config_.num_machines,
+              [&](std::uint32_t m) { run_machine(static_cast<MachineId>(m)); });
 
   // Every callback has returned: the delivered arenas are dead weight now,
   // so hand them to the recycle pool before the merge below asks for fresh
-  // ones. Coordinator thread only.
-  for (std::vector<AggBuffer>& bufs : delivery) {
+  // ones. Coordinator thread only. (The inbox views over these arenas are
+  // dead too — each inboxes_[d] is rebuilt before its next read.)
+  for (std::vector<AggBuffer>& bufs : delivery_) {
     for (AggBuffer& buf : bufs) recycle_arena(std::move(buf.arena));
     bufs.clear();
   }
@@ -401,66 +426,55 @@ void Simulator::run_phase(const RoundBody& body, bool reset_send_budget,
   // destinations ascending within a machine, send order within a buffer —
   // so the merged in_flight_ sequence (and with it all downstream delivery,
   // accounting, and tie-breaking) is independent of callback scheduling.
-  // Both transport modes produce the exact same AggBuffer sequence here:
-  // aggregated senders built it in place, legacy outboxes are converted
-  // record by record — which is what makes the modes byte-identical
-  // everywhere downstream.
+  //
+  // The merge is sharded by destination (DESIGN.md §4.6). The coordinator
+  // first fixes the canonical plan serially: one slot per (src, dst) pair
+  // with traffic, whose index IS the buffer's in-flight position (and seq —
+  // the anchor reorder healing sorts back to), plus a replacement arena
+  // pre-acquired from the coordinator-only recycle pool. Workers — one per
+  // destination — then move the arenas out of the machines, install the
+  // replacements, and stamp the batch checksum (the expensive part, and the
+  // reason the pass is parallel). dest_slots_[d] is src-ascending because
+  // the serial scan is src-major, each slot is touched by exactly one
+  // worker, and slot positions never depend on scheduling — so the merged
+  // bytes are identical at any thread width.
   std::uint64_t phase_messages = retransmit_messages;
   std::uint64_t phase_words = retransmit_words;
-  const auto emit_buffer = [&](MachineId src, MachineId dst,
-                               std::uint32_t messages,
-                               std::vector<Word>&& arena) {
-    AggBuffer buf;
-    buf.src = src;
-    buf.dst = dst;
-    buf.messages = messages;
-    buf.arena = std::move(arena);
-    phase_messages += messages;
+  merge_slots_.clear();
+  for (std::vector<std::uint32_t>& slots : dest_slots_) slots.clear();
+  for (MachineId m = 0; m < config_.num_machines; ++m) {
+    Machine& machine = machines_[m];
+    for (MachineId dst = 0; dst < config_.num_machines; ++dst) {
+      if (machine.out_counts_[dst] == 0) continue;
+      dest_slots_[dst].push_back(
+          static_cast<std::uint32_t>(merge_slots_.size()));
+      merge_slots_.push_back(
+          {m, dst, machine.out_counts_[dst], acquire_arena()});
+    }
+  }
+  in_flight_.resize(merge_slots_.size());
+  run_indexed(config_.num_machines, [&](std::uint32_t d) {
+    for (const std::uint32_t i : dest_slots_[d]) {
+      MergeSlot& slot = merge_slots_[i];
+      Machine& machine = machines_[slot.src];
+      AggBuffer& buf = in_flight_[i];
+      buf.src = slot.src;
+      buf.dst = slot.dst;
+      buf.messages = slot.messages;
+      buf.arena = std::move(machine.out_arenas_[slot.dst]);
+      machine.out_arenas_[slot.dst] = std::move(slot.replacement);
+      machine.out_counts_[slot.dst] = 0;
+      // Stamp the transport header: seq is the canonical position fixed by
+      // the serial scan; the batch checksum is computed only when
+      // verification will run. Both ride in the per-record framing words
+      // already charged at send time.
+      buf.seq = i;
+      if (integrity_active_) buf.checksum = buffer_checksum(buf);
+    }
+  });
+  for (const AggBuffer& buf : in_flight_) {
+    phase_messages += buf.messages;
     phase_words += buf.words();
-    // Stamp the transport header at merge time: seq is the position in
-    // canonical merge order (the anchor reorder healing sorts back to); the
-    // batch checksum is computed only when verification will run. Both ride
-    // in the per-record framing words already charged at send time.
-    buf.seq = in_flight_.size();
-    if (integrity_active_) buf.checksum = buffer_checksum(buf);
-    in_flight_.push_back(std::move(buf));
-  };
-  if (config_.transport == TransportMode::kAggregated) {
-    for (MachineId m = 0; m < config_.num_machines; ++m) {
-      Machine& machine = machines_[m];
-      for (MachineId dst = 0; dst < config_.num_machines; ++dst) {
-        const std::uint32_t messages = machine.out_counts_[dst];
-        if (messages == 0) continue;
-        machine.out_counts_[dst] = 0;
-        std::vector<Word> arena = std::move(machine.out_arenas_[dst]);
-        machine.out_arenas_[dst] = acquire_arena();
-        emit_buffer(m, dst, messages, std::move(arena));
-      }
-    }
-  } else {
-    // Legacy conversion: frame each heap-allocated Message into the same
-    // canonical per-destination arenas the aggregated senders would have
-    // built directly. The extra copy IS the legacy cost profile the bench
-    // baseline measures.
-    std::vector<std::vector<Word>> arenas(config_.num_machines);
-    std::vector<std::uint32_t> counts(config_.num_machines, 0);
-    for (MachineId m = 0; m < config_.num_machines; ++m) {
-      Machine& machine = machines_[m];
-      for (const Message& msg : machine.outbox_) {
-        std::vector<Word>& arena = arenas[msg.dst];
-        arena.push_back(msg.tag);
-        arena.push_back(msg.payload.size());
-        arena.insert(arena.end(), msg.payload.begin(), msg.payload.end());
-        ++counts[msg.dst];
-      }
-      machine.outbox_.clear();
-      for (MachineId dst = 0; dst < config_.num_machines; ++dst) {
-        if (counts[dst] == 0) continue;
-        emit_buffer(m, dst, counts[dst], std::move(arenas[dst]));
-        arenas[dst] = {};
-        counts[dst] = 0;
-      }
-    }
   }
   metrics_.messages += phase_messages;
   metrics_.total_words += phase_words;
@@ -612,7 +626,6 @@ std::uint64_t Simulator::handle_barrier(std::vector<FaultEvent>& events) {
       machine.peak_storage_words_ = ~std::size_t{0};
       machine.sent_words_this_round_ = ~std::uint64_t{0};
       machine.violations_ = ~std::uint64_t{0};
-      machine.outbox_.clear();
       for (std::vector<Word>& arena : machine.out_arenas_) arena.clear();
       machine.out_counts_.assign(machine.out_counts_.size(), 0);
       Rng::State junk;
@@ -776,7 +789,7 @@ void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
       throw CheckpointError("restore_checkpoint: malformed buffer framing");
     }
     // Transport header fields are not serialized; re-stamp them exactly as
-    // the outbox merge did — seq is the in-flight position and the batch
+    // the barrier merge did — seq is the in-flight position and the batch
     // checksum is a pure function of the buffer, so the restored sequence
     // is byte-identical to the snapshotted one.
     buf.seq = in_flight_.size();
@@ -793,7 +806,6 @@ void Simulator::restore_checkpoint(const Checkpoint& checkpoint) {
     for (std::uint64_t& s : rng.s) s = r.u64();
     rng.draws = r.u64();
     machine.rng_.set_state(rng);
-    machine.outbox_.clear();
     for (std::vector<Word>& arena : machine.out_arenas_) arena.clear();
     machine.out_counts_.assign(machine.out_counts_.size(), 0);
     deadline_streak_[m] = r.u64();

@@ -10,11 +10,17 @@
 //
 // That discipline is exactly what makes rounds embarrassingly parallel: when
 // MpcConfig::num_threads != 1 the callbacks of one phase execute on a worker
-// pool. Outboxes are still collected and merged in machine-id order after
-// every callback has returned, the receive-side bandwidth check is
-// word-exact, and each machine's RNG stream is private — so results and
-// MpcMetrics are bit-identical to sequential execution (asserted in
-// tests/test_threaded_determinism.cpp).
+// pool, and the superstep barrier itself is sharded by destination machine
+// (DESIGN.md §4.6): checksum verification, inbox index builds, and the
+// canonical outbox merge each run as a parallel pass over destinations,
+// while the ordered fault-event drain and quarantine/retry escalation stay
+// on the coordinator. The merged in-flight sequence is still canonical —
+// machines in id order, destinations ascending, send order within a buffer —
+// because slot positions are fixed serially before workers move any bytes.
+// The receive-side bandwidth check is word-exact and each machine's RNG
+// stream is private — so results and MpcMetrics are bit-identical to
+// sequential execution (asserted in tests/test_threaded_determinism.cpp and
+// tests/test_transport_parity.cpp).
 #pragma once
 
 #include <functional>
@@ -119,6 +125,13 @@ class Simulator {
   class WorkerPool;
 
   void run_phase(const RoundBody& body, bool reset_send_budget, bool drain);
+  // Runs task(0..num_tasks-1): sequentially on the calling thread when
+  // effective_threads_ == 1 (the historical behavior, including the early
+  // exception exit), otherwise on the worker pool with every task executed,
+  // exceptions captured per task, and the lowest-index exception rethrown —
+  // the same exception a sequential run surfaces first.
+  void run_indexed(std::uint32_t num_tasks,
+                   const std::function<void(std::uint32_t)>& task);
   // Folds per-machine counters into metrics_; returns the cap violations
   // newly observed this phase (the per-round delta surfaced in traces).
   std::uint64_t refresh_metrics_after_round(
@@ -150,6 +163,27 @@ class Simulator {
   std::vector<AggBuffer> in_flight_;
   // Spare arenas, cleared but with capacity retained (see acquire_arena).
   std::vector<std::vector<Word>> arena_pool_;
+  // Phase-scoped scratch, kept as members so steady-state rounds reuse their
+  // capacity. delivery_[d] holds the whole buffers addressed to machine d
+  // this phase; inboxes_[d] is rebuilt over them each phase (its views alias
+  // the delivered arenas, dead once those recycle). During a parallel phase
+  // each index d is written by exactly one worker.
+  std::vector<std::vector<AggBuffer>> delivery_;
+  std::vector<Inbox> inboxes_;
+  // Destination-sharded merge plan (DESIGN.md §4.6): the coordinator scans
+  // out_counts_ in canonical order, recording one slot per (src, dst) pair
+  // with traffic — the slot's index IS the buffer's in-flight position and
+  // seq — plus a pre-acquired replacement arena (arena_pool_ is
+  // coordinator-only). Workers then execute dest_slots_[d] (src-ascending by
+  // construction), so each arena move targets a distinct slot.
+  struct MergeSlot {
+    MachineId src = 0;
+    MachineId dst = 0;
+    std::uint32_t messages = 0;
+    std::vector<Word> replacement;
+  };
+  std::vector<MergeSlot> merge_slots_;
+  std::vector<std::vector<std::uint32_t>> dest_slots_;
   MpcMetrics metrics_;
   std::unique_ptr<WorkerPool> pool_;  // created on demand, only if parallel
   std::unique_ptr<FaultInjector> injector_;  // only if config_.faults.enabled

@@ -32,7 +32,7 @@ struct RoundTrace {
   // Wall time spent executing the machine callbacks of this phase, across
   // all workers, in milliseconds.
   double wall_ms = 0.0;
-  // Messages collected from outboxes during this phase.
+  // Messages collected from the per-destination send arenas this phase.
   std::uint64_t messages = 0;
   // Words (payload + headers) those messages carry.
   std::uint64_t words_sent = 0;

@@ -171,6 +171,38 @@ TEST(SimulatorCheckpoint, CapturesInFlightMessages) {
   EXPECT_EQ(got, 77u);
 }
 
+TEST(SimulatorCheckpoint, FramedInFlightSectionSurvivesTheParallelBarrier) {
+  // The v4 in-flight section serializes (src, dst, messages, arena) framed
+  // buffers — exactly what the destination-sharded merge now produces in
+  // parallel. The format did not move with the barrier rework: a snapshot
+  // taken under any thread width must stay version 4 and restore with the
+  // in-flight frames intact on any other width.
+  EXPECT_EQ(kCheckpointVersion, 4u);
+  Checkpoint taken_at[2];
+  for (const unsigned threads : {1u, 4u}) {
+    MpcConfig cfg = small_config(2);
+    cfg.num_threads = threads;
+    Simulator sim(cfg);
+    sim.round([](Machine& m, const Inbox&) {
+      if (m.id() == 0) m.sender(1, 5).push(77).push(78);
+    });
+    taken_at[threads == 1 ? 0 : 1] = sim.make_checkpoint();
+
+    std::vector<std::uint64_t> got;
+    sim.restore_checkpoint(taken_at[threads == 1 ? 0 : 1]);
+    sim.round([&](Machine& m, const Inbox& inbox) {
+      if (m.id() == 1 && !inbox.empty()) {
+        got.assign(inbox.all()[0].payload.begin(),
+                   inbox.all()[0].payload.end());
+      }
+    });
+    EXPECT_EQ(got, (std::vector<std::uint64_t>{77, 78}))
+        << "threads=" << threads;
+  }
+  // The encoded image itself is thread-invariant, frames and all.
+  EXPECT_EQ(taken_at[0].bytes, taken_at[1].bytes);
+}
+
 TEST(SimulatorCheckpoint, RegisterSnapshotableValidates) {
   Simulator sim(small_config(2));
   std::uint64_t x = 0;

@@ -115,7 +115,6 @@ TEST(ReplayRoundTrip, SpecJsonRoundTrips) {
   spec.budget_policy = "degrade";
   spec.deadline = 7;
   spec.integrity = true;
-  spec.transport = "legacy";
 
   const RunSpec back = spec_from_json(spec_to_json(spec));
   EXPECT_EQ(back.algorithm, spec.algorithm);
@@ -133,13 +132,6 @@ TEST(ReplayRoundTrip, SpecJsonRoundTrips) {
   EXPECT_EQ(back.budget_policy, spec.budget_policy);
   EXPECT_EQ(back.deadline, spec.deadline);
   EXPECT_EQ(back.integrity, spec.integrity);
-  EXPECT_EQ(back.transport, spec.transport);
-}
-
-TEST(ReplayRoundTrip, BadTransportInSpecIsRejected) {
-  RunSpec spec = small_spec("det_ruling_mpc", "");
-  spec.transport = "pigeon";
-  EXPECT_THROW(spec_from_json(spec_to_json(spec)), Error);
 }
 
 TEST(ReplayRoundTrip, IntegrityFlagSurvivesTheRoundTrip) {
@@ -162,24 +154,24 @@ TEST(ReplayRoundTrip, SummaryCarriesTheIntegrityLedger) {
 }
 
 TEST(ReplayRoundTrip, OlderFormatVersionsAreRejectedWithDiagnostic) {
-  // A v3 log — recorded before the aggregated transport — must be rejected
-  // by version, not replayed against v4 semantics (fault draws are per
-  // buffer now, so a v3 faulty log would not reproduce).
+  // A v4 log — which still named a transport mode in its meta line — must
+  // be rejected by version, not replayed against v5 semantics (the legacy
+  // transport is deleted, so a v4 log recorded on it could not reproduce).
   std::vector<std::string> log =
       record_run(small_spec("det_ruling_mpc", ""));
   std::string& meta = log.front();
-  const std::size_t at = meta.find("rsets-replay-v4");
+  const std::size_t at = meta.find("rsets-replay-v5");
   ASSERT_NE(at, std::string::npos);
-  meta.replace(at, 15, "rsets-replay-v3");
+  meta.replace(at, 15, "rsets-replay-v4");
 
   try {
     replay_log(log);
-    FAIL() << "v3 meta line was accepted";
+    FAIL() << "v4 meta line was accepted";
   } catch (const std::invalid_argument& e) {
     const std::string what = e.what();
     // The diagnostic names the version found and the version required.
-    EXPECT_NE(what.find("rsets-replay-v3"), std::string::npos) << what;
     EXPECT_NE(what.find("rsets-replay-v4"), std::string::npos) << what;
+    EXPECT_NE(what.find("rsets-replay-v5"), std::string::npos) << what;
   }
 }
 
@@ -187,7 +179,7 @@ TEST(ReplayRoundTrip, GarbageMetaLineIsRejected) {
   EXPECT_THROW(replay_log({"not json", "also not json"}),
                std::invalid_argument);
   EXPECT_THROW(replay_log({}), std::invalid_argument);
-  EXPECT_THROW(spec_from_json("{\"format\":\"rsets-replay-v4\"}"),
+  EXPECT_THROW(spec_from_json("{\"format\":\"rsets-replay-v5\"}"),
                std::invalid_argument);
 }
 

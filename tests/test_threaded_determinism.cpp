@@ -1,12 +1,16 @@
 // Worker threads must be invisible: for every MPC algorithm, running the
 // simulator with 1, 2, or 8 threads must produce bit-identical ruling sets,
-// MpcMetrics, and trace counters (DESIGN.md, "Threading model"). Wall-clock
-// fields are the only thing allowed to differ.
+// MpcMetrics, trace counters, and record-log bytes (DESIGN.md, "Threading
+// model" and §4.6 — the thread pool drives the callbacks AND the
+// destination-sharded barrier). Wall-clock fields are the only thing allowed
+// to differ.
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/replay.hpp"
 #include "core/ruling_set.hpp"
 #include "graph/generators.hpp"
 #include "graph/verify.hpp"
@@ -102,6 +106,40 @@ TEST_P(ThreadedDeterminism, TraceCountersSumToMetrics) {
   EXPECT_EQ(messages, run.result.metrics.messages);
   EXPECT_EQ(words_sent, run.result.metrics.total_words);
   EXPECT_EQ(max_recv, run.result.metrics.max_recv_words);
+}
+
+TEST_P(ThreadedDeterminism, RecordLogBytesAreThreadInvariant) {
+  // The byte-level form of ThreadCountIsInvisible: the record log serializes
+  // every per-phase trace counter plus the summary ledger and the set hash,
+  // so comparing log bodies pins everything above at once — including under
+  // integrity verification, which the parallel delivery pass performs.
+  const Case c = GetParam();
+  for (const bool integrity : {false, true}) {
+    RunSpec spec;
+    spec.algorithm = algorithm_name(c.algorithm);
+    spec.beta = c.beta;
+    spec.gen = "gnp";
+    spec.n = 240;
+    spec.avg_deg = 8.0;
+    spec.seed = 17;
+    spec.machines = 8;
+    spec.integrity = integrity;
+
+    spec.threads = 1;
+    const std::vector<std::string> base_log = record_run(spec);
+    for (const std::uint32_t threads : {4u, 0u}) {  // 0 = hw concurrency
+      spec.threads = threads;
+      const std::vector<std::string> log = record_run(spec);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " integrity=" + std::to_string(integrity));
+      ASSERT_EQ(log.size(), base_log.size());
+      // Line 0 is the meta line, which names the thread count; every phase
+      // line and the summary must match byte for byte.
+      for (std::size_t i = 1; i < log.size(); ++i) {
+        EXPECT_EQ(log[i], base_log[i]) << "line " << i;
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,13 +1,13 @@
-// Aggregated vs. legacy transport parity.
+// Parallel-barrier parity: thread width is a pure wall-clock knob.
 //
-// The contract of the transport redesign: TransportMode is a pure cost-model
-// knob. For every algorithm, thread count, and fault kind, the aggregated
-// path must produce the byte-identical ruling set, metrics ledger, and
-// record log that the legacy per-message path produces — the legacy outbox
-// is converted to the same canonical AggBuffer sequence at merge, so every
-// downstream decision (delivery order, fault draws, checksums, degrade
-// waves) is shared. These tests pin that equivalence; if they fail, the
-// modes have diverged structurally, not just in wall clock.
+// The contract of the destination-sharded barrier (DESIGN.md §4.6): for
+// every algorithm and fault cocktail, a run at any thread width must produce
+// the byte-identical ruling set, metrics ledger, and record log that the
+// single-threaded run produces — the canonical merge plan is fixed serially,
+// each destination's verify/index/merge work is scheduling-independent, and
+// fault draws stay on the coordinator. These tests pin that equivalence; if
+// they fail, the parallel barrier has diverged structurally, not just in
+// wall clock.
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -57,37 +57,50 @@ void expect_metrics_equal(const mpc::MpcMetrics& a, const mpc::MpcMetrics& b,
   EXPECT_EQ(a.quarantined_rounds, b.quarantined_rounds) << label;
 }
 
-// Runs the spec through both transports and byte-compares the record log
-// (meta line excluded — it names the transport — every phase line and the
-// summary included) plus the set and the full metrics ledger.
-void expect_transport_parity(RunSpec spec, const std::string& label) {
-  spec.transport = "aggregated";
-  RulingSetResult agg_result;
-  const std::vector<std::string> agg_log = record_run(spec, &agg_result);
+std::uint32_t hw_threads() { return 0; }  // 0 = hardware concurrency
 
-  spec.transport = "legacy";
-  RulingSetResult legacy_result;
-  const std::vector<std::string> legacy_log = record_run(spec, &legacy_result);
+// Runs the spec at 1, 4, and hardware-concurrency threads and byte-compares
+// each wider run against the single-threaded one: the set, the full metrics
+// ledger, and the record-log body (meta line excluded — it names the thread
+// count — every phase line and the summary included).
+void expect_thread_parity(RunSpec spec, const std::string& label) {
+  spec.threads = 1;
+  RulingSetResult base_result;
+  const std::vector<std::string> base_log = record_run(spec, &base_result);
 
-  EXPECT_EQ(agg_result.ruling_set, legacy_result.ruling_set) << label;
-  expect_metrics_equal(agg_result.metrics, legacy_result.metrics, label);
-  ASSERT_EQ(agg_log.size(), legacy_log.size()) << label;
-  for (std::size_t i = 1; i < agg_log.size(); ++i) {
-    EXPECT_EQ(agg_log[i], legacy_log[i]) << label << " line " << i;
+  for (const std::uint32_t threads : {4u, hw_threads()}) {
+    spec.threads = threads;
+    RulingSetResult result;
+    const std::vector<std::string> log = record_run(spec, &result);
+    const std::string at = label + " threads=" + std::to_string(threads);
+
+    EXPECT_EQ(result.ruling_set, base_result.ruling_set) << at;
+    expect_metrics_equal(result.metrics, base_result.metrics, at);
+    ASSERT_EQ(log.size(), base_log.size()) << at;
+    for (std::size_t i = 1; i < log.size(); ++i) {
+      EXPECT_EQ(log[i], base_log[i]) << at << " line " << i;
+    }
   }
 }
 
-std::uint32_t hw_threads() { return 0; }  // 0 = hardware concurrency
-
-TEST(TransportParity, EveryMpcAlgorithmFaultFree) {
+TEST(BarrierParity, EveryMpcAlgorithmFaultFree) {
   for (const AlgorithmInfo& info : algorithm_registry()) {
     if (info.model != Model::kMpc) continue;
-    for (const std::uint32_t threads : {1u, 4u, hw_threads()}) {
-      RunSpec spec = parity_spec(std::string(info.name), "", threads);
-      spec.beta = info.min_beta;
-      expect_transport_parity(spec, std::string(info.name) + " threads=" +
-                                        std::to_string(threads));
-    }
+    RunSpec spec = parity_spec(std::string(info.name), "", 1);
+    spec.beta = info.min_beta;
+    expect_thread_parity(spec, std::string(info.name));
+  }
+}
+
+TEST(BarrierParity, IntegrityVerificationOnEveryThreadWidth) {
+  // With --integrity the parallel delivery pass checksums every buffer; the
+  // verification must stay free and thread-invariant.
+  for (const AlgorithmInfo& info : algorithm_registry()) {
+    if (info.model != Model::kMpc) continue;
+    RunSpec spec = parity_spec(std::string(info.name), "", 1);
+    spec.beta = info.min_beta;
+    spec.integrity = true;
+    expect_thread_parity(spec, std::string(info.name) + " integrity");
   }
 }
 
@@ -99,11 +112,11 @@ struct ParityFaultCase {
   std::uint64_t deadline = 0;
 };
 
-class TransportParityFaults
+class BarrierParityFaults
     : public ::testing::TestWithParam<ParityFaultCase> {};
 
 INSTANTIATE_TEST_SUITE_P(
-    Kinds, TransportParityFaults,
+    Kinds, BarrierParityFaults,
     ::testing::Values(
         ParityFaultCase{"crash", "crash~0.02,seed=3", 2},
         ParityFaultCase{"straggler", "straggler~0.1,seed=3"},
@@ -120,65 +133,29 @@ INSTANTIATE_TEST_SUITE_P(
                         2}),
     [](const auto& info) { return std::string(info.param.name); });
 
-TEST_P(TransportParityFaults, ByteIdenticalAcrossThreadCounts) {
-  for (const std::uint32_t threads : {1u, 4u, hw_threads()}) {
-    RunSpec spec =
-        parity_spec("det_ruling_mpc", GetParam().faults, threads);
-    spec.checkpoint_every = GetParam().checkpoint_every;
-    spec.budget_policy = GetParam().budget_policy;
-    spec.deadline = GetParam().deadline;
-    expect_transport_parity(spec, std::string(GetParam().name) +
-                                      " threads=" + std::to_string(threads));
-  }
+TEST_P(BarrierParityFaults, ByteIdenticalAcrossThreadCounts) {
+  RunSpec spec = parity_spec("det_ruling_mpc", GetParam().faults, 1);
+  spec.checkpoint_every = GetParam().checkpoint_every;
+  spec.budget_policy = GetParam().budget_policy;
+  spec.deadline = GetParam().deadline;
+  expect_thread_parity(spec, GetParam().name);
 }
 
-TEST(TransportParity, LegacyRecordReplaysOnLegacyTransport) {
-  // A log recorded on the legacy path must replay on the legacy path (the
-  // meta line carries the transport), byte for byte, faults and all.
+TEST(BarrierParity, ThreadedRecordReplaysSingleThreaded) {
+  // A log recorded under the parallel barrier must replay bit-identically —
+  // and because phase lines never encode the thread width, the replay can
+  // even run at a different width than the recording (the meta line's
+  // `threads` is an execution knob, not a semantic one; replay honors it,
+  // so here we just pin a faulty threaded recording round-tripping).
   RunSpec spec =
-      parity_spec("det_ruling_mpc", "corrupt~0.05,reorder~0.25,seed=4", 1);
-  spec.transport = "legacy";
+      parity_spec("det_ruling_mpc", "corrupt~0.05,reorder~0.25,seed=4", 4);
   const std::vector<std::string> log = record_run(spec);
   const ReplayReport report = replay_log(log);
   EXPECT_TRUE(report.ok()) << report.first_mismatch;
-  EXPECT_EQ(report.spec.transport, "legacy");
+  EXPECT_EQ(report.spec.threads, 4u);
 }
 
-// The one-release deprecation shims must stay behaviorally identical to the
-// batch API they forward to.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(TransportParity, DeprecatedShimsStillDeliver) {
-  mpc::MpcConfig cfg;
-  cfg.num_machines = 2;
-  cfg.memory_words = 1 << 16;
-  mpc::Simulator sim(cfg);
-  sim.round([](mpc::Machine& m, const mpc::Inbox&) {
-    if (m.id() != 0) return;
-    m.send(1, 7, std::vector<mpc::Word>{1, 2, 3});  // rvalue → deprecated
-    m.send_word(1, 9, 42);
-  });
-  bool checked = false;
-  sim.drain([&](mpc::Machine& m, const mpc::Inbox& inbox) {
-    if (m.id() != 1) return;
-    const auto vecs = inbox.with_tag(7);
-    ASSERT_EQ(vecs.size(), 1u);
-    EXPECT_EQ(vecs[0].payload.size(), 3u);
-    EXPECT_EQ(vecs[0].payload[2], 3u);
-    const auto words = inbox.with_tag(9);
-    ASSERT_EQ(words.size(), 1u);
-    EXPECT_EQ(words[0].payload[0], 42u);
-    checked = true;
-  });
-  EXPECT_TRUE(checked);
-  // Shim charges match the batch API: 2 messages, 3 + 1 payload words, a
-  // 2-word header each.
-  EXPECT_EQ(sim.metrics().total_words, 4 + 2 * mpc::kHeaderWords);
-  EXPECT_EQ(sim.metrics().messages, 2u);
-}
-#pragma GCC diagnostic pop
-
-TEST(TransportParity, SenderStreamsMultipleRecordsPerDestination) {
+TEST(BarrierParity, SenderStreamsMultipleRecordsPerDestination) {
   mpc::MpcConfig cfg;
   cfg.num_machines = 2;
   cfg.memory_words = 1 << 16;
@@ -201,20 +178,6 @@ TEST(TransportParity, SenderStreamsMultipleRecordsPerDestination) {
   });
   EXPECT_EQ(sim.metrics().messages, 2u);
   EXPECT_EQ(sim.metrics().total_words, 6 + 2 * mpc::kHeaderWords);
-}
-
-TEST(TransportParity, TransportModeNamesRoundTrip) {
-  using mpc::TransportMode;
-  for (const TransportMode t :
-       {TransportMode::kAggregated, TransportMode::kLegacy}) {
-    EXPECT_EQ(mpc::parse_transport_mode(mpc::transport_mode_name(t)), t);
-  }
-  EXPECT_THROW(mpc::parse_transport_mode("carrier"), Error);
-  try {
-    mpc::parse_transport_mode("carrier");
-  } catch (const Error& e) {
-    EXPECT_EQ(e.code(), ErrorCode::kBadFlag);
-  }
 }
 
 }  // namespace

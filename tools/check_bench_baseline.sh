@@ -3,20 +3,25 @@
 # representative of this machine.
 #
 #   1. Every bench/baselines/BENCH_*.json must carry
-#      "rsets_build_type": "Release" — the context stamp recording how the
-#      bench code itself was compiled (google-benchmark's own
-#      library_build_type only describes the benchmark *library*, a debug
-#      system package here). A baseline recorded from an unoptimized build
-#      is inflated, so every later comparison would pass vacuously —
-#      reject it outright.
-#   2. The E1b transport-storm rows are re-run from the Release tree and
-#      each row's real_time is compared against the checked-in baseline
-#      within a generous factor (default 4x either way). That catches
-#      order-of-magnitude regressions — an accidental O(n^2), a debug-only
-#      code path — while tolerating machine-to-machine and load noise.
-#   3. The re-run's aggregated rows must keep speedup_vs_legacy >= 3 at
-#      every machine count. The recorded baseline shows >= 5x; the looser
-#      live floor keeps the gate meaningful without being flaky.
+#      "rsets_build_type": "Release" AND "library_build_type": "release".
+#      The first stamps how the bench code itself was compiled; the second
+#      is google-benchmark's context field, rewritten by run_bench_main to
+#      describe the code under measurement (the raw library value described
+#      the benchmark *library* — a debug system package — which made
+#      Release baselines read "debug"). A mismatched pair means the
+#      baseline predates the restamp or was recorded unoptimized — reject
+#      it outright either way, since an inflated baseline makes every later
+#      comparison pass vacuously.
+#   2. The E1b transport-storm and E1c barrier-scaling rows are re-run from
+#      the Release tree and each row's real_time is compared against the
+#      checked-in baseline within a generous factor (default 4x either
+#      way). That catches order-of-magnitude regressions — an accidental
+#      O(n^2), a debug-only code path — while tolerating machine-to-machine
+#      and load noise.
+#   3. Every re-run E1c row must report identical=1: the parallel barrier
+#      delivered bit-identical words at every thread width. This is the
+#      correctness half of the scaling bench and must hold on any host,
+#      including single-core ones where speedup stays ~1.
 #
 # Usage: tools/check_bench_baseline.sh [build_dir] [tolerance]
 set -eu
@@ -39,6 +44,10 @@ for f in "$baselines"/BENCH_*.json; do
     echo "check_bench_baseline: $(basename "$f") was not recorded from a Release build (rsets_build_type != Release); re-record with tools/bench_baseline.sh" >&2
     exit 1
   fi
+  if ! grep -q '"library_build_type": "release"' "$f"; then
+    echo "check_bench_baseline: $(basename "$f") carries a non-release library_build_type stamp — it predates the run_bench_main restamp or was recorded unoptimized; re-record with tools/bench_baseline.sh" >&2
+    exit 1
+  fi
 done
 if [ "$found" -eq 0 ]; then
   echo "check_bench_baseline: no BENCH_*.json baselines found — run tools/bench_baseline.sh first" >&2
@@ -59,7 +68,7 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 "$build_dir/bench/bench_rounds_vs_n" \
-    --benchmark_filter=BM_TransportStorm \
+    '--benchmark_filter=BM_TransportStorm|BM_BarrierScaling' \
     --benchmark_out="$tmp/current.json" --benchmark_out_format=json \
     > /dev/null
 
@@ -74,12 +83,12 @@ rows() {
 }
 
 rows "$baselines/BENCH_rounds_vs_n.json" real_time \
-    | grep '^BM_TransportStorm' | sort > "$tmp/base.txt"
+    | grep -E '^BM_(TransportStorm|BarrierScaling)' | sort > "$tmp/base.txt"
 rows "$tmp/current.json" real_time \
-    | grep '^BM_TransportStorm' | sort > "$tmp/cur.txt"
+    | grep -E '^BM_(TransportStorm|BarrierScaling)' | sort > "$tmp/cur.txt"
 
 if ! [ -s "$tmp/base.txt" ]; then
-  echo "check_bench_baseline: baseline BENCH_rounds_vs_n.json has no transport-storm rows; re-record with tools/bench_baseline.sh" >&2
+  echo "check_bench_baseline: baseline BENCH_rounds_vs_n.json has no storm/barrier rows; re-record with tools/bench_baseline.sh" >&2
   exit 1
 fi
 
@@ -101,14 +110,21 @@ awk -v tol="$tolerance" '
   END { exit bad }
 ' "$tmp/base.txt" "$tmp/cur.txt"
 
-rows "$tmp/current.json" speedup_vs_legacy | awk '
-  $1 ~ /\/1\/iterations/ {
-    if ($2 + 0 < 3.0) {
-      printf "check_bench_baseline: %s speedup_vs_legacy fell to %.2fx (< 3x floor)\n", $1, $2
+rows "$tmp/current.json" identical | awk '
+  $1 ~ /^BM_BarrierScaling/ {
+    seen = 1
+    if ($2 + 0 != 1.0) {
+      printf "check_bench_baseline: %s identical=%s — the parallel barrier diverged from the threads=1 digest\n", $1, $2
       bad = 1
     }
   }
-  END { exit bad }
+  END {
+    if (!seen) {
+      print "check_bench_baseline: re-run produced no BM_BarrierScaling rows"
+      bad = 1
+    }
+    exit bad
+  }
 '
 
 echo "check_bench_baseline: PASS"

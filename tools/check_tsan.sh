@@ -1,17 +1,24 @@
 #!/usr/bin/env sh
 # Builds the test suite under ThreadSanitizer and runs the tests that
-# exercise the round-parallel MPC simulator. Guards the threading contract
-# in DESIGN.md ("Threading model"): round callbacks own their machine, read
-# shared state, and never write across machines.
+# exercise the round-parallel MPC simulator and its parallel barrier
+# pipeline. Guards the threading contract in DESIGN.md ("Threading model"
+# and §4.6): round callbacks own their machine, read shared state, never
+# write across machines — and the destination-sharded barrier workers own
+# disjoint per-destination delivery/inbox/arena state.
 #
 # Usage: tools/check_tsan.sh [build-dir]       (default: build-tsan)
 #
 # Notes:
 #   * Uses a dedicated build tree so the regular build stays sanitizer-free.
-#   * The filter covers the simulator unit tests, the cross-thread
-#     determinism sweep (which runs every MPC algorithm at 1/2/8 workers),
-#     and the dispatcher integration tests. Run the full binary under TSan
-#     with: ./build-tsan/tests/rsets_tests
+#   * Stage 1 (unit tests): the simulator unit tests, the cross-thread
+#     determinism sweep (every MPC algorithm at 1/2/8 workers, including
+#     the record-log byte comparison), the barrier-parity suite (thread
+#     widths x fault cocktails), and the dispatcher integration tests.
+#   * Stage 2 (chaos soak): a short tools/chaos_soak run. The soak rotates
+#     the simulator thread width across schedules, so the parallel barrier
+#     runs under crash/corrupt/reorder/quarantine fault pressure with TSan
+#     watching the merge, verify/index, and recycle passes.
+#   * Run the full binary under TSan with: ./build-tsan/tests/rsets_tests
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -19,10 +26,13 @@ build_dir=${1:-"$repo_root/build-tsan"}
 
 cmake -B "$build_dir" -S "$repo_root" -DRSETS_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build_dir" --target rsets_tests -j "$(nproc)"
+cmake --build "$build_dir" --target rsets_tests chaos_soak -j "$(nproc)"
 
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$build_dir/tests/rsets_tests" \
-    --gtest_filter='Simulator*:Primitives*:DistGraph*:ThreadedDeterminism*:*/ThreadedDeterminism*:Api.*'
+    --gtest_filter='Simulator*:Primitives*:DistGraph*:ThreadedDeterminism*:*/ThreadedDeterminism*:BarrierParity*:*/BarrierParityFaults*:FnvBatch*:Api.*'
+
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$build_dir/tools/chaos_soak" --schedules=6 --n=400 --machines=8
 
 echo "check_tsan: PASS"

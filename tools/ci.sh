@@ -2,8 +2,9 @@
 # Full local CI: the gates a change must pass before merging.
 #
 #   1. Regular build + complete test suite (ctest).
-#   2. ThreadSanitizer pass over the round-parallel simulator
-#      (tools/check_tsan.sh).
+#   2. ThreadSanitizer pass over the round-parallel simulator and its
+#      parallel barrier: unit tests, the barrier-parity suite, and a short
+#      thread-width-rotating chaos soak (tools/check_tsan.sh).
 #   3. AddressSanitizer + UBSan build of the complete test suite
 #      (RSETS_SANITIZE=address,undefined), run under halt-on-error.
 #   4. Record/recover/replay gate for the fault subsystem
@@ -23,10 +24,11 @@
 #   9. Sharded-generation gate: the cross-shard validator plus a
 #      10^7-edge out-of-core smoke run (sharded graph500, spill-backed,
 #      certified in-model) through rsets_cli --sharded.
-#  10. Bench baseline gate: checked-in bench/baselines/*.json must be
-#      Release-recorded (E12's BENCH_shard_ooc.json must exist), and a
-#      Release re-run of the E1b transport-storm rows must stay within a
-#      generous real_time tolerance of them
+#  10. Bench baseline gate: checked-in bench/baselines/*.json must carry
+#      release stamps on both build-type fields (E12's BENCH_shard_ooc.json
+#      must exist), a Release re-run of the E1b transport-storm and E1c
+#      barrier-scaling rows must stay within a generous real_time tolerance
+#      of them, and every E1c row must report identical=1
 #      (tools/check_bench_baseline.sh).
 #
 # Usage: tools/ci.sh

@@ -94,9 +94,6 @@ int usage(const std::string& error) {
       << "                     speculatively re-executed with backoff\n"
       << "  --integrity        checksum-verify every delivered message even\n"
       << "                     in fault-free runs (results byte-identical)\n"
-      << "  --transport=T      aggregated (default: per-destination buffered\n"
-      << "                     arenas) | legacy (per-message heap path,\n"
-      << "                     deprecated; same results, slower sends)\n"
       << "  --paranoid         certify the output in-model (O(beta) extra\n"
       << "                     rounds) and cross-validate the certificate\n"
       << "  --faults=SPEC      inject faults: crash@R:M, straggler@R:M[:D],\n"
@@ -152,8 +149,6 @@ RunSpec spec_from_flags(const Flags& flags) {
   mpc::parse_budget_policy(spec.budget_policy);  // validate early
   spec.deadline = static_cast<std::uint64_t>(flags.get_int("deadline", 0));
   spec.integrity = flags.get_bool("integrity", false);
-  spec.transport = flags.get("transport", "aggregated");
-  mpc::parse_transport_mode(spec.transport);  // validate early
   return spec;
 }
 
@@ -334,7 +329,7 @@ int main(int argc, char** argv) {
       "input",     "integrity",            "machines", "memory_words",
       "n",         "out",      "paranoid", "print_set",
       "record",    "replay",   "seed",     "sharded",  "soak",
-      "spill-dir", "threads",  "trace",    "transport",
+      "spill-dir", "threads",  "trace",
       "validate-shards",       "verbose"};
   for (const std::string& key : flags.keys()) {
     if (kKnownFlags.count(key) == 0) {
