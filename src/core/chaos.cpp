@@ -1,5 +1,6 @@
 #include "core/chaos.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -7,6 +8,7 @@
 #include "core/ruling_set.hpp"
 #include "graph/graph.hpp"
 #include "mpc/certify.hpp"
+#include "serve/service.hpp"
 
 namespace rsets {
 namespace {
@@ -132,6 +134,198 @@ ChaosReport run_chaos_soak(const ChaosOptions& options) {
           continue;
         }
         ++report.certified;
+      }
+    }
+    ++report.schedules_run;
+    if (options.progress) options.progress(s + 1, report.runs);
+  }
+  return report;
+}
+
+namespace {
+
+// Thrown from the service's crash_hook to kill it mid-batch; deliberately
+// not derived from std::exception so no cleanup path can swallow it.
+struct SimulatedCrash {};
+
+std::uint64_t pick_u64(std::uint64_t h, unsigned slot,
+                       const std::uint64_t (&choices)[4]) {
+  return choices[(h >> (2 * slot)) & 3];
+}
+
+void accumulate(ChurnReport& report, const serve::ServiceMetrics& m) {
+  report.epochs += m.epochs;
+  report.updates_applied += m.updates_applied;
+  report.skips += m.skips;
+  report.frontier_repairs += m.repairs_frontier;
+  report.full_recomputes += m.repairs_full;
+  report.cascade_repairs += m.cascade_repairs;
+  report.repair_retries += m.repair_retries;
+  report.region_certifications += m.certifications_region;
+  report.full_certifications += m.certifications_full;
+  report.recoveries += m.recoveries;
+  report.faults_injected += m.faults_injected;
+}
+
+}  // namespace
+
+serve::UpdateBatch chaos_churn_batch(std::uint64_t base_seed,
+                                     std::uint64_t index, std::uint64_t batch,
+                                     std::uint64_t n, std::uint64_t updates) {
+  serve::UpdateBatch out;
+  if (n < 2) return out;
+  std::uint64_t state =
+      mix(base_seed ^ mix(index ^ 0x636875726eull)) ^ mix(batch + 17);
+  for (std::uint64_t i = 0; i < updates; ++i) {
+    state = mix(state + i + 1);
+    const VertexId u = static_cast<VertexId>(state % n);
+    state = mix(state);
+    VertexId v = static_cast<VertexId>(state % n);
+    if (v == u) v = static_cast<VertexId>((v + 1) % n);
+    state = mix(state);
+    const auto op = (state & 1) ? serve::EdgeUpdate::Op::kInsert
+                                : serve::EdgeUpdate::Op::kDelete;
+    out.updates.push_back({op, u, v});
+    if ((state >> 8) % 8 == 0) {
+      // Contradictory duplicate of the same pair: the later line must win
+      // (stream semantics), and whichever side is a no-op must cancel.
+      out.updates.push_back({op == serve::EdgeUpdate::Op::kInsert
+                                 ? serve::EdgeUpdate::Op::kDelete
+                                 : serve::EdgeUpdate::Op::kInsert,
+                             u, v});
+    }
+  }
+  return out;
+}
+
+ChurnReport run_churn_soak(const ChurnOptions& options) {
+  ChurnReport report;
+  // The MPC registry plus the sequential greedy backend (the exact
+  // β-hop-cascade repair path).
+  std::vector<const AlgorithmInfo*> algorithms;
+  algorithms.push_back(&algorithm_info(Algorithm::kGreedySequential));
+  for (const AlgorithmInfo& info : algorithm_registry()) {
+    if (info.model == Model::kMpc) algorithms.push_back(&info);
+  }
+
+  for (std::uint64_t s = 0; s < options.schedules; ++s) {
+    RunSpec base;
+    base.gen = kGenerators[s % 4];
+    base.n = options.n;
+    base.avg_deg = options.avg_deg;
+    base.seed = options.base_seed + s;
+    base.machines = options.machines;
+    const std::string fault_spec = chaos_fault_spec(options.base_seed, s);
+    const Graph g = build_graph(base);
+
+    // Service-shape knobs rotate independently of the fault spec so the
+    // admission/deferral/escalation paths all see every fault mix.
+    const std::uint64_t h = mix(options.base_seed ^ mix(s ^ 0x5ca1ab1eull));
+    const bool crash_schedule = !options.journal_dir.empty() && s % 3 == 0;
+
+    for (const AlgorithmInfo* info : algorithms) {
+      RunSpec run = base;
+      run.algorithm = std::string(info->name);
+      run.beta = info->max_beta == 0 ? std::max(info->min_beta, 2u)
+                                     : info->min_beta;
+      static constexpr std::uint32_t kSoakThreadWidths[] = {1, 2, 4};
+      run.threads = kSoakThreadWidths[s % 3];
+
+      // Fault-free from-scratch options: the parity oracle. The service
+      // itself runs under the fault schedule — faults may only move the
+      // cost ledger, so the maintained bits must still match this oracle.
+      const RulingSetOptions truth_options = options_from_spec(run);
+      run.faults = fault_spec;
+
+      serve::ServiceConfig cfg;
+      cfg.options = options_from_spec(run);
+      cfg.admit_budget = pick_u64(h, 0, {0, 4, 8, 16});
+      cfg.max_epochs_per_apply = pick_u64(h, 1, {0, 0, 2, 3});
+      cfg.full_certify_every = pick_u64(h, 2, {1, 4, 8, 16});
+      cfg.full_threshold =
+          pick(h, 3, {0.02, 0.05, 0.1, 0.3});
+      if (!options.journal_dir.empty()) {
+        cfg.journal_path = options.journal_dir + "/churn_s" +
+                           std::to_string(s) + "_" + run.algorithm + ".rsj";
+      }
+
+      auto fail = [&](const std::string& what) {
+        ChaosFailure f;
+        f.schedule = s;
+        f.algorithm = run.algorithm;
+        f.fault_spec = fault_spec;
+        f.what = what;
+        report.failures.push_back(std::move(f));
+      };
+
+      try {
+        serve::RulingSetService service(g, cfg);
+        const std::uint64_t crash_batch = options.batches / 2;
+        bool schedule_failed = false;
+        for (std::uint64_t b = 0; b < options.batches; ++b) {
+          const serve::UpdateBatch batch = chaos_churn_batch(
+              options.base_seed, s, b, options.n, options.batch_updates);
+          const bool crash_here = crash_schedule && b == crash_batch;
+          bool crashed = false;
+          const std::uint64_t epoch_before = service.epoch();
+          if (crash_here) {
+            service.crash_hook = [](std::string_view stage) {
+              if (stage == "pre-commit") throw SimulatedCrash{};
+            };
+          }
+          serve::BatchReport breport;
+          try {
+            breport = service.apply(batch);
+          } catch (const SimulatedCrash&) {
+            crashed = true;
+          }
+          if (crashed) {
+            ++report.crashes_injected;
+            accumulate(report, service.metrics());
+            service = serve::RulingSetService::recover(cfg);
+            // A batch is durably admitted at its first epoch commit; a
+            // crash before that means the client must resubmit it.
+            breport = service.epoch() == epoch_before ? service.apply(batch)
+                                                      : service.drain();
+          }
+          // Drain deferrals so the parity check sees the whole batch.
+          while (service.pending() > 0) {
+            const serve::BatchReport more = service.drain();
+            breport.epochs += more.epochs;
+          }
+          ++report.batches_applied;
+          report.updates_deferred += breport.deferred;
+
+          const RulingSetResult oracle =
+              compute_ruling_set(service.snapshot(), truth_options);
+          if (service.ruling_set() != oracle.ruling_set) {
+            fail("incremental set diverged from from-scratch recompute at "
+                 "batch " +
+                 std::to_string(b) + " (size " +
+                 std::to_string(service.ruling_set().size()) + " vs " +
+                 std::to_string(oracle.ruling_set.size()) + ")");
+            schedule_failed = true;
+            break;
+          }
+        }
+        ++report.runs;
+        if (!schedule_failed && options.certify) {
+          const Graph final_graph = service.snapshot();
+          const RulingSetCertificate cert = mpc::certify_ruling_set(
+              final_graph, service.ruling_set(), run.beta, cfg.options.mpc);
+          if (!cert.valid()) {
+            fail("final certification failed: " + cert.to_string());
+          } else if (!cross_validate_certificate(
+                         final_graph, service.ruling_set(), cert)) {
+            fail("final certificate failed sequential cross-validation");
+          } else {
+            ++report.certified;
+          }
+        }
+        accumulate(report, service.metrics());
+      } catch (const serve::ServiceError& e) {
+        fail(std::string("service error: ") + e.what());
+        ++report.runs;
       }
     }
     ++report.schedules_run;

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "serve/updates.hpp"
+
 namespace rsets {
 
 struct ChaosOptions {
@@ -68,5 +70,77 @@ struct ChaosReport {
 std::string chaos_fault_spec(std::uint64_t base_seed, std::uint64_t index);
 
 ChaosReport run_chaos_soak(const ChaosOptions& options);
+
+// --- fault + churn soak -----------------------------------------------------
+//
+// The long-lived-service counterpart of run_chaos_soak: each schedule builds
+// a resident RulingSetService per algorithm (the MPC registry plus the
+// sequential greedy backend, whose exact cascade repair is the locality
+// showcase), then drives seeded update batches through it under the same
+// mixed fault specification, rotating admission budgets, deferral limits,
+// escalation thresholds, and simulator thread widths. The contract checked
+// after every drained batch: the incrementally maintained set is
+// bit-identical to a from-scratch, fault-free recompute on the current
+// graph. Every third schedule also kills the service mid-batch (a
+// crash_hook throw at the pre-commit stage), recovers it from the sealed
+// journal, and finishes the batch — recovery must land on the same bits.
+
+struct ChurnOptions {
+  std::uint64_t schedules = 100;
+  std::uint64_t base_seed = 1;
+  // Initial per-schedule graph shape (same generator rotation as the fault
+  // soak: gnp, gnm, power_law, tree).
+  std::uint64_t n = 300;
+  double avg_deg = 5.0;
+  std::uint32_t machines = 8;
+  // Update batches pushed through each service and raw updates per batch.
+  std::uint64_t batches = 5;
+  std::uint64_t batch_updates = 24;
+  // Run the full in-model certification + sequential cross-validation on
+  // each service's final state (per-epoch certification always runs inside
+  // the service itself).
+  bool certify = true;
+  // Directory for service journals; "" disables journaling AND the
+  // crash/recovery exercise (quick in-memory smoke). The soak writes one
+  // journal per (schedule, algorithm) and leaves cleanup to the caller.
+  std::string journal_dir;
+  // Optional progress callback: (schedules finished, service runs finished).
+  std::function<void(std::uint64_t, std::uint64_t)> progress;
+};
+
+struct ChurnReport {
+  std::uint64_t schedules_run = 0;
+  std::uint64_t runs = 0;  // service lifetimes (algorithms x schedules)
+  std::uint64_t batches_applied = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t updates_applied = 0;
+  std::uint64_t updates_deferred = 0;
+  // Repair-scope mix over all epochs.
+  std::uint64_t skips = 0;
+  std::uint64_t frontier_repairs = 0;
+  std::uint64_t full_recomputes = 0;
+  std::uint64_t cascade_repairs = 0;
+  std::uint64_t repair_retries = 0;
+  std::uint64_t region_certifications = 0;
+  std::uint64_t full_certifications = 0;
+  // Fault + crash ledger.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t crashes_injected = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t certified = 0;  // final states that passed full certification
+  std::vector<ChaosFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+// The deterministic update batch `batch` of churn schedule `index` over an
+// n-vertex id space (public for reproduction, like chaos_fault_spec).
+// Batches mix inserts and deletes and occasionally emit contradictory
+// duplicate lines, exercising last-write-wins and no-op cancellation.
+serve::UpdateBatch chaos_churn_batch(std::uint64_t base_seed,
+                                     std::uint64_t index, std::uint64_t batch,
+                                     std::uint64_t n, std::uint64_t updates);
+
+ChurnReport run_churn_soak(const ChurnOptions& options);
 
 }  // namespace rsets

@@ -31,6 +31,41 @@ Graph Graph::from_edges(VertexId num_vertices, std::span<const Edge> edges) {
   return g;
 }
 
+Graph Graph::from_sorted_adjacency(
+    const std::vector<std::vector<VertexId>>& adjacency) {
+  const VertexId n = static_cast<VertexId>(adjacency.size());
+  Graph g;
+  g.offsets_.assign(n + 1, 0);
+  std::uint64_t arcs = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    arcs += adjacency[v].size();
+    g.offsets_[v + 1] = arcs;
+  }
+  g.adjacency_.reserve(arcs);
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId prev = 0;
+    bool first = true;
+    for (VertexId u : adjacency[v]) {
+      if (u >= n) {
+        throw std::invalid_argument(
+            "Graph::from_sorted_adjacency: neighbor out of range");
+      }
+      if (u == v) {
+        throw std::invalid_argument(
+            "Graph::from_sorted_adjacency: self-loop");
+      }
+      if (!first && u <= prev) {
+        throw std::invalid_argument(
+            "Graph::from_sorted_adjacency: list not strictly increasing");
+      }
+      prev = u;
+      first = false;
+      g.adjacency_.push_back(u);
+    }
+  }
+  return g;
+}
+
 std::uint32_t Graph::max_degree() const {
   std::uint32_t best = 0;
   for (VertexId v = 0; v < num_vertices(); ++v) best = std::max(best, degree(v));

@@ -27,6 +27,16 @@ class Graph {
   // Builds from an edge list; symmetrizes, drops self-loops and duplicates.
   static Graph from_edges(VertexId num_vertices, std::span<const Edge> edges);
 
+  // Fast path for callers that already maintain per-vertex sorted adjacency
+  // (the serving layer's DynamicGraph): one O(n + m) copy, no sort and no
+  // dedup pass. Each list must be strictly increasing, free of self-loops,
+  // and in range — violations throw std::invalid_argument — and symmetry
+  // (u in adj[v] iff v in adj[u]) is the caller's contract: DynamicGraph
+  // maintains it structurally, and the serve tests pin snapshot() equality
+  // against from_edges on the same edge set.
+  static Graph from_sorted_adjacency(
+      const std::vector<std::vector<VertexId>>& adjacency);
+
   VertexId num_vertices() const {
     return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
   }

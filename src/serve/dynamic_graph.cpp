@@ -1,0 +1,116 @@
+#include "serve/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "util/fnv.hpp"
+
+namespace rsets::serve {
+
+DynamicGraph::DynamicGraph(const Graph& g) {
+  adjacency_.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    adjacency_[v].assign(nbrs.begin(), nbrs.end());
+  }
+  num_edges_ = g.num_edges();
+}
+
+DynamicGraph::DynamicGraph(VertexId num_vertices,
+                           std::vector<std::vector<VertexId>> adjacency) {
+  if (adjacency.size() != num_vertices) {
+    throw std::invalid_argument(
+        "DynamicGraph: adjacency size != num_vertices");
+  }
+  adjacency_ = std::move(adjacency);
+  // Delegate the per-list validation (sortedness, range, self-loops) to the
+  // snapshot fast path; it throws before this object escapes.
+  const Graph g = Graph::from_sorted_adjacency(adjacency_);
+  num_edges_ = g.num_edges();
+}
+
+bool DynamicGraph::has_edge(VertexId u, VertexId v) const {
+  const auto& nbrs = adjacency_[u];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+bool DynamicGraph::splice_in(VertexId u, VertexId v) {
+  auto& nbrs = adjacency_[u];
+  const auto at = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (at != nbrs.end() && *at == v) return false;
+  nbrs.insert(at, v);
+  return true;
+}
+
+bool DynamicGraph::splice_out(VertexId u, VertexId v) {
+  auto& nbrs = adjacency_[u];
+  const auto at = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (at == nbrs.end() || *at != v) return false;
+  nbrs.erase(at);
+  return true;
+}
+
+bool DynamicGraph::insert(VertexId u, VertexId v) {
+  if (u == v) throw std::invalid_argument("DynamicGraph::insert: self-loop");
+  if (u >= num_vertices() || v >= num_vertices()) {
+    throw std::invalid_argument("DynamicGraph::insert: vertex out of range");
+  }
+  if (!splice_in(u, v)) return false;
+  splice_in(v, u);
+  ++num_edges_;
+  return true;
+}
+
+bool DynamicGraph::erase(VertexId u, VertexId v) {
+  if (u == v) throw std::invalid_argument("DynamicGraph::erase: self-loop");
+  if (u >= num_vertices() || v >= num_vertices()) {
+    throw std::invalid_argument("DynamicGraph::erase: vertex out of range");
+  }
+  if (!splice_out(u, v)) return false;
+  splice_out(v, u);
+  --num_edges_;
+  return true;
+}
+
+Graph DynamicGraph::snapshot() const {
+  return Graph::from_sorted_adjacency(adjacency_);
+}
+
+std::vector<VertexId> DynamicGraph::ball(std::span<const VertexId> seeds,
+                                         std::uint32_t hops) const {
+  std::vector<bool> seen(num_vertices(), false);
+  std::deque<std::pair<VertexId, std::uint32_t>> queue;
+  std::vector<VertexId> out;
+  for (VertexId s : seeds) {
+    if (s >= num_vertices() || seen[s]) continue;
+    seen[s] = true;
+    out.push_back(s);
+    queue.emplace_back(s, 0);
+  }
+  while (!queue.empty()) {
+    const auto [v, d] = queue.front();
+    queue.pop_front();
+    if (d >= hops) continue;
+    for (VertexId w : adjacency_[v]) {
+      if (seen[w]) continue;
+      seen[w] = true;
+      out.push_back(w);
+      queue.emplace_back(w, d + 1);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t DynamicGraph::fingerprint() const {
+  std::uint64_t h = kFnvOffsetBasis;
+  h = fnv1a_word(h, num_vertices());
+  for (const auto& nbrs : adjacency_) {
+    h = fnv1a_word(h, nbrs.size());
+    for (VertexId v : nbrs) h = fnv1a_word(h, v);
+  }
+  return h;
+}
+
+}  // namespace rsets::serve

@@ -1,0 +1,80 @@
+// Mutable adjacency store backing the long-lived ruling-set service.
+//
+// Graph (graph/graph.hpp) is an immutable flat CSR — perfect for one-shot
+// runs, wrong for a resident graph under churn, where rebuilding the flat
+// arrays from an edge list costs an O(m log m) sort per batch. DynamicGraph
+// keeps per-vertex sorted neighbor vectors instead: an edge insert/delete is
+// two O(degree) splices, a batch touches only its endpoints, and snapshot()
+// produces a bona fide Graph through the sort-free
+// Graph::from_sorted_adjacency fast path (one O(n + m) copy) whenever an
+// algorithm or a sequential checker needs the immutable view.
+//
+// Invariants (maintained structurally, relied on by snapshot()): every list
+// strictly increasing, symmetric, no self-loops, ids < n. The vertex count
+// is fixed at construction — the serving scenario is edge churn over a fixed
+// id space; vertex churn is an explicit non-goal (DESIGN.md §4.7).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rsets::serve {
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+  explicit DynamicGraph(const Graph& g);
+  // Adopts already-sorted symmetric adjacency (journal recovery path);
+  // validated through the same checks as Graph::from_sorted_adjacency.
+  DynamicGraph(VertexId num_vertices,
+               std::vector<std::vector<VertexId>> adjacency);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(adjacency_.size());
+  }
+  std::uint64_t num_edges() const { return num_edges_; }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return adjacency_[v];
+  }
+  std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(adjacency_[v].size());
+  }
+  bool has_edge(VertexId u, VertexId v) const;
+
+  // Mutators return false (and change nothing) when the edge was already
+  // present / already absent, so callers can apply raw update streams and
+  // count the effective changes. Self-loops and out-of-range ids throw
+  // std::invalid_argument.
+  bool insert(VertexId u, VertexId v);
+  bool erase(VertexId u, VertexId v);
+
+  // Immutable CSR copy of the current graph (O(n + m), no sort).
+  Graph snapshot() const;
+
+  // Sorted ids of every vertex within `hops` of a seed (seeds included) —
+  // the β-hop dirty region the service certifies after a repair.
+  std::vector<VertexId> ball(std::span<const VertexId> seeds,
+                             std::uint32_t hops) const;
+
+  // FNV-1a over (n, per-vertex degrees, adjacency) — the journal's cheap
+  // graph identity check at recovery time.
+  std::uint64_t fingerprint() const;
+
+  const std::vector<std::vector<VertexId>>& adjacency() const {
+    return adjacency_;
+  }
+
+ private:
+  // Splices v into adj[u]; returns false if already present.
+  bool splice_in(VertexId u, VertexId v);
+  bool splice_out(VertexId u, VertexId v);
+
+  std::vector<std::vector<VertexId>> adjacency_;
+  std::uint64_t num_edges_ = 0;
+};
+
+}  // namespace rsets::serve

@@ -1,0 +1,107 @@
+#include "serve/updates.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rsets::serve {
+namespace {
+
+std::uint64_t parse_id(const std::string& token, std::size_t line,
+                       const std::string& text) {
+  // strtoull accepts leading signs and partial prefixes; both are malformed
+  // here, exactly as in the edge-list reader.
+  if (token.empty() || token[0] == '-' || token[0] == '+') {
+    throw Error(ErrorCode::kMalformedLine,
+                "line " + std::to_string(line) + ": '" + text + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    throw Error(ErrorCode::kMalformedLine,
+                "line " + std::to_string(line) + ": '" + text + "'");
+  }
+  if (errno == ERANGE) {
+    throw Error(ErrorCode::kVertexIdOverflow,
+                "line " + std::to_string(line) + ": value out of range");
+  }
+  return v;
+}
+
+VertexId check_vertex(std::uint64_t v, VertexId num_vertices,
+                      std::size_t line) {
+  if (v >= num_vertices) {
+    throw Error(ErrorCode::kVertexIdOverflow,
+                "line " + std::to_string(line) + ": id " + std::to_string(v) +
+                    " >= n = " + std::to_string(num_vertices));
+  }
+  return static_cast<VertexId>(v);
+}
+
+}  // namespace
+
+std::vector<UpdateBatch> parse_update_stream(std::istream& in,
+                                             VertexId num_vertices) {
+  std::vector<UpdateBatch> batches;
+  UpdateBatch open;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Tolerate CRLF files: the '\r' is line framing, not data.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#' || line[start] == '%')
+      continue;
+
+    std::istringstream ls(line);
+    std::string op, tu, tv, extra;
+    ls >> op;
+    if (op == "commit") {
+      if (ls >> extra) {
+        throw Error(ErrorCode::kMalformedLine,
+                    "line " + std::to_string(lineno) +
+                        ": trailing data after commit: '" + line + "'");
+      }
+      if (!open.empty()) {
+        batches.push_back(std::move(open));
+        open = UpdateBatch{};
+      }
+      continue;
+    }
+    if (op != "+" && op != "-") {
+      throw Error(ErrorCode::kMalformedLine,
+                  "line " + std::to_string(lineno) + ": op must be +|-|commit: '" +
+                      line + "'");
+    }
+    if (!(ls >> tu >> tv) || (ls >> extra)) {
+      throw Error(ErrorCode::kMalformedLine,
+                  "line " + std::to_string(lineno) + ": '" + line + "'");
+    }
+    const VertexId u =
+        check_vertex(parse_id(tu, lineno, line), num_vertices, lineno);
+    const VertexId v =
+        check_vertex(parse_id(tv, lineno, line), num_vertices, lineno);
+    if (u == v) {
+      throw Error(ErrorCode::kSelfLoop,
+                  "line " + std::to_string(lineno) + ": self-loop on " +
+                      std::to_string(u));
+    }
+    open.updates.push_back({op == "+" ? EdgeUpdate::Op::kInsert
+                                      : EdgeUpdate::Op::kDelete,
+                            u, v});
+  }
+  if (!open.empty()) batches.push_back(std::move(open));
+  return batches;
+}
+
+std::string to_line(const EdgeUpdate& update) {
+  return std::string(update.op == EdgeUpdate::Op::kInsert ? "+ " : "- ") +
+         std::to_string(update.u) + " " + std::to_string(update.v);
+}
+
+}  // namespace rsets::serve

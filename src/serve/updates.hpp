@@ -1,0 +1,60 @@
+// Edge-update batches for the long-lived ruling-set service.
+//
+// The wire protocol is line-oriented text (the same hardened-input rules as
+// the edge-list reader in graph/io.cpp: structured rsets::Error with 1-based
+// line numbers, CRLF tolerance, '#'/'%' comments):
+//
+//   + u v      insert the undirected edge {u, v}
+//   - u v      delete the undirected edge {u, v}
+//   commit     close the current batch (one service epoch group)
+//
+// Blank lines and comments are ignored; end-of-stream closes a trailing
+// non-empty batch. Duplicate and contradictory lines are legal — batch
+// semantics are last-write-wins per unordered pair, and an insert of a
+// present edge or a delete of an absent one is a no-op — so any interleaving
+// of producers can be replayed verbatim. Malformed lines (unknown op, wrong
+// field count, non-numeric or out-of-range ids, self-loops) throw
+// rsets::Error naming the exact source line; they are never skipped.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rsets::serve {
+
+struct EdgeUpdate {
+  enum class Op : std::uint8_t { kInsert = 0, kDelete = 1 };
+  Op op = Op::kInsert;
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+struct UpdateBatch {
+  std::vector<EdgeUpdate> updates;
+
+  bool empty() const { return updates.empty(); }
+  std::size_t size() const { return updates.size(); }
+};
+
+// Accept ids up to this bound (exclusive). Pass the resident graph's vertex
+// count; kNoVertexBound disables the range check (raw protocol fuzzing).
+inline constexpr VertexId kNoVertexBound = 0xffffffffu;
+
+// Parses a whole update stream into batches. Throws rsets::Error
+// (kMalformedLine / kVertexIdOverflow / kSelfLoop) with 1-based line
+// diagnostics; an empty stream parses to zero batches and `commit` on an
+// empty batch is ignored (idempotent flush).
+std::vector<UpdateBatch> parse_update_stream(std::istream& in,
+                                             VertexId num_vertices);
+
+// One line of the protocol rendered back to text (round-trips through
+// parse_update_stream).
+std::string to_line(const EdgeUpdate& update);
+
+}  // namespace rsets::serve

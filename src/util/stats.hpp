@@ -50,6 +50,12 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
+// Peak resident set (VmHWM from /proc/self/status) in kB; 0 where /proc is
+// unavailable. Every CLI run mode and the serve/churn benches report this
+// uniformly — it is the number memory-footprint claims (out-of-core spill,
+// resident-service overhead) are judged by. Linux-only, like the mmap spill.
+std::uint64_t peak_rss_kb();
+
 // Row-oriented CSV table with a fixed header; used by benches to emit the
 // experiment series alongside google-benchmark counters.
 class CsvTable {

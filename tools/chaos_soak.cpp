@@ -6,6 +6,9 @@
 //   chaos_soak                          # 200 schedules, the full contract
 //   chaos_soak --schedules=40 --n=300   # the CI smoke configuration
 //   chaos_soak --no-certify             # identity checks only (fastest)
+//   chaos_soak --churn --journal_dir=D  # fault+churn soak over the
+//                                       # long-lived service (crash-mid-batch
+//                                       # recovery needs --journal_dir)
 //
 // Prints an aggregate key=value report; exits 0 only when every schedule
 // upheld the contract. A failure line carries the schedule index and the
@@ -18,39 +21,101 @@
 #include "core/chaos.hpp"
 #include "util/flags.hpp"
 
-int main(int argc, char** argv) {
-  using namespace rsets;
-  const Flags flags(argc, argv);
-  static const std::set<std::string> kKnownFlags = {
-      "schedules", "seed", "n", "avg_deg", "machines", "no-certify",
-      "progress"};
-  for (const std::string& key : flags.keys()) {
-    if (kKnownFlags.count(key) == 0) {
-      std::cerr << "error: unknown flag --" << key
-                << " (want --schedules=N --seed=S --n=N --avg_deg=D "
-                   "--machines=M --no-certify --progress)\n";
-      return 2;
-    }
-  }
+namespace {
 
-  ChaosOptions options;
+int run_churn(const rsets::Flags& flags) {
+  using namespace rsets;
+  ChurnOptions options;
   options.schedules =
-      static_cast<std::uint64_t>(flags.get_int("schedules", 200));
+      static_cast<std::uint64_t>(flags.get_int("schedules", 100));
   options.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  options.n = static_cast<std::uint64_t>(flags.get_int("n", 600));
-  options.avg_deg = flags.get_double("avg_deg", 6.0);
+  options.n = static_cast<std::uint64_t>(flags.get_int("n", 300));
+  options.avg_deg = flags.get_double("avg_deg", 5.0);
   options.machines = static_cast<std::uint32_t>(flags.get_int("machines", 8));
+  options.batches = static_cast<std::uint64_t>(flags.get_int("batches", 5));
+  options.batch_updates =
+      static_cast<std::uint64_t>(flags.get_int("batch_updates", 24));
   options.certify = !flags.get_bool("no-certify", false);
+  options.journal_dir = flags.get("journal_dir", "");
   if (flags.get_bool("progress", false)) {
     options.progress = [](std::uint64_t schedules, std::uint64_t runs) {
       if (schedules % 10 == 0) {
-        std::cerr << "chaos_soak: " << schedules << " schedules, " << runs
-                  << " runs\n";
+        std::cerr << "chaos_soak(churn): " << schedules << " schedules, "
+                  << runs << " services\n";
       }
     };
   }
 
+  const ChurnReport report = run_churn_soak(options);
+  std::cout << "soak=" << (report.ok() ? "ok" : "failed") << "\n"
+            << "mode=churn\n"
+            << "schedules=" << report.schedules_run << "\n"
+            << "runs=" << report.runs << "\n"
+            << "batches=" << report.batches_applied << "\n"
+            << "epochs=" << report.epochs << "\n"
+            << "updates_applied=" << report.updates_applied << "\n"
+            << "updates_deferred=" << report.updates_deferred << "\n"
+            << "skips=" << report.skips << "\n"
+            << "frontier_repairs=" << report.frontier_repairs << "\n"
+            << "full_recomputes=" << report.full_recomputes << "\n"
+            << "cascade_repairs=" << report.cascade_repairs << "\n"
+            << "repair_retries=" << report.repair_retries << "\n"
+            << "region_certifications=" << report.region_certifications
+            << "\n"
+            << "full_certifications=" << report.full_certifications << "\n"
+            << "faults_injected=" << report.faults_injected << "\n"
+            << "crashes_injected=" << report.crashes_injected << "\n"
+            << "recoveries=" << report.recoveries << "\n"
+            << "certified=" << report.certified << "\n"
+            << "failures=" << report.failures.size() << "\n";
+  for (const ChaosFailure& f : report.failures) {
+    std::cerr << "soak failure: schedule " << f.schedule << " algorithm "
+              << f.algorithm << " faults " << f.fault_spec << ": " << f.what
+              << "\n";
+  }
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rsets;
+  const Flags flags(argc, argv);
+  static const std::set<std::string> kKnownFlags = {
+      "schedules", "seed",     "n",        "avg_deg",       "machines",
+      "no-certify", "progress", "churn",   "batches",       "batch_updates",
+      "journal_dir"};
+  for (const std::string& key : flags.keys()) {
+    if (kKnownFlags.count(key) == 0) {
+      std::cerr << "error: unknown flag --" << key
+                << " (want --schedules=N --seed=S --n=N --avg_deg=D "
+                   "--machines=M --no-certify --progress --churn "
+                   "--batches=B --batch_updates=U --journal_dir=DIR)\n";
+      return 2;
+    }
+  }
+
   try {
+    if (flags.get_bool("churn", false)) return run_churn(flags);
+
+    ChaosOptions options;
+    options.schedules =
+        static_cast<std::uint64_t>(flags.get_int("schedules", 200));
+    options.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    options.n = static_cast<std::uint64_t>(flags.get_int("n", 600));
+    options.avg_deg = flags.get_double("avg_deg", 6.0);
+    options.machines =
+        static_cast<std::uint32_t>(flags.get_int("machines", 8));
+    options.certify = !flags.get_bool("no-certify", false);
+    if (flags.get_bool("progress", false)) {
+      options.progress = [](std::uint64_t schedules, std::uint64_t runs) {
+        if (schedules % 10 == 0) {
+          std::cerr << "chaos_soak: " << schedules << " schedules, " << runs
+                    << " runs\n";
+        }
+      };
+    }
+
     const ChaosReport report = run_chaos_soak(options);
     std::cout << "soak=" << (report.ok() ? "ok" : "failed") << "\n"
               << "schedules=" << report.schedules_run << "\n"

@@ -61,6 +61,18 @@ if [ ! -f "$baselines/BENCH_shard_ooc.json" ]; then
   exit 1
 fi
 
+# E13 must have a recorded baseline: the serving path is gated on a
+# checked-in throughput/latency reference, and every recorded row must have
+# certified its final epoch (certified=1 is the bench's validity counter).
+if [ ! -f "$baselines/BENCH_serve_churn.json" ]; then
+  echo "check_bench_baseline: BENCH_serve_churn.json (E13 service churn) missing — run tools/bench_baseline.sh" >&2
+  exit 1
+fi
+if grep -q '"certified": 0' "$baselines/BENCH_serve_churn.json"; then
+  echo "check_bench_baseline: BENCH_serve_churn.json carries an uncertified row — the recorded service run broke its contract" >&2
+  exit 1
+fi
+
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$build_dir" -j "$(nproc)" --target bench_rounds_vs_n
 

@@ -18,6 +18,10 @@
 #     the simulator thread width across schedules, so the parallel barrier
 #     runs under crash/corrupt/reorder/quarantine fault pressure with TSan
 #     watching the merge, verify/index, and recycle passes.
+#   * Stage 3 (churn soak): a short fault+churn soak through the live
+#     ruling-set service (incremental repair + region certification +
+#     journal crash/recovery), with the same thread-width rotation, so the
+#     parallel simulator also runs under TSan from the serving path.
 #   * Run the full binary under TSan with: ./build-tsan/tests/rsets_tests
 set -eu
 
@@ -30,9 +34,15 @@ cmake --build "$build_dir" --target rsets_tests chaos_soak -j "$(nproc)"
 
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$build_dir/tests/rsets_tests" \
-    --gtest_filter='Simulator*:Primitives*:DistGraph*:ThreadedDeterminism*:*/ThreadedDeterminism*:BarrierParity*:*/BarrierParityFaults*:FnvBatch*:Api.*'
+    --gtest_filter='Simulator*:Primitives*:DistGraph*:ThreadedDeterminism*:*/ThreadedDeterminism*:BarrierParity*:*/BarrierParityFaults*:FnvBatch*:Api.*:ServeMpc*'
 
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$build_dir/tools/chaos_soak" --schedules=6 --n=400 --machines=8
+
+churn_tmp=$(mktemp -d)
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$build_dir/tools/chaos_soak" --churn --schedules=3 --n=200 \
+    --machines=8 --journal_dir="$churn_tmp"
+rm -rf "$churn_tmp"
 
 echo "check_tsan: PASS"

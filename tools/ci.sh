@@ -9,9 +9,9 @@
 #      (RSETS_SANITIZE=address,undefined), run under halt-on-error.
 #   4. Record/recover/replay gate for the fault subsystem
 #      (tools/check_replay.sh).
-#   5. Fuzz smoke: 30 s each on the edge-list, flag parser, and checkpoint
-#      decoder harnesses (fuzz/). Any escaping exception or crash fails
-#      the gate.
+#   5. Fuzz smoke: 30 s each on the edge-list, flag parser, checkpoint
+#      decoder, and service update-stream harnesses (fuzz/). Any escaping
+#      exception or crash fails the gate.
 #   6. Degrade parity: strict vs. degrade runs of every MPC algorithm on
 #      the E1 graph family must produce byte-identical ruling sets while
 #      the degrade run reports degraded_subrounds > 0.
@@ -21,6 +21,12 @@
 #   8. Chaos soak smoke: 200 seeded mixed-fault schedules across every MPC
 #      algorithm; each faulty run must match its fault-free twin
 #      bit-for-bit and certify (60 s budget; the soak runs in ~5 s).
+#  8b. Churn soak: 100 seeded mixed fault+churn schedules drive a live
+#      RulingSetService (greedy + every MPC algorithm) through update
+#      batches; after every drained batch the maintained set must be
+#      bit-identical to a fault-free from-scratch recompute, every third
+#      schedule crashes mid-batch and recovers from its sealed journal, and
+#      every final state certifies in-model + cross-validates.
 #   9. Sharded-generation gate: the cross-shard validator plus a
 #      10^7-edge out-of-core smoke run (sharded graph500, spill-backed,
 #      certified in-model) through rsets_cli --sharded.
@@ -59,10 +65,11 @@ UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
 echo "=== ci: record/recover/replay gate ==="
 "$repo_root/tools/check_replay.sh" "$repo_root/build"
 
-echo "=== ci: fuzz smoke (io + flags + checkpoint harnesses) ==="
+echo "=== ci: fuzz smoke (io + flags + checkpoint + updates harnesses) ==="
 "$repo_root/build/fuzz/fuzz_io" --seconds=30
 "$repo_root/build/fuzz/fuzz_flags" --seconds=30
 "$repo_root/build/fuzz/fuzz_checkpoint" --seconds=30
+"$repo_root/build/fuzz/fuzz_updates" --seconds=30
 
 echo "=== ci: degrade parity (strict vs degrade on the E1 family) ==="
 "$repo_root/tools/check_degrade_parity.sh" "$repo_root/build"
@@ -72,6 +79,17 @@ echo "=== ci: integrity parity (plain vs --integrity vs corrupted) ==="
 
 echo "=== ci: chaos soak (200 seeded mixed-fault schedules) ==="
 timeout 60 "$repo_root/build/tools/chaos_soak" --schedules=200 --seed=1
+
+echo "=== ci: churn soak (100 mixed fault+churn schedules, journaled) ==="
+# Every schedule drives greedy plus all MPC algorithms through a live
+# service under edge churn and injected faults; every drained batch must be
+# bit-identical to a fault-free from-scratch recompute, every third schedule
+# crashes mid-batch and recovers from its sealed journal, and every final
+# state is certified in-model + cross-validated.
+churn_tmp=$(mktemp -d)
+timeout 600 "$repo_root/build/tools/chaos_soak" --churn --schedules=100 \
+    --seed=1 --journal_dir="$churn_tmp"
+rm -rf "$churn_tmp"
 
 echo "=== ci: sharded generation (validator + 10^7-edge out-of-core smoke) ==="
 # graph500 scale=20, edgefactor=16: 2^24 ~ 1.7e7 raw edges, streamed and

@@ -11,6 +11,9 @@
 //             --checkpoint-every=3 --record=run.jsonl
 //   rsets_cli --replay=run.jsonl
 //   rsets_cli --soak=50 --n=400
+//   rsets_cli --serve --gen=gnp --n=10000 --updates=stream.txt
+//             --journal=state.rsj --admit-budget=64
+//   rsets_cli --serve --recover --journal=state.rsj --updates=-
 //
 // Every algorithm — sequential, MPC, and CONGEST — goes through the unified
 // compute_ruling_set dispatcher; --algorithm accepts any name from
@@ -22,19 +25,24 @@
 // checkpoints, recoveries, corruption healing and all — is checkably
 // reproducible. --soak=N runs the chaos-soak harness (core/chaos.hpp): N
 // seeded mixed-fault schedules across every MPC algorithm, asserting
-// bit-identical outputs and certified validity.
+// bit-identical outputs and certified validity. --serve holds the graph
+// resident and maintains its ruling set incrementally under an edge-update
+// stream (see src/serve/), certifying every committed epoch.
 //
 // Exit-code contract (documented in README "Exit codes"):
 //   0  the output verified (and, under --paranoid, was certified and
 //      cross-validated; under --replay, every line matched; under --soak,
-//      every schedule upheld the contract)
-//   1  the run completed but verification/certification/replay/soak failed
-//   2  usage or input errors: bad flags, malformed graph files, missing or
-//      unreadable replay logs
+//      every schedule upheld the contract; under --serve, every committed
+//      epoch certified)
+//   1  the run completed but verification/certification/replay/soak failed,
+//      or the service could not maintain its certified contract
+//   2  usage or input errors: bad flags, malformed graph files or update
+//      streams, missing or unreadable replay logs/journals
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -42,6 +50,8 @@
 #include "core/chaos.hpp"
 #include "core/replay.hpp"
 #include "core/ruling_set.hpp"
+#include "serve/service.hpp"
+#include "serve/updates.hpp"
 #include "graph/shard/shard_csr.hpp"
 #include "graph/shard/sharded_source.hpp"
 #include "graph/shard/validator.hpp"
@@ -51,6 +61,7 @@
 #include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/logging.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
@@ -106,6 +117,25 @@ int usage(const std::string& error) {
       << "  --soak=N           chaos soak: N seeded mixed-fault schedules\n"
       << "                     across all MPC algorithms (--n/--avg_deg/\n"
       << "                     --machines/--seed shape the runs)\n"
+      << "  --serve            long-lived service: hold the graph resident,\n"
+      << "                     stream edge updates, repair incrementally on\n"
+      << "                     the beta-hop frontier, certify every epoch\n"
+      << "  --updates=FILE     update batches for --serve ('+ u v', '- u v',\n"
+      << "                     'commit' lines; '-' reads stdin)\n"
+      << "  --journal=FILE     sealed epoch journal for --serve (crash\n"
+      << "                     recovery lands on the last committed epoch)\n"
+      << "  --recover          restore --serve state from --journal instead\n"
+      << "                     of recomputing from --input/--gen\n"
+      << "  --admit-budget=N   max effective updates admitted per epoch\n"
+      << "                     (0 unlimited; larger batches are split)\n"
+      << "  --max-epochs=N     max epochs per batch; the excess is deferred\n"
+      << "                     to later batches, never dropped\n"
+      << "  --full-threshold=F churn fraction above which the service\n"
+      << "                     escalates to full recompute + full certify\n"
+      << "  --full-certify-every=K  full in-model certification every K\n"
+      << "                     epochs (region-restricted otherwise)\n"
+      << "  --repair-retries=N retry budget for repairs that trip the\n"
+      << "                     degrade budget or the round deadline\n"
       << "  --trace=FILE       per-round JSONL trace (MPC algorithms)\n"
       << "  --sharded=SPEC     stream the input as per-machine shards (no\n"
       << "                     global edge list): graph500:scale=S[,edgefactor=E]\n"
@@ -175,24 +205,12 @@ int run_replay(const std::string& path) {
             << "\n"
             << "checkpoints=" << report.result.metrics.checkpoints << "\n"
             << "recovery_rounds=" << report.result.metrics.recovery_rounds
-            << "\n";
+            << "\n"
+            << "peak_rss_kb=" << peak_rss_kb() << "\n";
   if (!report.ok()) {
     std::cerr << "replay mismatch (" << report.mismatches
               << " total), first at " << report.first_mismatch << "\n";
     return 1;
-  }
-  return 0;
-}
-
-// Peak resident set (VmHWM) in kB — the number the out-of-core claims are
-// judged by: a spill-backed run must stay well under the materialized
-// edge-list footprint. /proc is Linux-only, as is the mmap spill itself.
-std::uint64_t peak_rss_kb() {
-  std::ifstream status("/proc/self/status");
-  for (std::string line; std::getline(status, line);) {
-    if (line.rfind("VmHWM:", 0) == 0) {
-      return std::strtoull(line.c_str() + 6, nullptr, 10);
-    }
   }
   return 0;
 }
@@ -287,6 +305,128 @@ int run_sharded(const Flags& flags) {
   return cert.valid() ? 0 : 1;
 }
 
+// The long-lived service front end: load (or --recover) the resident graph,
+// stream update batches from --updates (a file, or stdin as "-"), maintain
+// the ruling set incrementally, and certify every epoch. One key=value
+// stanza per applied batch, then a summary; exit 0 only when every epoch
+// certified, 1 when the service had to reject a batch (certification or
+// repair failure), 2 for usage/input errors.
+int run_serve(const Flags& flags) {
+  const RunSpec spec = spec_from_flags(flags);
+  serve::ServiceConfig cfg;
+  cfg.options = options_from_spec(spec);
+  cfg.admit_budget =
+      static_cast<std::uint64_t>(flags.get_int("admit-budget", 0));
+  cfg.max_epochs_per_apply =
+      static_cast<std::uint64_t>(flags.get_int("max-epochs", 0));
+  cfg.full_certify_every =
+      static_cast<std::uint64_t>(flags.get_int("full-certify-every", 16));
+  cfg.max_repair_retries =
+      static_cast<std::uint32_t>(flags.get_int("repair-retries", 3));
+  cfg.full_threshold = flags.get_double("full-threshold", 0.10);
+  cfg.journal_path = flags.get("journal", "");
+
+  std::optional<serve::RulingSetService> recovered;
+  if (flags.get_bool("recover", false)) {
+    // A journal that cannot be read or decoded is an input error (exit 2),
+    // distinct from a live service failing its certified contract (exit 1).
+    try {
+      recovered.emplace(serve::RulingSetService::recover(cfg));
+    } catch (const serve::ServiceError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  try {
+    serve::RulingSetService service =
+        recovered ? std::move(*recovered)
+                  : serve::RulingSetService(build_graph(spec), cfg);
+
+    std::vector<serve::UpdateBatch> batches;
+    const std::string updates_path = flags.get("updates", "");
+    if (updates_path == "-") {
+      batches =
+          serve::parse_update_stream(std::cin, service.graph().num_vertices());
+    } else if (!updates_path.empty()) {
+      std::ifstream in(updates_path);
+      if (!in) {
+        std::cerr << "error: cannot read " << updates_path << "\n";
+        return 2;
+      }
+      batches =
+          serve::parse_update_stream(in, service.graph().num_vertices());
+    }
+
+    std::cout << "serve=1\n"
+              << "algorithm=" << algorithm_name(cfg.options.algorithm) << "\n"
+              << "beta=" << cfg.options.beta << "\n"
+              << "n=" << service.graph().num_vertices() << "\n"
+              << "recovered=" << service.metrics().recoveries << "\n"
+              << "start_epoch=" << service.epoch() << "\n"
+              << "initial_size=" << service.ruling_set().size() << "\n";
+
+    std::size_t index = 0;
+    for (const serve::UpdateBatch& batch : batches) {
+      serve::BatchReport report = service.apply(batch);
+      while (service.pending() > 0) {
+        const serve::BatchReport more = service.drain();
+        report.epochs += more.epochs;
+        report.effective_updates += more.effective_updates;
+        if (static_cast<std::uint8_t>(more.scope) >
+            static_cast<std::uint8_t>(report.scope)) {
+          report.scope = more.scope;
+        }
+        report.set_size = more.set_size;
+      }
+      std::cout << "batch=" << index++ << "\n"
+                << "  epoch=" << service.epoch() << "\n"
+                << "  updates=" << report.updates << "\n"
+                << "  effective_updates=" << report.effective_updates << "\n"
+                << "  epochs=" << report.epochs << "\n"
+                << "  scope=" << serve::repair_scope_name(report.scope)
+                << "\n"
+                << "  dirty_vertices=" << report.dirty_vertices << "\n"
+                << "  repair_retries=" << report.repair_retries << "\n"
+                << "  size=" << report.set_size << "\n";
+    }
+
+    const serve::ServiceMetrics& m = service.metrics();
+    std::cout << "batches=" << m.batches << "\n"
+              << "epochs=" << service.epoch() << "\n"
+              << "updates_applied=" << m.updates_applied << "\n"
+              << "updates_noop=" << m.updates_noop << "\n"
+              << "skips=" << m.skips << "\n"
+              << "frontier_repairs=" << m.repairs_frontier << "\n"
+              << "full_recomputes=" << m.repairs_full << "\n"
+              << "cascade_repairs=" << m.cascade_repairs << "\n"
+              << "repair_retries=" << m.repair_retries << "\n"
+              << "region_certifications=" << m.certifications_region << "\n"
+              << "full_certifications=" << m.certifications_full << "\n"
+              << "journal_writes=" << m.journal_writes << "\n"
+              << "churn_ewma=" << service.churn_ewma() << "\n"
+              << "size=" << service.ruling_set().size() << "\n"
+              << "peak_rss_kb=" << peak_rss_kb() << "\n";
+
+    if (flags.has("out")) {
+      std::ofstream out(flags.get("out", ""));
+      if (!out) {
+        std::cerr << "error: cannot write " << flags.get("out", "") << "\n";
+        return 2;
+      }
+      for (VertexId v : service.ruling_set()) out << v << "\n";
+    }
+    if (flags.get_bool("print_set", false)) {
+      for (VertexId v : service.ruling_set()) std::cout << v << "\n";
+    }
+    return 0;
+  } catch (const serve::ServiceError& e) {
+    // The run started but the service could not maintain its certified
+    // contract — that is the "completed but failed" exit, not a usage error.
+    std::cerr << "service error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 int run_soak(const Flags& flags) {
   ChaosOptions options;
   options.schedules =
@@ -305,7 +445,8 @@ int run_soak(const Flags& flags) {
             << "quarantined_rounds=" << report.quarantined_rounds << "\n"
             << "recovery_rounds=" << report.recovery_rounds << "\n"
             << "certified=" << report.certified << "\n"
-            << "failures=" << report.failures.size() << "\n";
+            << "failures=" << report.failures.size() << "\n"
+            << "peak_rss_kb=" << peak_rss_kb() << "\n";
   for (const ChaosFailure& f : report.failures) {
     std::cerr << "soak failure: schedule " << f.schedule << " algorithm "
               << f.algorithm << " faults " << f.fault_spec << ": " << f.what
@@ -324,12 +465,16 @@ int main(int argc, char** argv) {
   // A mistyped flag must not silently run with its default (exit-code
   // contract: usage errors are 2, never a plausible-looking result).
   static const std::set<std::string> kKnownFlags = {
-      "algorithm", "avg_deg",  "beta",     "budget",   "budget-policy",
-      "checkpoint-every",      "deadline", "faults",   "gen",
-      "input",     "integrity",            "machines", "memory_words",
-      "n",         "out",      "paranoid", "print_set",
-      "record",    "replay",   "seed",     "sharded",  "soak",
-      "spill-dir", "threads",  "trace",
+      "admit-budget",          "algorithm", "avg_deg", "beta",
+      "budget",    "budget-policy",
+      "checkpoint-every",      "deadline",  "faults",  "full-certify-every",
+      "full-threshold",        "gen",
+      "input",     "integrity",             "journal", "machines",
+      "max-epochs",            "memory_words",
+      "n",         "out",      "paranoid",  "print_set",
+      "record",    "recover",  "repair-retries",
+      "replay",    "seed",     "serve",     "sharded", "soak",
+      "spill-dir", "threads",  "trace",     "updates",
       "validate-shards",       "verbose"};
   for (const std::string& key : flags.keys()) {
     if (kKnownFlags.count(key) == 0) {
@@ -342,12 +487,26 @@ int main(int argc, char** argv) {
       // A sharded run has no global graph, so the modes that need one (or
       // that record a materialized RunSpec) are incompatible.
       if (flags.has("input") || flags.has("gen") || flags.has("record") ||
-          flags.has("replay") || flags.has("soak")) {
+          flags.has("replay") || flags.has("soak") ||
+          flags.get_bool("serve", false)) {
         return usage(
             "--sharded cannot be combined with --input, --gen, --record, "
-            "--replay, or --soak");
+            "--replay, --soak, or --serve");
       }
       return run_sharded(flags);
+    }
+    if (flags.get_bool("serve", false)) {
+      if (flags.has("sharded") || flags.has("record") || flags.has("replay") ||
+          flags.has("soak")) {
+        return usage(
+            "--serve cannot be combined with --sharded, --record, --replay, "
+            "or --soak");
+      }
+      if (!flags.has("input") && !flags.has("gen") &&
+          !flags.get_bool("recover", false)) {
+        return usage("--serve needs --input=FILE, --gen=NAME, or --recover");
+      }
+      return run_serve(flags);
     }
     if (flags.has("replay")) {
       return run_replay(flags.get("replay", ""));
@@ -462,6 +621,10 @@ int main(int argc, char** argv) {
                   << result.metrics.speculative_rounds << "\n";
       }
     }
+
+    // Reported uniformly from every run mode (standard, replay, soak,
+    // sharded, serve), not just the out-of-core path.
+    std::cout << "peak_rss_kb=" << peak_rss_kb() << "\n";
 
     // --paranoid: re-derive validity through the in-model certification
     // pass, then cross-validate the certificate against a sequential
