@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
+#include <limits>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/replay.hpp"
 #include "core/ruling_set.hpp"
 #include "graph/graph.hpp"
 #include "mpc/certify.hpp"
+#include "serve/ingest.hpp"
 #include "serve/service.hpp"
 
 namespace rsets {
@@ -169,6 +174,233 @@ void accumulate(ChurnReport& report, const serve::ServiceMetrics& m) {
 
 }  // namespace
 
+namespace {
+
+// --- concurrent multi-producer front -------------------------------------
+
+// One producer's scripted stream: protocol lines per batch, plus where (if
+// anywhere) its stream is poisoned and how the producer reacts to a strike.
+struct ProducerScript {
+  std::vector<std::vector<std::string>> batches;
+  std::size_t poison_batch = static_cast<std::size_t>(-1);
+  bool heal = false;  // skip the poison line when resubmitting after a strike
+};
+
+struct ProducerState {
+  std::size_t batch = 0;
+  std::size_t line = 0;
+  bool skip_poison = false;
+  bool done = false;
+};
+
+// Advances producer `p` by exactly one push attempt against `ingest`,
+// modelling real producer behavior: a strike resubmits the whole batch from
+// its first line (a healing producer drops the poison line first), backoff
+// and backpressure leave the cursor where it is, ejection ends the stream,
+// and the last batch is followed by close(). The same state machine drives
+// both the interleaved run and the canonical single-producer replay, so the
+// expected generation contents are computed by the code under test's own
+// validation rules — only the *interleaving* differs.
+serve::PushStatus producer_step(serve::MultiProducerIngest& ingest,
+                                std::uint32_t p, const ProducerScript& script,
+                                ProducerState& st) {
+  if (st.done) return serve::PushStatus::kClosed;
+  if (st.batch >= script.batches.size()) {
+    ingest.close(p);
+    st.done = true;
+    return serve::PushStatus::kClosed;
+  }
+  if (st.skip_poison && st.batch == script.poison_batch && st.line == 0) {
+    st.line = 1;  // the poison line is always the first line of its batch
+  }
+  const std::vector<std::string>& lines = script.batches[st.batch];
+  const serve::PushStatus status = ingest.offer_line(p, lines[st.line]);
+  switch (status) {
+    case serve::PushStatus::kAccepted:
+      ++st.line;
+      break;
+    case serve::PushStatus::kCommitted:
+      ++st.batch;
+      st.line = 0;
+      break;
+    case serve::PushStatus::kWouldBlock:
+    case serve::PushStatus::kBackoff:
+      break;  // line not consumed; retry on a later turn
+    case serve::PushStatus::kRejected:
+      st.line = 0;
+      if (script.heal) st.skip_poison = true;
+      break;
+    default:  // kEjected / kClosed / kBadTag
+      st.done = true;
+      break;
+  }
+  if (!st.done && st.batch >= script.batches.size()) {
+    ingest.close(p);
+    st.done = true;
+  }
+  return status;
+}
+
+std::vector<ProducerScript> build_producer_scripts(const ChurnOptions& options,
+                                                   std::uint64_t s) {
+  const std::uint32_t producers = options.producers;
+  const std::uint64_t per_batch =
+      std::max<std::uint64_t>(1, options.batch_updates / producers);
+  const bool eject_flavor = s % 4 == 1;
+  const bool heal_flavor = s % 4 == 3;
+  const auto poisoned = static_cast<std::uint32_t>(s % producers);
+  std::vector<ProducerScript> scripts(producers);
+  for (std::uint32_t p = 0; p < producers; ++p) {
+    ProducerScript& script = scripts[p];
+    for (std::uint64_t b = 0; b < options.batches; ++b) {
+      const serve::UpdateBatch batch = chaos_churn_batch(
+          options.base_seed, s, b * producers + p, options.n, per_batch);
+      std::vector<std::string> lines;
+      if ((eject_flavor || heal_flavor) && p == poisoned &&
+          b == options.batches / 2) {
+        lines.push_back("+ 1 1");  // self-loop: malformed, costs a strike
+        script.poison_batch = b;
+        script.heal = heal_flavor;
+      }
+      for (const serve::EdgeUpdate& u : batch.updates) {
+        lines.push_back(serve::to_line(u));
+      }
+      if ((b + p) % 2 == 0) {
+        // Exercise the integrity line on the verify-good path.
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "checksum %llx",
+                      static_cast<unsigned long long>(
+                          serve::batch_checksum(batch.updates)));
+        lines.push_back(buf);
+      }
+      lines.push_back("commit");
+      script.batches.push_back(std::move(lines));
+    }
+  }
+  return scripts;
+}
+
+// Reference replay: each producer's stream alone, through a fresh
+// single-producer ingest with the same validation knobs and no cap. Yields
+// the committed batch list the interleaved run must align into generations.
+std::vector<std::vector<serve::UpdateBatch>> canonical_producer_batches(
+    const std::vector<ProducerScript>& scripts,
+    const serve::IngestConfig& shape) {
+  std::vector<std::vector<serve::UpdateBatch>> out(scripts.size());
+  for (std::size_t p = 0; p < scripts.size(); ++p) {
+    serve::IngestConfig solo_cfg;
+    solo_cfg.num_producers = 1;
+    solo_cfg.queue_cap = 0;  // the reference replay never feels backpressure
+    solo_cfg.max_strikes = shape.max_strikes;
+    solo_cfg.num_vertices = shape.num_vertices;
+    serve::MultiProducerIngest solo(solo_cfg);
+    ProducerState st;
+    while (!st.done) producer_step(solo, 0, scripts[p], st);
+    while (std::optional<serve::UpdateBatch> g = solo.take_generation()) {
+      out[p].push_back(std::move(*g));
+    }
+  }
+  return out;
+}
+
+std::vector<serve::UpdateBatch> expected_generations(
+    const std::vector<std::vector<serve::UpdateBatch>>& canonical) {
+  std::size_t max_generations = 0;
+  for (const auto& batches : canonical) {
+    max_generations = std::max(max_generations, batches.size());
+  }
+  std::vector<serve::UpdateBatch> gens(max_generations);
+  for (std::size_t g = 0; g < max_generations; ++g) {
+    for (const auto& batches : canonical) {  // producer-id order
+      if (g < batches.size()) {
+        gens[g].updates.insert(gens[g].updates.end(),
+                               batches[g].updates.begin(),
+                               batches[g].updates.end());
+      }
+    }
+  }
+  return gens;
+}
+
+bool mpc_metrics_equal(const mpc::MpcMetrics& a, const mpc::MpcMetrics& b) {
+  return a.rounds == b.rounds && a.messages == b.messages &&
+         a.total_words == b.total_words &&
+         a.max_send_words == b.max_send_words &&
+         a.max_recv_words == b.max_recv_words &&
+         a.max_storage_words == b.max_storage_words &&
+         a.violations == b.violations && a.random_words == b.random_words &&
+         a.faults_injected == b.faults_injected &&
+         a.checkpoints == b.checkpoints &&
+         a.recovery_rounds == b.recovery_rounds &&
+         a.degraded_subrounds == b.degraded_subrounds &&
+         a.deadline_misses == b.deadline_misses &&
+         a.speculative_rounds == b.speculative_rounds &&
+         a.corrupt_detected == b.corrupt_detected &&
+         a.integrity_retries == b.integrity_retries &&
+         a.quarantined_rounds == b.quarantined_rounds;
+}
+
+// Twin-comparable slice of the service ledger: everything except the
+// durability counters (journal_writes / recoveries / tombstones), which
+// legitimately differ between a crashed-and-recovered service and its
+// uncrashed twin.
+bool service_ledgers_equal(const serve::ServiceMetrics& a,
+                           const serve::ServiceMetrics& b) {
+  return a.epochs == b.epochs && a.batches == b.batches &&
+         a.updates_seen == b.updates_seen &&
+         a.updates_applied == b.updates_applied &&
+         a.updates_noop == b.updates_noop && a.skips == b.skips &&
+         a.repairs_frontier == b.repairs_frontier &&
+         a.repairs_full == b.repairs_full &&
+         a.cascade_repairs == b.cascade_repairs &&
+         a.repair_retries == b.repair_retries &&
+         a.quarantine_escalations == b.quarantine_escalations &&
+         a.certifications_region == b.certifications_region &&
+         a.certifications_full == b.certifications_full &&
+         a.faults_injected == b.faults_injected &&
+         a.heartbeats == b.heartbeats &&
+         a.watchdog_escalations == b.watchdog_escalations &&
+         a.watchdog_failstops == b.watchdog_failstops;
+}
+
+// Brute-force check of one epoch-pinned point query: BFS over the
+// snapshot's own graph, nearest member by (distance, id).
+bool point_query_consistent(const serve::QuerySnapshot& snap, VertexId v) {
+  const Graph& g = snap.graph();
+  std::vector<bool> in_set(g.num_vertices(), false);
+  for (VertexId m : snap.ruling_set()) in_set[m] = true;
+  constexpr auto kUnreached = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreached);
+  std::deque<VertexId> queue{v};
+  dist[v] = 0;
+  bool covered = false;
+  VertexId member = 0;
+  std::uint32_t best = kUnreached;
+  while (!queue.empty()) {
+    const VertexId x = queue.front();
+    queue.pop_front();
+    if (in_set[x] &&
+        (!covered || dist[x] < best || (dist[x] == best && x < member))) {
+      covered = true;
+      member = x;
+      best = dist[x];
+    }
+    if (dist[x] >= snap.beta()) continue;
+    for (VertexId w : g.neighbors(x)) {
+      if (dist[w] != kUnreached) continue;
+      dist[w] = dist[x] + 1;
+      queue.push_back(w);
+    }
+  }
+  const serve::PointQueryResult r = snap.nearest_member(v);
+  if (r.covered != covered) return false;
+  if (!covered) return true;
+  return r.member == member && r.distance == best &&
+         snap.covered(v) && snap.is_member(member);
+}
+
+}  // namespace
+
 serve::UpdateBatch chaos_churn_batch(std::uint64_t base_seed,
                                      std::uint64_t index, std::uint64_t batch,
                                      std::uint64_t n, std::uint64_t updates) {
@@ -198,7 +430,365 @@ serve::UpdateBatch chaos_churn_batch(std::uint64_t base_seed,
   return out;
 }
 
+namespace {
+
+// The concurrent counterpart of run_churn_soak (ChurnOptions::producers > 1):
+// every schedule routes its update stream through a MultiProducerIngest
+// driven by a seeded line-interleaving scheduler, and the parity battery
+// additionally pins generation alignment against the canonical per-producer
+// replay, producer quarantine/ejection semantics, epoch-pinned point
+// queries, and final bit-identity against a single-producer twin.
+ChurnReport run_concurrent_churn_soak(const ChurnOptions& options) {
+  ChurnReport report;
+  std::vector<const AlgorithmInfo*> algorithms;
+  algorithms.push_back(&algorithm_info(Algorithm::kGreedySequential));
+  for (const AlgorithmInfo& info : algorithm_registry()) {
+    if (info.model == Model::kMpc) algorithms.push_back(&info);
+  }
+
+  for (std::uint64_t s = 0; s < options.schedules; ++s) {
+    RunSpec base;
+    base.gen = kGenerators[s % 4];
+    base.n = options.n;
+    base.avg_deg = options.avg_deg;
+    base.seed = options.base_seed + s;
+    base.machines = options.machines;
+    const std::string fault_spec = chaos_fault_spec(options.base_seed, s);
+    const Graph g = build_graph(base);
+
+    const std::uint64_t h = mix(options.base_seed ^ mix(s ^ 0x5ca1ab1eull));
+    const bool crash_schedule = !options.journal_dir.empty() && s % 3 == 0;
+    const bool eject_flavor = s % 4 == 1;
+    const bool heal_flavor = s % 4 == 3;
+    const auto poisoned = static_cast<std::uint32_t>(s % options.producers);
+
+    // Producer scripts and the canonical generation alignment they must
+    // merge into are pure functions of the schedule, shared across the
+    // algorithm sweep.
+    serve::IngestConfig ishape;
+    ishape.num_producers = options.producers;
+    ishape.queue_cap = options.queue_cap;
+    ishape.num_vertices = static_cast<VertexId>(options.n);
+    const std::vector<ProducerScript> scripts =
+        build_producer_scripts(options, s);
+    const std::vector<serve::UpdateBatch> expected =
+        expected_generations(canonical_producer_batches(scripts, ishape));
+
+    for (const AlgorithmInfo* info : algorithms) {
+      RunSpec run = base;
+      run.algorithm = std::string(info->name);
+      run.beta = info->max_beta == 0 ? std::max(info->min_beta, 2u)
+                                     : info->min_beta;
+      static constexpr std::uint32_t kSoakThreadWidths[] = {1, 2, 4};
+      run.threads = kSoakThreadWidths[s % 3];
+
+      const RulingSetOptions truth_options = options_from_spec(run);
+      run.faults = fault_spec;
+
+      std::vector<std::string> service_lines;
+      serve::ServiceConfig cfg;
+      cfg.options = options_from_spec(run);
+      cfg.options.mpc.trace_hook =
+          [&service_lines](const mpc::RoundTrace& trace) {
+            service_lines.push_back(record_line(trace));
+          };
+      cfg.admit_budget = pick_u64(h, 0, {0, 4, 8, 16});
+      cfg.max_epochs_per_apply = pick_u64(h, 1, {0, 0, 2, 3});
+      cfg.full_certify_every = pick_u64(h, 2, {1, 4, 8, 16});
+      cfg.full_threshold = pick(h, 3, {0.02, 0.05, 0.1, 0.3});
+      // Half the schedules arm the watchdog with a deadline far above any
+      // soak-sized repair: the armed path must not perturb parity (tripping
+      // it is a deliberate unit-test scenario, not a soak flavor).
+      cfg.watchdog_deadline = pick_u64(h, 4, {0, 0, 1u << 20, 1u << 20});
+      if (!options.journal_dir.empty()) {
+        cfg.journal_path = options.journal_dir + "/cchurn_s" +
+                           std::to_string(s) + "_" + run.algorithm + ".rsj";
+      }
+
+      auto fail = [&](const std::string& what) {
+        ChaosFailure f;
+        f.schedule = s;
+        f.algorithm = run.algorithm;
+        f.fault_spec = fault_spec;
+        f.what = what;
+        report.failures.push_back(std::move(f));
+      };
+
+      try {
+        serve::MultiProducerIngest ingest(ishape);
+        std::vector<ProducerState> states(options.producers);
+        serve::RulingSetService service(g, cfg);
+
+        std::vector<serve::UpdateBatch> applied;
+        const std::size_t crash_generation = expected.size() / 2;
+        bool crashed_any = false;
+        bool schedule_failed = false;
+
+        // Journals ready tombstones, then applies every aligned generation,
+        // running the parity battery after each: canonical alignment, oracle
+        // set identity, single-rerun ledger + record-log comparison,
+        // brute-forced point queries, and epoch-pinning of a handle taken
+        // before the commit.
+        auto pump = [&] {
+          for (const serve::ProducerTombstone& t : ingest.take_tombstones()) {
+            service.record_tombstone(t);
+          }
+          std::optional<serve::UpdateBatch> gen;
+          while (!schedule_failed && (gen = ingest.take_generation())) {
+            const std::size_t index = applied.size();
+            applied.push_back(*gen);
+            if (index >= expected.size() ||
+                !(gen->updates == expected[index].updates)) {
+              fail("generation " + std::to_string(index) +
+                   " diverged from the canonical producer alignment");
+              schedule_failed = true;
+              return;
+            }
+
+            const serve::QueryHandle pinned = service.query();
+            const auto probe = static_cast<VertexId>(mix(h + index) % options.n);
+            const std::uint64_t pinned_epoch = pinned->epoch();
+            const serve::PointQueryResult before = pinned->nearest_member(probe);
+
+            service_lines.clear();
+            const bool crash_here =
+                crash_schedule && !crashed_any && index == crash_generation;
+            bool crashed = false;
+            const std::uint64_t epoch_before = service.epoch();
+            if (crash_here) {
+              service.crash_hook = [](std::string_view stage) {
+                if (stage == "pre-commit") throw SimulatedCrash{};
+              };
+            }
+            serve::BatchReport breport;
+            try {
+              breport = service.apply(*gen);
+            } catch (const SimulatedCrash&) {
+              crashed = true;
+            }
+            if (crashed) {
+              crashed_any = true;
+              ++report.crashes_injected;
+              accumulate(report, service.metrics());
+              service = serve::RulingSetService::recover(cfg);
+              service_lines.clear();
+              breport = service.epoch() == epoch_before ? service.apply(*gen)
+                                                        : service.drain();
+            }
+            service.crash_hook = nullptr;
+            while (service.pending() > 0) {
+              const serve::BatchReport more = service.drain();
+              breport.epochs += more.epochs;
+              breport.repair_retries += more.repair_retries;
+            }
+            ++report.batches_applied;
+            report.updates_deferred += breport.deferred;
+
+            const RulingSetResult oracle =
+                compute_ruling_set(service.snapshot(), truth_options);
+            if (service.ruling_set() != oracle.ruling_set) {
+              fail("incremental set diverged from from-scratch recompute at "
+                   "generation " +
+                   std::to_string(index) + " (size " +
+                   std::to_string(service.ruling_set().size()) + " vs " +
+                   std::to_string(oracle.ruling_set.size()) + ")");
+              schedule_failed = true;
+              return;
+            }
+            // When the generation committed as exactly one un-retried rerun,
+            // the whole repair ledger and the record-log bodies must match a
+            // from-scratch run under the options the repair actually used
+            // (retries trace every attempt, so they only check set parity).
+            if (breport.epochs == 1 &&
+                breport.scope != serve::RepairScope::kSkip &&
+                breport.repair_retries == 0 && !service_lines.empty()) {
+              std::vector<std::string> oracle_lines;
+              RulingSetOptions oracle_options = service.last_repair_options();
+              oracle_options.mpc.trace_hook =
+                  [&oracle_lines](const mpc::RoundTrace& trace) {
+                    oracle_lines.push_back(record_line(trace));
+                  };
+              const RulingSetResult rerun =
+                  compute_ruling_set(service.snapshot(), oracle_options);
+              if (!mpc_metrics_equal(service.last_repair_result().metrics,
+                                     rerun.metrics)) {
+                fail("repair cost ledger diverged from the from-scratch rerun "
+                     "at generation " +
+                     std::to_string(index));
+                schedule_failed = true;
+                return;
+              }
+              if (service_lines != oracle_lines) {
+                fail("record-log bodies diverged from the from-scratch rerun "
+                     "at generation " +
+                     std::to_string(index));
+                schedule_failed = true;
+                return;
+              }
+            }
+
+            // A fresh handle reflects exactly the committed epoch...
+            const serve::QueryHandle fresh = service.query();
+            if (fresh->epoch() != service.epoch()) {
+              fail("fresh query handle is not at the committed epoch");
+              schedule_failed = true;
+              return;
+            }
+            for (int q = 0; q < 3; ++q) {
+              const auto v =
+                  static_cast<VertexId>(mix(h + 31 * index + q) % options.n);
+              if (!point_query_consistent(*fresh, v)) {
+                fail("point query inconsistent with brute force at epoch " +
+                     std::to_string(service.epoch()));
+                schedule_failed = true;
+                return;
+              }
+              ++report.query_checks;
+            }
+            // ...while the pinned handle stays frozen at its epoch.
+            const serve::PointQueryResult after = pinned->nearest_member(probe);
+            if (pinned->epoch() != pinned_epoch ||
+                after.covered != before.covered ||
+                (after.covered && (after.member != before.member ||
+                                   after.distance != before.distance))) {
+              fail("epoch-pinned query handle changed across a commit");
+              schedule_failed = true;
+              return;
+            }
+          }
+        };
+
+        // Seeded interleaving: pick any unfinished producer, advance it one
+        // push attempt, pump on backpressure and periodically. Different
+        // schedules (and the mix stream) visit different interleavings; the
+        // alignment check above proves the service never sees them.
+        std::uint64_t rng = mix(h ^ 0xC0FFEEull);
+        std::uint64_t steps = 0;
+        while (!schedule_failed) {
+          std::vector<std::uint32_t> active;
+          for (std::uint32_t p = 0; p < options.producers; ++p) {
+            if (!states[p].done) active.push_back(p);
+          }
+          if (active.empty()) break;
+          rng = mix(rng);
+          const std::uint32_t p = active[rng % active.size()];
+          const serve::PushStatus status =
+              producer_step(ingest, p, scripts[p], states[p]);
+          ++steps;
+          if (status == serve::PushStatus::kWouldBlock || steps % 7 == 0) {
+            pump();
+          }
+        }
+        if (!schedule_failed) {
+          ingest.close_all();
+          pump();  // once all streams closed, every queued batch is takeable
+        }
+
+        const serve::IngestMetrics im = ingest.metrics();
+        report.generations += im.generations;
+        report.backpressure += im.backpressure;
+        report.producer_strikes += im.strikes;
+        report.producer_ejections += im.ejections;
+
+        if (!schedule_failed && !ingest.drained()) {
+          fail("ingest front not drained after close_all");
+          schedule_failed = true;
+        }
+        if (!schedule_failed && applied.size() != expected.size()) {
+          fail("applied " + std::to_string(applied.size()) +
+               " generations, canonical alignment has " +
+               std::to_string(expected.size()));
+          schedule_failed = true;
+        }
+        if (!schedule_failed && eject_flavor) {
+          if (!ingest.ejected(poisoned) || im.ejections != 1) {
+            fail("poisoned producer was not ejected");
+            schedule_failed = true;
+          } else {
+            bool journaled = false;
+            for (const serve::ProducerTombstone& t : service.tombstones()) {
+              journaled = journaled || t.producer == poisoned;
+            }
+            if (!journaled) {
+              fail("ejection tombstone was not journaled");
+              schedule_failed = true;
+            }
+          }
+        }
+        if (!schedule_failed && heal_flavor &&
+            (im.ejections != 0 || im.strikes == 0)) {
+          fail("healing producer should strike and recover, saw " +
+               std::to_string(im.strikes) + " strikes / " +
+               std::to_string(im.ejections) + " ejections");
+          schedule_failed = true;
+        }
+
+        // The uncrashed single-producer twin fed the merged sequence from
+        // scratch: final bits must match, and on crash-free schedules so
+        // must the whole twin-comparable metrics ledger.
+        if (!schedule_failed) {
+          serve::ServiceConfig twin_cfg = cfg;
+          twin_cfg.options.mpc.trace_hook = nullptr;
+          if (!twin_cfg.journal_path.empty()) twin_cfg.journal_path += ".twin";
+          serve::RulingSetService twin(g, twin_cfg);
+          for (const serve::UpdateBatch& gen : applied) {
+            twin.apply(gen);
+            while (twin.pending() > 0) twin.drain();
+          }
+          if (twin.ruling_set() != service.ruling_set()) {
+            fail("final set diverged from the single-producer twin");
+            schedule_failed = true;
+          } else if (twin.graph().fingerprint() !=
+                     service.graph().fingerprint()) {
+            fail("final graph fingerprint diverged from the twin");
+            schedule_failed = true;
+          } else if (twin.epoch() != service.epoch()) {
+            fail("final epoch diverged from the twin");
+            schedule_failed = true;
+          } else if (twin.metrics().heartbeats !=
+                     service.metrics().heartbeats) {
+            fail("heartbeat position diverged from the twin (" +
+                 std::to_string(service.metrics().heartbeats) + " vs " +
+                 std::to_string(twin.metrics().heartbeats) + ")");
+            schedule_failed = true;
+          } else if (!crashed_any && !service_ledgers_equal(
+                                         twin.metrics(), service.metrics())) {
+            fail("service metrics ledger diverged from the twin");
+            schedule_failed = true;
+          }
+        }
+
+        ++report.runs;
+        if (!schedule_failed && options.certify) {
+          const Graph final_graph = service.snapshot();
+          const RulingSetCertificate cert = mpc::certify_ruling_set(
+              final_graph, service.ruling_set(), run.beta, cfg.options.mpc);
+          if (!cert.valid()) {
+            fail("final certification failed: " + cert.to_string());
+          } else if (!cross_validate_certificate(final_graph,
+                                                 service.ruling_set(), cert)) {
+            fail("final certificate failed sequential cross-validation");
+          } else {
+            ++report.certified;
+          }
+        }
+        accumulate(report, service.metrics());
+        report.heartbeats += service.metrics().heartbeats;
+      } catch (const serve::ServiceError& e) {
+        fail(std::string("service error: ") + e.what());
+        ++report.runs;
+      }
+    }
+    ++report.schedules_run;
+    if (options.progress) options.progress(s + 1, report.runs);
+  }
+  return report;
+}
+
+}  // namespace
+
 ChurnReport run_churn_soak(const ChurnOptions& options) {
+  if (options.producers > 1) return run_concurrent_churn_soak(options);
   ChurnReport report;
   // The MPC registry plus the sequential greedy backend (the exact
   // β-hop-cascade repair path).

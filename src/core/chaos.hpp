@@ -104,6 +104,25 @@ struct ChurnOptions {
   // crash/recovery exercise (quick in-memory smoke). The soak writes one
   // journal per (schedule, algorithm) and leaves cleanup to the caller.
   std::string journal_dir;
+  // Concurrent multi-producer front (PR 9): producers > 1 routes every
+  // schedule's update batches through a MultiProducerIngest driven by a
+  // seeded line-interleaving scheduler. Schedule flavors poison one
+  // producer's stream (s%4==1: repeated strikes until ejection + tombstone;
+  // s%4==3: one strike, then the producer heals and recovers from
+  // quarantine), and the checks per schedule are: (1) the taken generations
+  // are exactly the canonical per-producer batch alignment (merge
+  // determinism under any interleaving), (2) every drained state matches a
+  // from-scratch fault-free recompute bit-for-bit, with the repair ledger
+  // and record-log bodies compared whenever a single-epoch rerun happened,
+  // (3) the final state is bit-identical (set + graph fingerprint + epoch +
+  // heartbeats; full metrics ledger on crash-free schedules) to a
+  // single-producer twin service fed the merged sequence from scratch, and
+  // (4) epoch-pinned point queries answered between commits reflect exactly
+  // the last committed epoch. producers == 1 is the classic path.
+  std::uint32_t producers = 1;
+  // Per-producer committed-batch queue cap for the concurrent front
+  // (exercises backpressure); 0 = unbounded.
+  std::uint64_t queue_cap = 2;
   // Optional progress callback: (schedules finished, service runs finished).
   std::function<void(std::uint64_t, std::uint64_t)> progress;
 };
@@ -128,6 +147,13 @@ struct ChurnReport {
   std::uint64_t crashes_injected = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t certified = 0;  // final states that passed full certification
+  // Concurrent-front ledger (producers > 1; zero on the classic path).
+  std::uint64_t generations = 0;         // aligned generations applied
+  std::uint64_t backpressure = 0;        // pushes bounced/blocked by the cap
+  std::uint64_t producer_strikes = 0;    // malformed/integrity strikes
+  std::uint64_t producer_ejections = 0;  // tombstoned producers
+  std::uint64_t query_checks = 0;        // point queries verified brute-force
+  std::uint64_t heartbeats = 0;          // final services' liveness ticks
   std::vector<ChaosFailure> failures;
 
   bool ok() const { return failures.empty(); }

@@ -1,0 +1,306 @@
+#include "serve/ingest.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/service.hpp"
+#include "util/error.hpp"
+
+namespace rsets::serve {
+
+const char* push_status_name(PushStatus status) {
+  switch (status) {
+    case PushStatus::kAccepted:
+      return "accepted";
+    case PushStatus::kCommitted:
+      return "committed";
+    case PushStatus::kWouldBlock:
+      return "would_block";
+    case PushStatus::kBackoff:
+      return "backoff";
+    case PushStatus::kRejected:
+      return "rejected";
+    case PushStatus::kEjected:
+      return "ejected";
+    case PushStatus::kClosed:
+      return "closed";
+    case PushStatus::kBadTag:
+      return "bad_tag";
+  }
+  return "?";
+}
+
+MultiProducerIngest::MultiProducerIngest(IngestConfig config)
+    : config_(config) {
+  if (config_.num_producers == 0) {
+    throw std::invalid_argument("ingest: num_producers must be >= 1");
+  }
+  producers_.resize(config_.num_producers);
+}
+
+PushStatus MultiProducerIngest::push_line(std::uint32_t producer,
+                                          const std::string& line) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return push_locked(lock, producer, line, /*blocking=*/true);
+}
+
+PushStatus MultiProducerIngest::offer_line(std::uint32_t producer,
+                                           const std::string& line) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return push_locked(lock, producer, line, /*blocking=*/false);
+}
+
+PushStatus MultiProducerIngest::push_locked(
+    std::unique_lock<std::mutex>& lock, std::uint32_t producer,
+    const std::string& line, bool blocking) {
+  if (producer >= config_.num_producers) {
+    throw std::invalid_argument("ingest: producer id out of range");
+  }
+  Producer& p = producers_[producer];
+  if (p.ejected) return PushStatus::kEjected;
+  if (p.closed) return PushStatus::kClosed;
+  if (p.cooldown > 0) {
+    // Quarantine cooldown is measured in bounced push attempts, not wall
+    // time: deterministic under any thread schedule.
+    --p.cooldown;
+    ++metrics_.backoff_rejections;
+    return PushStatus::kBackoff;
+  }
+
+  // Parse before consuming: a kWouldBlock below must leave the producer's
+  // stream position untouched so the caller can resubmit the same line.
+  ParsedLine parsed;
+  try {
+    parsed = parse_update_line(line, p.lineno + 1, config_.num_vertices);
+  } catch (const Error& e) {
+    ++p.lineno;
+    ++metrics_.lines;
+    return strike_locked(p, producer, e.what());
+  }
+
+  if (parsed.kind == ParsedLine::Kind::kCommit && !p.open.empty() &&
+      config_.queue_cap != 0 && p.queued.size() >= config_.queue_cap) {
+    ++metrics_.backpressure;
+    if (!blocking) return PushStatus::kWouldBlock;
+    space_.wait(lock, [&] { return p.queued.size() < config_.queue_cap; });
+  }
+
+  ++p.lineno;
+  ++metrics_.lines;
+  switch (parsed.kind) {
+    case ParsedLine::Kind::kBlank:
+      return PushStatus::kAccepted;
+    case ParsedLine::Kind::kUpdate:
+      p.open.updates.push_back(parsed.update);
+      ++metrics_.updates_accepted;
+      return PushStatus::kAccepted;
+    case ParsedLine::Kind::kChecksum: {
+      const std::uint64_t expect = batch_checksum(p.open.updates);
+      if (parsed.checksum != expect) {
+        std::ostringstream oss;
+        oss << error_code_name(ErrorCode::kChecksumMismatch) << ": line "
+            << p.lineno << ": batch digest " << std::hex << expect
+            << ", line claims " << parsed.checksum;
+        return strike_locked(p, producer, oss.str());
+      }
+      return PushStatus::kAccepted;
+    }
+    case ParsedLine::Kind::kCommit: {
+      if (p.open.empty()) {
+        return strike_locked(
+            p, producer,
+            std::string(error_code_name(ErrorCode::kMalformedLine)) +
+                ": line " + std::to_string(p.lineno) +
+                ": duplicate commit (no updates since the last commit)");
+      }
+      p.queued.push_back(std::move(p.open));
+      p.open = UpdateBatch{};
+      ++metrics_.batches_committed;
+      return PushStatus::kCommitted;
+    }
+  }
+  return PushStatus::kAccepted;  // unreachable
+}
+
+PushStatus MultiProducerIngest::strike_locked(Producer& p,
+                                              std::uint32_t producer,
+                                              const std::string& reason) {
+  // A strike rolls the producer back to its last commit: the open batch is
+  // poisoned data and is never merged.
+  p.open = UpdateBatch{};
+  ++p.strikes;
+  ++metrics_.strikes;
+  if (p.strikes > config_.max_strikes) {
+    p.ejected = true;
+    ++metrics_.ejections;
+    tombstones_.push_back({producer, p.lineno, p.strikes, reason});
+    return PushStatus::kEjected;
+  }
+  p.cooldown = std::uint64_t{1} << p.strikes;  // 2, 4, 8, ... attempts
+  return PushStatus::kRejected;
+}
+
+PushStatus MultiProducerIngest::offer_tagged_line(
+    const std::string& line, std::uint32_t* producer_out) {
+  std::uint32_t producer = 0;
+  std::string payload = line;
+  if (!line.empty() && line[0] == 'p') {
+    std::size_t i = 1;
+    while (i < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    const bool delimited =
+        i == line.size() || line[i] == ' ' || line[i] == '\t';
+    if (i > 1 && delimited) {
+      if (i - 1 > 9) {  // tag longer than any uint32 — unparseable
+        std::lock_guard<std::mutex> lock(mu_);
+        ++metrics_.bad_tags;
+        return PushStatus::kBadTag;
+      }
+      const std::uint64_t id = std::stoull(line.substr(1, i - 1));
+      if (id >= config_.num_producers) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++metrics_.bad_tags;
+        return PushStatus::kBadTag;
+      }
+      producer = static_cast<std::uint32_t>(id);
+      payload = i < line.size() ? line.substr(i + 1) : std::string();
+    }
+  }
+  if (producer_out != nullptr) *producer_out = producer;
+  return offer_line(producer, payload);
+}
+
+void MultiProducerIngest::close(std::uint32_t producer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (producer >= config_.num_producers) {
+    throw std::invalid_argument("ingest: producer id out of range");
+  }
+  Producer& p = producers_[producer];
+  if (p.closed || p.ejected) return;
+  if (!p.open.empty()) {
+    // End-of-stream closes a trailing non-empty batch, exactly like
+    // parse_update_stream. The cap is waived: close is final and blocking
+    // here would deadlock a single-threaded driver.
+    p.queued.push_back(std::move(p.open));
+    p.open = UpdateBatch{};
+    ++metrics_.batches_committed;
+  }
+  p.closed = true;
+}
+
+void MultiProducerIngest::close_all() {
+  for (std::uint32_t producer = 0; producer < config_.num_producers;
+       ++producer) {
+    close(producer);
+  }
+}
+
+void MultiProducerIngest::mark_ejected(std::uint32_t producer,
+                                       const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (producer >= config_.num_producers) {
+    throw std::invalid_argument("ingest: producer id out of range");
+  }
+  Producer& p = producers_[producer];
+  if (p.ejected) return;
+  p.open = UpdateBatch{};
+  p.ejected = true;
+  ++metrics_.ejections;
+  tombstones_.push_back({producer, p.lineno, p.strikes, reason});
+}
+
+bool MultiProducerIngest::quarantined(std::uint32_t producer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return producer < producers_.size() && producers_[producer].cooldown > 0;
+}
+
+bool MultiProducerIngest::ejected(std::uint32_t producer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return producer < producers_.size() && producers_[producer].ejected;
+}
+
+bool MultiProducerIngest::closed(std::uint32_t producer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return producer < producers_.size() && producers_[producer].closed;
+}
+
+bool MultiProducerIngest::generation_ready_locked() const {
+  bool any_queued = false;
+  for (const Producer& p : producers_) {
+    if (!p.queued.empty()) {
+      any_queued = true;
+    } else if (!p.closed && !p.ejected) {
+      return false;  // a live producer has not aligned yet — wait for it
+    }
+  }
+  return any_queued;
+}
+
+bool MultiProducerIngest::generation_ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_ready_locked();
+}
+
+bool MultiProducerIngest::drained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Producer& p : producers_) {
+    if (!p.queued.empty()) return false;
+    if (!p.closed && !p.ejected) return false;
+  }
+  return true;
+}
+
+std::optional<UpdateBatch> MultiProducerIngest::take_generation() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!generation_ready_locked()) return std::nullopt;
+  UpdateBatch out;
+  for (Producer& p : producers_) {
+    if (p.queued.empty()) continue;  // closed/ejected stragglers contribute 0
+    UpdateBatch& head = p.queued.front();
+    out.updates.insert(out.updates.end(), head.updates.begin(),
+                       head.updates.end());
+    p.queued.pop_front();
+  }
+  ++metrics_.generations;
+  space_.notify_all();
+  return out;
+}
+
+std::vector<ProducerTombstone> MultiProducerIngest::take_tombstones() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::exchange(tombstones_, {});
+}
+
+IngestMetrics MultiProducerIngest::metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+std::uint64_t MultiProducerIngest::generations_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.generations;
+}
+
+PumpReport pump_ready(MultiProducerIngest& ingest, RulingSetService& service) {
+  PumpReport report;
+  // Tombstones first: an ejection must be durable before any update that
+  // could causally follow it is applied, so recovery never resurrects a
+  // stream the pre-crash service already declared dead.
+  for (const ProducerTombstone& t : ingest.take_tombstones()) {
+    service.record_tombstone(t);
+    ++report.tombstones;
+  }
+  while (std::optional<UpdateBatch> generation = ingest.take_generation()) {
+    const BatchReport r = service.apply(*generation);
+    ++report.generations;
+    report.epochs += r.epochs;
+    report.certified = report.certified && r.certified;
+  }
+  return report;
+}
+
+}  // namespace rsets::serve

@@ -1,0 +1,192 @@
+// Multi-producer ingest front for the long-lived ruling-set service.
+//
+// N producer streams feed bounded per-producer queues of committed batches;
+// the epoch loop drains them in deterministic *generations*. Generation g is
+// the concatenation, in producer-id order, of every producer's g-th
+// committed batch — and a generation is only ready once every producer that
+// is still live (not closed, not ejected) has one queued. That alignment is
+// what makes epoch contents schedule-independent: no matter how the OS
+// interleaves producer threads, the service applies the same update sequence
+// in the same order, so the incremental ≡ from-scratch bit-parity gates of
+// the chaos soak keep holding under concurrency.
+//
+// Overload is handled by backpressure, never by dropping: a `commit` that
+// would exceed `queue_cap` queued batches blocks (push_line) or returns
+// kWouldBlock without consuming the line (offer_line — the caller resubmits
+// after draining). Work the service itself defers stays in its journaled
+// pending queue exactly as in the single-producer path.
+//
+// Faults are isolated per producer: a malformed line or a `checksum`
+// integrity mismatch discards that producer's open batch (back to its last
+// commit), counts a strike, and quarantines only that producer behind a
+// deterministic exponential backoff of 2^strikes push *attempts* (attempts,
+// not wall time, so replays stay bit-reproducible). After `max_strikes`
+// strikes the producer is ejected and a tombstone is emitted for the service
+// to journal; its already-committed batches remain valid (they were
+// validated at commit time) and still merge. Other producers never notice.
+//
+// Thread-safety: every public member is safe to call concurrently; each
+// producer id must have at most one pushing thread (ids are the identity of
+// the stream, and per-stream line order is the protocol).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/updates.hpp"
+
+namespace rsets::serve {
+
+class RulingSetService;
+
+struct IngestConfig {
+  std::uint32_t num_producers = 1;
+  // Max committed batches queued per producer awaiting merge; 0 = unbounded.
+  // The cap bounds batches, not updates, so a single oversized batch can
+  // always commit (no deadlock against its own backpressure).
+  std::uint64_t queue_cap = 4;
+  // Strikes (malformed line / checksum mismatch / duplicate commit, each
+  // discarding the open batch) tolerated before the producer is ejected.
+  std::uint32_t max_strikes = 3;
+  VertexId num_vertices = kNoVertexBound;
+};
+
+enum class PushStatus : std::uint8_t {
+  kAccepted = 0,     // line consumed into the open batch (or blank/verified)
+  kCommitted = 1,    // commit consumed; batch queued for merge
+  kWouldBlock = 2,   // queue full (offer_line only); line NOT consumed
+  kBackoff = 3,      // quarantine cooldown; line NOT consumed, retry later
+  kRejected = 4,     // strike: open batch discarded, producer quarantined
+  kEjected = 5,      // producer is ejected (now or earlier); line discarded
+  kClosed = 6,       // producer already closed; line discarded
+  kBadTag = 7,       // tagged form only: unparseable/out-of-range producer tag
+};
+
+const char* push_status_name(PushStatus status);
+
+// Durable record of an ejection, journaled by the service so recovery knows
+// which streams died and why.
+struct ProducerTombstone {
+  std::uint32_t producer = 0;
+  std::uint64_t line = 0;  // 1-based line index within the producer's stream
+  std::uint32_t strikes = 0;
+  std::string reason;
+
+  friend bool operator==(const ProducerTombstone&,
+                         const ProducerTombstone&) = default;
+};
+
+struct IngestMetrics {
+  std::uint64_t lines = 0;              // lines consumed (all producers)
+  std::uint64_t updates_accepted = 0;
+  std::uint64_t batches_committed = 0;
+  std::uint64_t generations = 0;        // generations taken so far
+  std::uint64_t backpressure = 0;       // blocking waits + kWouldBlock returns
+  std::uint64_t strikes = 0;
+  std::uint64_t backoff_rejections = 0; // pushes bounced by a cooldown
+  std::uint64_t ejections = 0;
+  std::uint64_t bad_tags = 0;
+};
+
+class MultiProducerIngest {
+ public:
+  explicit MultiProducerIngest(IngestConfig config);
+
+  // Feeds one protocol line from `producer`'s stream. Blocks while the
+  // producer's committed-batch queue is at queue_cap (backpressure: block,
+  // never drop). Safe to call from one thread per producer.
+  PushStatus push_line(std::uint32_t producer, const std::string& line);
+
+  // Non-blocking variant: returns kWouldBlock instead of waiting; the line
+  // is not consumed and must be resubmitted after the queue drains.
+  PushStatus offer_line(std::uint32_t producer, const std::string& line);
+
+  // Producer-tagged single-stream form: "p<ID> <payload>" routes <payload>
+  // to producer ID; untagged lines belong to producer 0. Returns kBadTag
+  // (line dropped) when the tag is unparseable or ID >= num_producers. The
+  // resolved producer id is written to *producer_out when non-null.
+  PushStatus offer_tagged_line(const std::string& line,
+                               std::uint32_t* producer_out = nullptr);
+
+  // End of `producer`'s stream: a non-empty open batch commits implicitly
+  // (exactly like end-of-stream in parse_update_stream; the queue cap is
+  // waived — close is final, blocking would deadlock single-threaded
+  // drivers). Closed producers no longer gate generation readiness.
+  void close(std::uint32_t producer);
+  void close_all();
+
+  // Pre-eject a producer without consuming a line (recovery path: a journal
+  // tombstone proves this stream already died in a previous life).
+  void mark_ejected(std::uint32_t producer, const std::string& reason);
+
+  bool quarantined(std::uint32_t producer) const;  // cooling down right now
+  bool ejected(std::uint32_t producer) const;
+  bool closed(std::uint32_t producer) const;
+
+  // True when the next generation is fully aligned: at least one batch is
+  // queued and every live (open, non-ejected) producer has one.
+  bool generation_ready() const;
+
+  // True when nothing more can ever come out: every producer is closed or
+  // ejected and all queues are empty.
+  bool drained() const;
+
+  // Pops generation g (each producer's oldest queued batch, concatenated in
+  // producer-id order) if ready; nullopt otherwise. Never blocks.
+  std::optional<UpdateBatch> take_generation();
+
+  // Drains tombstones emitted since the last call (the caller journals them
+  // via RulingSetService::record_tombstone before applying further work).
+  std::vector<ProducerTombstone> take_tombstones();
+
+  IngestMetrics metrics() const;
+  std::uint64_t generations_taken() const;
+  std::uint32_t num_producers() const { return config_.num_producers; }
+
+ private:
+  struct Producer {
+    UpdateBatch open;
+    std::deque<UpdateBatch> queued;
+    std::uint64_t lineno = 0;    // 1-based, counts consumed lines
+    std::uint32_t strikes = 0;
+    std::uint64_t cooldown = 0;  // remaining bounced attempts
+    bool closed = false;
+    bool ejected = false;
+  };
+
+  PushStatus push_locked(std::unique_lock<std::mutex>& lock,
+                         std::uint32_t producer, const std::string& line,
+                         bool blocking);
+  PushStatus strike_locked(Producer& p, std::uint32_t producer,
+                           const std::string& reason);
+  bool generation_ready_locked() const;
+
+  IngestConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable space_;  // a queue shrank below the cap
+  std::vector<Producer> producers_;
+  std::vector<ProducerTombstone> tombstones_;  // pending, not yet taken
+  IngestMetrics metrics_;
+};
+
+// Drains everything currently actionable from `ingest` into `service`:
+// journals pending tombstones first (ejection durability precedes applying
+// any update that could depend on it), then applies every ready generation.
+// Returns what it did. Crash-simulation exceptions from the service's
+// crash_hook propagate; the generation being applied is consumed, so the
+// caller recovers from the journal and replays producer streams.
+struct PumpReport {
+  std::uint64_t generations = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t tombstones = 0;
+  bool certified = true;
+};
+
+PumpReport pump_ready(MultiProducerIngest& ingest, RulingSetService& service);
+
+}  // namespace rsets::serve

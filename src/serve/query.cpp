@@ -1,0 +1,84 @@
+#include "serve/query.hpp"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace rsets::serve {
+
+QuerySnapshot::QuerySnapshot(std::uint64_t epoch, std::uint32_t beta,
+                             Graph graph, std::vector<VertexId> ruling_set)
+    : epoch_(epoch),
+      beta_(beta),
+      graph_(std::move(graph)),
+      set_(std::move(ruling_set)) {
+  in_set_.assign(graph_.num_vertices(), false);
+  for (VertexId v : set_) {
+    if (v >= graph_.num_vertices()) {
+      throw std::invalid_argument("query snapshot: member " +
+                                  std::to_string(v) + " out of range");
+    }
+    in_set_[v] = true;
+  }
+}
+
+bool QuerySnapshot::is_member(VertexId v) const {
+  if (v >= graph_.num_vertices()) {
+    throw std::invalid_argument("query: vertex " + std::to_string(v) +
+                                " >= n = " +
+                                std::to_string(graph_.num_vertices()));
+  }
+  return in_set_[v];
+}
+
+PointQueryResult QuerySnapshot::nearest_member(VertexId v) const {
+  if (v >= graph_.num_vertices()) {
+    throw std::invalid_argument("query: vertex " + std::to_string(v) +
+                                " >= n = " +
+                                std::to_string(graph_.num_vertices()));
+  }
+  PointQueryResult out;
+  if (in_set_[v]) {
+    out.covered = true;
+    out.member = v;
+    out.distance = 0;
+    return out;
+  }
+  // Truncated BFS; the frontier is explored a full level at a time so the
+  // first level containing members yields the minimum distance, and the
+  // smallest member id in that level breaks the tie deterministically.
+  constexpr auto kUnreached = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(graph_.num_vertices(), kUnreached);
+  std::deque<VertexId> queue{v};
+  dist[v] = 0;
+  bool found = false;
+  VertexId best = 0;
+  std::uint32_t best_dist = 0;
+  while (!queue.empty()) {
+    const VertexId x = queue.front();
+    queue.pop_front();
+    if (found && dist[x] >= best_dist) break;  // deeper levels cannot win
+    if (dist[x] >= beta_) continue;
+    for (VertexId w : graph_.neighbors(x)) {
+      if (dist[w] != kUnreached) continue;
+      dist[w] = dist[x] + 1;
+      if (in_set_[w]) {
+        if (!found || dist[w] < best_dist || (dist[w] == best_dist && w < best)) {
+          found = true;
+          best = w;
+          best_dist = dist[w];
+        }
+        continue;  // members terminate their branch: nothing closer beyond
+      }
+      queue.push_back(w);
+    }
+  }
+  out.covered = found;
+  out.member = best;
+  out.distance = best_dist;
+  return out;
+}
+
+}  // namespace rsets::serve

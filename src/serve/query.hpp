@@ -1,0 +1,69 @@
+// Epoch-pinned point queries for the long-lived ruling-set service.
+//
+// A QuerySnapshot is an immutable capture of one committed epoch: the graph,
+// the certified ruling set, and the epoch number. The service publishes a
+// fresh shared_ptr<const QuerySnapshot> under a mutex only at commit points
+// (construction, each committed epoch, recovery) — readers grab the handle
+// once and then answer any number of point queries against a state that can
+// never change underneath them, so a query issued between commits reflects
+// exactly the last committed epoch and never a half-applied batch. Holding a
+// handle across commits pins that epoch: the service moves on, the holder's
+// answers stay frozen (shared_ptr keeps the snapshot alive).
+//
+// The queries themselves are the β-ruling-set membership questions:
+// `is v covered?` (is some member within β hops) and `nearest member`
+// (smallest distance, ties broken by smallest member id — deterministic).
+// Both are one truncated BFS, O(ball_β(v)) — the same β-hop locality that
+// bounds repair latency bounds query latency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rsets::serve {
+
+struct PointQueryResult {
+  bool covered = false;      // some member within beta hops (always true for
+                             // a valid ruling set; false answers are how the
+                             // tests prove a snapshot is really pinned)
+  VertexId member = 0;       // the nearest member (valid when covered)
+  std::uint32_t distance = 0;  // hops to `member` (0 = v itself is a member)
+};
+
+class QuerySnapshot {
+ public:
+  QuerySnapshot(std::uint64_t epoch, std::uint32_t beta, Graph graph,
+                std::vector<VertexId> ruling_set);
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint32_t beta() const { return beta_; }
+  const Graph& graph() const { return graph_; }
+  const std::vector<VertexId>& ruling_set() const { return set_; }
+
+  // O(1): membership of v itself. Throws std::invalid_argument when v is
+  // out of range (queries are an external input boundary).
+  bool is_member(VertexId v) const;
+
+  // Truncated BFS from v, depth <= beta. Nearest member by hop distance,
+  // ties broken by smallest id; covered=false when no member is within
+  // beta hops.
+  PointQueryResult nearest_member(VertexId v) const;
+
+  bool covered(VertexId v) const { return nearest_member(v).covered; }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::uint32_t beta_ = 0;
+  Graph graph_;
+  std::vector<VertexId> set_;
+  std::vector<bool> in_set_;
+};
+
+// The handle the service hands out: immutable, shareable across threads
+// without further synchronization.
+using QueryHandle = std::shared_ptr<const QuerySnapshot>;
+
+}  // namespace rsets::serve

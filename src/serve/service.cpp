@@ -24,7 +24,11 @@ namespace {
 // (read_checkpoint_file would rightly reject it), it only shares the v4
 // byte-stream/seal/atomic-publish primitives.
 constexpr std::uint64_t kJournalMagic = 0x31304A5652535352ull;
-constexpr std::uint64_t kJournalVersion = 1;
+// v2 (PR 9) appends the liveness/ejection ledger — heartbeats, the sealed
+// fail-stop flag, and producer tombstones — between the pending queue and
+// the graph fingerprint. v1 journals are rejected (re-initialize the
+// service), same no-silent-upgrade policy as checkpoint v4 / replay v5.
+constexpr std::uint64_t kJournalVersion = 2;
 
 void widen(RepairScope& into, RepairScope scope) {
   if (static_cast<std::uint8_t>(scope) > static_cast<std::uint8_t>(into)) {
@@ -107,9 +111,14 @@ RulingSetService::RulingSetService(const Graph& initial, ServiceConfig config)
   metrics_.repairs_full += 1;
   certify_epoch({}, set_, /*full=*/true, report);
   write_journal();
+  publish_snapshot();
 }
 
 BatchReport RulingSetService::apply(const UpdateBatch& batch) {
+  if (sealed_) {
+    throw ServiceError("service sealed by watchdog fail-stop at epoch " +
+                       std::to_string(epoch_) + "; recover() to resume");
+  }
   metrics_.batches += 1;
   metrics_.updates_seen += batch.size();
   pending_.insert(pending_.end(), batch.updates.begin(), batch.updates.end());
@@ -118,7 +127,13 @@ BatchReport RulingSetService::apply(const UpdateBatch& batch) {
   return drain_pending(report);
 }
 
-BatchReport RulingSetService::drain() { return drain_pending(BatchReport{}); }
+BatchReport RulingSetService::drain() {
+  if (sealed_) {
+    throw ServiceError("service sealed by watchdog fail-stop at epoch " +
+                       std::to_string(epoch_) + "; recover() to resume");
+  }
+  return drain_pending(BatchReport{});
+}
 
 BatchReport RulingSetService::drain_pending(BatchReport report) {
   report.certified = true;  // every committed epoch below certifies or throws
@@ -194,22 +209,56 @@ void RulingSetService::commit_epoch(BatchReport& report) {
 
   const std::vector<VertexId> old_set = set_;
   bool force_full_certify = scope == RepairScope::kFull;
+  bool used_cascade = false;
+  std::uint64_t repair_work = 0;  // watchdog work measure (deterministic)
   if (scope == RepairScope::kFrontier &&
       config_.options.algorithm == Algorithm::kGreedySequential) {
-    set_ = cascade_repair(seeds, deleted);
-    metrics_.cascade_repairs += 1;
-    metrics_.repairs_frontier += 1;
+    set_ = cascade_repair(seeds, deleted, &repair_work);
+    used_cascade = true;
   } else {
     RulingSetResult r = run_repair(graph_.snapshot(), report,
                                    &force_full_certify);
+    repair_work = r.metrics.rounds;
     set_ = r.ruling_set;
     last_result_ = std::move(r);
-    if (scope == RepairScope::kFull) {
-      metrics_.repairs_full += 1;
-    } else {
-      metrics_.repairs_frontier += 1;
+  }
+  metrics_.heartbeats += 1;  // repair tier finished
+
+  // Watchdog tier 1 — stuck frontier repair: the deterministic work measure
+  // (cascade pops / simulator rounds) blew the per-epoch deadline, so stop
+  // trusting locality for this epoch and escalate to the full tier. For the
+  // MPC backends the frontier rerun is already a full recompute of the set,
+  // so escalation only upgrades the certification; the cascade path
+  // recomputes through the registered algorithm to refresh the full ledger.
+  if (scope == RepairScope::kFrontier && config_.watchdog_deadline != 0 &&
+      repair_work > config_.watchdog_deadline) {
+    metrics_.watchdog_escalations += 1;
+    scope = RepairScope::kFull;
+    force_full_certify = true;
+    if (used_cascade) {
+      RulingSetResult r = run_repair(graph_.snapshot(), report,
+                                     &force_full_certify);
+      repair_work = r.metrics.rounds;
+      set_ = r.ruling_set;
+      last_result_ = std::move(r);
+      used_cascade = false;
+      metrics_.heartbeats += 1;
     }
   }
+  if (used_cascade) metrics_.cascade_repairs += 1;
+  if (scope == RepairScope::kFull) {
+    metrics_.repairs_full += 1;
+  } else {
+    metrics_.repairs_frontier += 1;
+  }
+
+  // Watchdog tier 2 — the full tier exhausted its own (larger) budget:
+  // certify and commit what we have (the state is consistent), then
+  // fail-stop with the journal sealed rather than limp into the next epoch.
+  const bool fail_stop =
+      config_.watchdog_deadline != 0 && scope == RepairScope::kFull &&
+      repair_work > config_.watchdog_deadline * kWatchdogFullFactor;
+
   in_set_.assign(graph_.num_vertices(), false);
   for (VertexId v : set_) in_set_[v] = true;
 
@@ -218,14 +267,33 @@ void RulingSetService::commit_epoch(BatchReport& report) {
       (config_.full_certify_every != 0 &&
        (epoch_ + 1) % config_.full_certify_every == 0);
   certify_epoch(seeds, old_set, full, report);
+  metrics_.heartbeats += 1;  // certification finished
 
   widen(report.scope, scope);
   if (crash_hook) crash_hook("pre-commit");
   epoch_ += 1;
   metrics_.epochs += 1;
   report.epochs += 1;
+  // The commit tick lands BEFORE the journal write so the journaled
+  // liveness position equals an uncrashed twin's at the same epoch —
+  // ticking after the write would leave every recovered service one
+  // heartbeat behind forever.
+  metrics_.heartbeats += 1;
+  if (fail_stop) {
+    sealed_ = true;
+    metrics_.watchdog_failstops += 1;
+  }
   write_journal();
+  publish_snapshot();
   if (crash_hook) crash_hook("committed");
+  if (fail_stop) {
+    throw ServiceError(
+        "watchdog fail-stop: full-tier repair work " +
+        std::to_string(repair_work) + " > " +
+        std::to_string(config_.watchdog_deadline * kWatchdogFullFactor) +
+        "; epoch " + std::to_string(epoch_) +
+        " committed and journal sealed");
+  }
 }
 
 RulingSetResult RulingSetService::run_repair(const Graph& snapshot,
@@ -279,7 +347,8 @@ RulingSetResult RulingSetService::run_repair(const Graph& snapshot,
 
 std::vector<VertexId> RulingSetService::cascade_repair(
     std::span<const VertexId> seeds,
-    const std::vector<std::pair<VertexId, VertexId>>& deleted) {
+    const std::vector<std::pair<VertexId, VertexId>>& deleted,
+    std::uint64_t* pops) {
   const std::uint32_t beta = config_.options.beta;
   const VertexId n = graph_.num_vertices();
 
@@ -352,9 +421,11 @@ std::vector<VertexId> RulingSetService::cascade_repair(
     return found;
   };
 
+  *pops = 0;
   while (!work.empty()) {
     const VertexId v = *work.begin();
     work.erase(work.begin());
+    ++*pops;  // the watchdog's work measure for the cascade tier
     const bool keep = !dominated_by_smaller(v);
     if (keep == static_cast<bool>(in_set_[v])) continue;
     in_set_[v] = keep;
@@ -437,10 +508,48 @@ void RulingSetService::write_journal() {
     w.u64(u.u);
     w.u64(u.v);
   }
+  // v2 liveness/ejection ledger: heartbeats persist like epoch_ (absolute
+  // liveness position), the sealed flag records a watchdog fail-stop, and
+  // tombstones name every producer the ingest front ejected.
+  w.u64(metrics_.heartbeats);
+  w.u64(sealed_ ? 1 : 0);
+  w.u64(tombstones_.size());
+  for (const ProducerTombstone& t : tombstones_) {
+    w.u64(t.producer);
+    w.u64(t.line);
+    w.u64(t.strikes);
+    w.str(t.reason);
+  }
   w.u64(graph_.fingerprint());
   mpc::seal_checkpoint(bytes);
   write_journal_file(bytes, config_.journal_path);
   metrics_.journal_writes += 1;
+}
+
+void RulingSetService::record_tombstone(const ProducerTombstone& tombstone) {
+  if (sealed_) {
+    throw ServiceError("service sealed by watchdog fail-stop at epoch " +
+                       std::to_string(epoch_) + "; recover() to resume");
+  }
+  if (crash_hook) crash_hook("pre-tombstone");
+  tombstones_.push_back(tombstone);
+  metrics_.tombstones += 1;
+  write_journal();
+  if (crash_hook) crash_hook("tombstone-recorded");
+}
+
+QueryHandle RulingSetService::query() const {
+  std::lock_guard<std::mutex> lock(*query_mu_);
+  return query_handle_;
+}
+
+void RulingSetService::publish_snapshot() {
+  // Built outside the lock (O(n+m)); the critical section is one pointer
+  // swap, so a concurrent reader never waits on snapshot construction.
+  auto snapshot = std::make_shared<const QuerySnapshot>(
+      epoch_, config_.options.beta, graph_.snapshot(), set_);
+  std::lock_guard<std::mutex> lock(*query_mu_);
+  query_handle_ = std::move(snapshot);
 }
 
 RulingSetService RulingSetService::recover(ServiceConfig config) {
@@ -457,8 +566,12 @@ RulingSetService RulingSetService::recover(ServiceConfig config) {
       if (r.u64() != kJournalMagic) {
         throw ServiceError("journal: bad magic in " + path);
       }
-      if (r.u64() != kJournalVersion) {
-        throw ServiceError("journal: unsupported version in " + path);
+      const std::uint64_t version = r.u64();
+      if (version != kJournalVersion) {
+        throw ServiceError("journal: version " + std::to_string(version) +
+                           " unsupported (this build reads only version " +
+                           std::to_string(kJournalVersion) +
+                           "; re-initialize the service) in " + path);
       }
       const std::string alg = r.str();
       if (alg != algorithm_name(config.options.algorithm)) {
@@ -491,6 +604,23 @@ RulingSetService RulingSetService::recover(ServiceConfig config) {
                                 static_cast<VertexId>(u),
                                 static_cast<VertexId>(v)});
       }
+      svc.metrics_.heartbeats = r.u64();
+      const bool was_sealed = r.u64() != 0;
+      const std::uint64_t ntombstones = r.u64();
+      svc.tombstones_.reserve(ntombstones);
+      for (std::uint64_t i = 0; i < ntombstones; ++i) {
+        ProducerTombstone t;
+        t.producer = static_cast<std::uint32_t>(r.u64());
+        t.line = r.u64();
+        t.strikes = static_cast<std::uint32_t>(r.u64());
+        t.reason = r.str();
+        svc.tombstones_.push_back(std::move(t));
+      }
+      // recover() IS the operator's explicit un-seal: the fail-stop is
+      // surfaced in the metrics ledger, and serving resumes.
+      svc.metrics_.watchdog_failstops = was_sealed ? 1 : 0;
+      svc.metrics_.tombstones = ntombstones;
+      svc.sealed_ = false;
       const std::uint64_t fingerprint = r.u64();
       svc.graph_ = DynamicGraph(static_cast<VertexId>(n),
                                 std::move(adjacency));
@@ -510,8 +640,9 @@ RulingSetService RulingSetService::recover(ServiceConfig config) {
       throw ServiceError(std::string("journal: ") + e.what());
     }
     // Metrics are per-process counters: a recovered service starts a fresh
-    // ledger (epoch() alone carries the absolute position).
+    // ledger (epoch() and heartbeats alone carry absolute positions).
     svc.metrics_.recoveries = 1;
+    svc.publish_snapshot();
     return svc;
   };
   try {

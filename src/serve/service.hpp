@@ -42,6 +42,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -49,6 +51,8 @@
 
 #include "core/ruling_set.hpp"
 #include "serve/dynamic_graph.hpp"
+#include "serve/ingest.hpp"
+#include "serve/query.hpp"
 #include "serve/updates.hpp"
 
 namespace rsets::serve {
@@ -86,7 +90,22 @@ struct ServiceConfig {
   std::uint32_t max_repair_retries = 3;
   // Durable epoch journal; "" disables journaling (recover() then throws).
   std::string journal_path;
+  // Liveness watchdog over the epoch loop; 0 disables. The work measure is
+  // deterministic (MPC backends: simulator rounds of the repair run; greedy
+  // cascade: work-queue pops), never wall time, so a watchdog decision is
+  // bit-reproducible. A frontier-tier repair whose work exceeds this
+  // deadline escalates the epoch to the full tier (full recompute + full
+  // certification); a full-tier repair whose work exceeds
+  // kWatchdogFullFactor * deadline fail-stops the service — the epoch still
+  // commits (it is already certified and journaled), the journal is marked
+  // sealed, and apply()/drain() throw ServiceError until an operator
+  // recover()s explicitly.
+  std::uint64_t watchdog_deadline = 0;
 };
+
+// Full-tier watchdog budget multiplier: the full tier is allowed
+// kWatchdogFullFactor times the frontier deadline before fail-stop.
+inline constexpr std::uint64_t kWatchdogFullFactor = 4;
 
 enum class RepairScope : std::uint8_t { kSkip = 0, kFrontier = 1, kFull = 2 };
 
@@ -122,6 +141,15 @@ struct ServiceMetrics {
   std::uint64_t journal_writes = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t faults_injected = 0;  // summed over all repair reruns
+  // Liveness ledger (PR 9): heartbeats tick at fixed stages of every epoch
+  // commit (post-repair, post-certify, and at the commit point just before
+  // the journal write) and persist in the journal like epoch_ — an absolute
+  // liveness position, not a per-process counter, so a crashed-and-recovered
+  // service ends at the same position as an uncrashed twin.
+  std::uint64_t heartbeats = 0;
+  std::uint64_t watchdog_escalations = 0;  // frontier → full promotions
+  std::uint64_t watchdog_failstops = 0;    // full-tier budget exhausted
+  std::uint64_t tombstones = 0;            // producer ejections journaled
 };
 
 class RulingSetService {
@@ -166,8 +194,29 @@ class RulingSetService {
     return last_options_;
   }
 
+  // Epoch-pinned point queries: an immutable snapshot of the last committed
+  // epoch, republished under a mutex only at commit points (construction,
+  // each committed epoch, recovery). Safe to call from any thread while the
+  // owner thread applies batches; the handle stays valid (and frozen at its
+  // epoch) for as long as the caller holds it.
+  QueryHandle query() const;
+
+  // Journals a producer ejection from the ingest front. Durable before it
+  // returns (when journaling is configured): the tombstone write uses the
+  // same sealed tmp/fsync/rename path as epoch commits, so a crash after
+  // this call recovers a journal that still names the dead producer.
+  void record_tombstone(const ProducerTombstone& tombstone);
+  const std::vector<ProducerTombstone>& tombstones() const {
+    return tombstones_;
+  }
+
+  // True after a watchdog fail-stop: the journal is sealed and
+  // apply()/drain() throw until an operator recover()s.
+  bool sealed() const { return sealed_; }
+
   // Test/chaos hook, called at named stages of every epoch commit
-  // ("pre-apply", "pre-commit", "committed"); throwing from it simulates a
+  // ("pre-apply", "pre-commit", "committed") and of every tombstone record
+  // ("pre-tombstone", "tombstone-recorded"); throwing from it simulates a
   // crash at that point.
   std::function<void(std::string_view)> crash_hook;
 
@@ -180,11 +229,13 @@ class RulingSetService {
                              bool* force_full_certify);
   std::vector<VertexId> cascade_repair(
       std::span<const VertexId> seeds,
-      const std::vector<std::pair<VertexId, VertexId>>& deleted);
+      const std::vector<std::pair<VertexId, VertexId>>& deleted,
+      std::uint64_t* pops);
   void certify_epoch(std::span<const VertexId> dirty_seeds,
                      std::span<const VertexId> old_set, bool full,
                      BatchReport& report);
   void write_journal();
+  void publish_snapshot();
 
   ServiceConfig config_;
   DynamicGraph graph_;
@@ -196,6 +247,12 @@ class RulingSetService {
   ServiceMetrics metrics_;
   RulingSetResult last_result_;
   RulingSetOptions last_options_;
+  std::vector<ProducerTombstone> tombstones_;
+  bool sealed_ = false;
+  // unique_ptr keeps the service movable (recover() returns by value); the
+  // mutex guards only the handle swap, never the snapshot contents.
+  std::unique_ptr<std::mutex> query_mu_ = std::make_unique<std::mutex>();
+  QueryHandle query_handle_;
 };
 
 // Frontier-restricted sequential validity check, exposed for tests and the

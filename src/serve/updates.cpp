@@ -6,12 +6,13 @@
 #include <string>
 
 #include "util/error.hpp"
+#include "util/fnv.hpp"
 
 namespace rsets::serve {
 namespace {
 
-std::uint64_t parse_id(const std::string& token, std::size_t line,
-                       const std::string& text) {
+std::uint64_t parse_number(const std::string& token, std::size_t line,
+                           const std::string& text, int base) {
   // strtoull accepts leading signs and partial prefixes; both are malformed
   // here, exactly as in the edge-list reader.
   if (token.empty() || token[0] == '-' || token[0] == '+') {
@@ -20,7 +21,7 @@ std::uint64_t parse_id(const std::string& token, std::size_t line,
   }
   errno = 0;
   char* end = nullptr;
-  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  const unsigned long long v = std::strtoull(token.c_str(), &end, base);
   if (end != token.c_str() + token.size()) {
     throw Error(ErrorCode::kMalformedLine,
                 "line " + std::to_string(line) + ": '" + text + "'");
@@ -44,6 +45,72 @@ VertexId check_vertex(std::uint64_t v, VertexId num_vertices,
 
 }  // namespace
 
+ParsedLine parse_update_line(const std::string& raw, std::size_t lineno,
+                             VertexId num_vertices) {
+  std::string line = raw;
+  // Tolerate CRLF files: the '\r' is line framing, not data.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::size_t start = line.find_first_not_of(" \t");
+  if (start == std::string::npos || line[start] == '#' || line[start] == '%')
+    return ParsedLine{};
+
+  std::istringstream ls(line);
+  std::string op, tu, tv, extra;
+  ls >> op;
+  if (op == "commit") {
+    if (ls >> extra) {
+      throw Error(ErrorCode::kMalformedLine,
+                  "line " + std::to_string(lineno) +
+                      ": trailing data after commit: '" + line + "'");
+    }
+    ParsedLine out;
+    out.kind = ParsedLine::Kind::kCommit;
+    return out;
+  }
+  if (op == "checksum") {
+    if (!(ls >> tu) || (ls >> extra)) {
+      throw Error(ErrorCode::kMalformedLine,
+                  "line " + std::to_string(lineno) + ": '" + line + "'");
+    }
+    ParsedLine out;
+    out.kind = ParsedLine::Kind::kChecksum;
+    out.checksum = parse_number(tu, lineno, line, 16);
+    return out;
+  }
+  if (op != "+" && op != "-") {
+    throw Error(ErrorCode::kMalformedLine,
+                "line " + std::to_string(lineno) +
+                    ": op must be +|-|checksum|commit: '" + line + "'");
+  }
+  if (!(ls >> tu >> tv) || (ls >> extra)) {
+    throw Error(ErrorCode::kMalformedLine,
+                "line " + std::to_string(lineno) + ": '" + line + "'");
+  }
+  const VertexId u =
+      check_vertex(parse_number(tu, lineno, line, 10), num_vertices, lineno);
+  const VertexId v =
+      check_vertex(parse_number(tv, lineno, line, 10), num_vertices, lineno);
+  if (u == v) {
+    throw Error(ErrorCode::kSelfLoop,
+                "line " + std::to_string(lineno) + ": self-loop on " +
+                    std::to_string(u));
+  }
+  ParsedLine out;
+  out.kind = ParsedLine::Kind::kUpdate;
+  out.update = {op == "+" ? EdgeUpdate::Op::kInsert : EdgeUpdate::Op::kDelete,
+                u, v};
+  return out;
+}
+
+std::uint64_t batch_checksum(std::span<const EdgeUpdate> updates) {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (const EdgeUpdate& update : updates) {
+    const std::string line = to_line(update) + "\n";
+    h = fnv1a_bytes(line.data(), line.size(), h);
+  }
+  return h;
+}
+
 std::vector<UpdateBatch> parse_update_stream(std::istream& in,
                                              VertexId num_vertices) {
   std::vector<UpdateBatch> batches;
@@ -52,48 +119,34 @@ std::vector<UpdateBatch> parse_update_stream(std::istream& in,
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    // Tolerate CRLF files: the '\r' is line framing, not data.
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    const std::size_t start = line.find_first_not_of(" \t");
-    if (start == std::string::npos || line[start] == '#' || line[start] == '%')
-      continue;
-
-    std::istringstream ls(line);
-    std::string op, tu, tv, extra;
-    ls >> op;
-    if (op == "commit") {
-      if (ls >> extra) {
-        throw Error(ErrorCode::kMalformedLine,
-                    "line " + std::to_string(lineno) +
-                        ": trailing data after commit: '" + line + "'");
+    const ParsedLine parsed = parse_update_line(line, lineno, num_vertices);
+    switch (parsed.kind) {
+      case ParsedLine::Kind::kBlank:
+        break;
+      case ParsedLine::Kind::kUpdate:
+        open.updates.push_back(parsed.update);
+        break;
+      case ParsedLine::Kind::kChecksum: {
+        const std::uint64_t expect = batch_checksum(open.updates);
+        if (parsed.checksum != expect) {
+          std::ostringstream oss;
+          oss << "line " << lineno << ": batch digest " << std::hex
+              << expect << ", line claims " << parsed.checksum;
+          throw Error(ErrorCode::kChecksumMismatch, oss.str());
+        }
+        break;
       }
-      if (!open.empty()) {
+      case ParsedLine::Kind::kCommit:
+        if (open.empty()) {
+          throw Error(ErrorCode::kMalformedLine,
+                      "line " + std::to_string(lineno) +
+                          ": duplicate commit (no updates since the last "
+                          "commit)");
+        }
         batches.push_back(std::move(open));
         open = UpdateBatch{};
-      }
-      continue;
+        break;
     }
-    if (op != "+" && op != "-") {
-      throw Error(ErrorCode::kMalformedLine,
-                  "line " + std::to_string(lineno) + ": op must be +|-|commit: '" +
-                      line + "'");
-    }
-    if (!(ls >> tu >> tv) || (ls >> extra)) {
-      throw Error(ErrorCode::kMalformedLine,
-                  "line " + std::to_string(lineno) + ": '" + line + "'");
-    }
-    const VertexId u =
-        check_vertex(parse_id(tu, lineno, line), num_vertices, lineno);
-    const VertexId v =
-        check_vertex(parse_id(tv, lineno, line), num_vertices, lineno);
-    if (u == v) {
-      throw Error(ErrorCode::kSelfLoop,
-                  "line " + std::to_string(lineno) + ": self-loop on " +
-                      std::to_string(u));
-    }
-    open.updates.push_back({op == "+" ? EdgeUpdate::Op::kInsert
-                                      : EdgeUpdate::Op::kDelete,
-                            u, v});
   }
   if (!open.empty()) batches.push_back(std::move(open));
   return batches;

@@ -4,22 +4,29 @@
 // the edge-list reader in graph/io.cpp: structured rsets::Error with 1-based
 // line numbers, CRLF tolerance, '#'/'%' comments):
 //
-//   + u v      insert the undirected edge {u, v}
-//   - u v      delete the undirected edge {u, v}
-//   commit     close the current batch (one service epoch group)
+//   + u v        insert the undirected edge {u, v}
+//   - u v        delete the undirected edge {u, v}
+//   checksum H   FNV-1a digest of the open batch (optional integrity line)
+//   commit       close the current batch (one service epoch group)
 //
 // Blank lines and comments are ignored; end-of-stream closes a trailing
-// non-empty batch. Duplicate and contradictory lines are legal — batch
-// semantics are last-write-wins per unordered pair, and an insert of a
+// non-empty batch. Duplicate and contradictory update lines are legal —
+// batch semantics are last-write-wins per unordered pair, and an insert of a
 // present edge or a delete of an absent one is a no-op — so any interleaving
 // of producers can be replayed verbatim. Malformed lines (unknown op, wrong
-// field count, non-numeric or out-of-range ids, self-loops) throw
-// rsets::Error naming the exact source line; they are never skipped.
+// field count, non-numeric or out-of-range ids, self-loops) and a `commit`
+// that closes an EMPTY batch (duplicate commit) throw rsets::Error naming
+// the exact source line; they are never skipped. A `checksum H` line, if
+// present, must match batch_checksum() over the updates accumulated since
+// the last commit, else kChecksumMismatch is thrown — the multi-producer
+// ingest front turns that into a per-producer quarantine instead of a
+// stream-wide failure.
 #pragma once
 
 #include <cstdint>
 #include <istream>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -46,10 +53,35 @@ struct UpdateBatch {
 // count; kNoVertexBound disables the range check (raw protocol fuzzing).
 inline constexpr VertexId kNoVertexBound = 0xffffffffu;
 
+// One protocol line, classified. Shared by the whole-stream parser and the
+// incremental multi-producer ingest front so both enforce identical rules.
+struct ParsedLine {
+  enum class Kind : std::uint8_t {
+    kBlank = 0,     // empty line or comment — ignore
+    kUpdate = 1,    // `+ u v` / `- u v`, in `update`
+    kCommit = 2,    // `commit`
+    kChecksum = 3,  // `checksum H`, digest in `checksum`
+  };
+  Kind kind = Kind::kBlank;
+  EdgeUpdate update{};
+  std::uint64_t checksum = 0;
+};
+
+// Parses and validates a single protocol line (CRLF already allowed in
+// `line`). Throws rsets::Error (kMalformedLine / kVertexIdOverflow /
+// kSelfLoop) with the given 1-based line number in the diagnostic.
+ParsedLine parse_update_line(const std::string& line, std::size_t lineno,
+                             VertexId num_vertices);
+
+// FNV-1a over the canonical `to_line()` rendering (newline-terminated) of
+// each update, in order. This is what a `checksum H` protocol line must
+// carry for the batch accumulated since the previous commit.
+std::uint64_t batch_checksum(std::span<const EdgeUpdate> updates);
+
 // Parses a whole update stream into batches. Throws rsets::Error
-// (kMalformedLine / kVertexIdOverflow / kSelfLoop) with 1-based line
-// diagnostics; an empty stream parses to zero batches and `commit` on an
-// empty batch is ignored (idempotent flush).
+// (kMalformedLine / kVertexIdOverflow / kSelfLoop / kChecksumMismatch) with
+// 1-based line diagnostics; an empty stream parses to zero batches and a
+// `commit` that closes an empty batch (duplicate commit) is rejected.
 std::vector<UpdateBatch> parse_update_stream(std::istream& in,
                                              VertexId num_vertices);
 

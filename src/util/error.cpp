@@ -18,6 +18,8 @@ const char* error_code_name(ErrorCode code) {
       return "duplicate_edge";
     case ErrorCode::kBadFlag:
       return "bad_flag";
+    case ErrorCode::kChecksumMismatch:
+      return "checksum_mismatch";
   }
   return "?";
 }

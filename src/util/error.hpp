@@ -21,6 +21,7 @@ enum class ErrorCode {
   kSelfLoop = 4,         // edge u u
   kDuplicateEdge = 5,    // edge listed twice (in either orientation)
   kBadFlag = 6,          // --key=value where value fails to parse
+  kChecksumMismatch = 7, // a `checksum` protocol line disagrees with the data
 };
 
 // Stable spelling for diagnostics and tests.

@@ -62,7 +62,6 @@ TEST(ServeUpdatesParser, ParsesBatchesCommentsAndCrlf) {
       "- 2 3\n"
       "commit\n"
       "\n"
-      "commit\n"  // flush of an empty batch is an idempotent no-op
       "+ 4 5\n");  // trailing batch closed by end-of-stream
   const auto batches = parse_update_stream(in, kNoVertexBound);
   ASSERT_EQ(batches.size(), 2u);
@@ -105,6 +104,49 @@ TEST(ServeUpdatesParser, RejectsMalformedWithOneBasedLineNumbers) {
   expect_error("+ 0 1\n+ 0 10\n", ErrorCode::kVertexIdOverflow, "line 2");
   expect_error("+ 0 99999999999999999999\n", ErrorCode::kVertexIdOverflow,
                "line 1");
+}
+
+TEST(ServeUpdatesParser, RejectsDuplicateCommitWithOneBasedLineNumber) {
+  const auto expect_dup = [](const std::string& text,
+                             const std::string& line_tag) {
+    std::istringstream in(text);
+    try {
+      parse_update_stream(in, kNoVertexBound);
+      FAIL() << "expected duplicate-commit rejection for: " << text;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kMalformedLine) << text;
+      EXPECT_NE(std::string(e.what()).find("duplicate commit"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(line_tag), std::string::npos)
+          << "missing '" << line_tag << "' in: " << e.what();
+    }
+  };
+  expect_dup("commit\n", "line 1");                     // nothing ever queued
+  expect_dup("+ 0 1\ncommit\ncommit\n", "line 3");      // back-to-back
+  expect_dup("+ 0 1\ncommit\n# pad\n\ncommit\n", "line 5");
+}
+
+TEST(ServeUpdatesParser, ChecksumLineVerifiesTheOpenBatch) {
+  const std::vector<EdgeUpdate> updates = {
+      {EdgeUpdate::Op::kInsert, 0, 1}, {EdgeUpdate::Op::kDelete, 2, 3}};
+  std::ostringstream text;
+  for (const auto& u : updates) text << to_line(u) << "\n";
+  text << "checksum " << std::hex << batch_checksum(updates) << "\ncommit\n";
+  std::istringstream good(text.str());
+  const auto batches = parse_update_stream(good, kNoVertexBound);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].updates, updates);
+
+  std::istringstream bad("+ 0 1\nchecksum deadbeef\ncommit\n");
+  try {
+    parse_update_stream(bad, kNoVertexBound);
+    FAIL() << "expected checksum mismatch";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kChecksumMismatch);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(ServeUpdatesParser, ToLineRoundTrips) {

@@ -9,6 +9,9 @@
 //   chaos_soak --churn --journal_dir=D  # fault+churn soak over the
 //                                       # long-lived service (crash-mid-batch
 //                                       # recovery needs --journal_dir)
+//   chaos_soak --churn --producers=4    # concurrent multi-producer front:
+//                                       # seeded interleavings, backpressure,
+//                                       # quarantine/ejection, pinned queries
 //
 // Prints an aggregate key=value report; exits 0 only when every schedule
 // upheld the contract. A failure line carries the schedule index and the
@@ -37,6 +40,10 @@ int run_churn(const rsets::Flags& flags) {
       static_cast<std::uint64_t>(flags.get_int("batch_updates", 24));
   options.certify = !flags.get_bool("no-certify", false);
   options.journal_dir = flags.get("journal_dir", "");
+  options.producers =
+      static_cast<std::uint32_t>(flags.get_int("producers", 1));
+  options.queue_cap =
+      static_cast<std::uint64_t>(flags.get_int("queue_cap", 2));
   if (flags.get_bool("progress", false)) {
     options.progress = [](std::uint64_t schedules, std::uint64_t runs) {
       if (schedules % 10 == 0) {
@@ -66,8 +73,17 @@ int run_churn(const rsets::Flags& flags) {
             << "faults_injected=" << report.faults_injected << "\n"
             << "crashes_injected=" << report.crashes_injected << "\n"
             << "recoveries=" << report.recoveries << "\n"
-            << "certified=" << report.certified << "\n"
-            << "failures=" << report.failures.size() << "\n";
+            << "certified=" << report.certified << "\n";
+  if (options.producers > 1) {
+    std::cout << "producers=" << options.producers << "\n"
+              << "generations=" << report.generations << "\n"
+              << "backpressure=" << report.backpressure << "\n"
+              << "producer_strikes=" << report.producer_strikes << "\n"
+              << "producer_ejections=" << report.producer_ejections << "\n"
+              << "query_checks=" << report.query_checks << "\n"
+              << "heartbeats=" << report.heartbeats << "\n";
+  }
+  std::cout << "failures=" << report.failures.size() << "\n";
   for (const ChaosFailure& f : report.failures) {
     std::cerr << "soak failure: schedule " << f.schedule << " algorithm "
               << f.algorithm << " faults " << f.fault_spec << ": " << f.what
@@ -84,13 +100,14 @@ int main(int argc, char** argv) {
   static const std::set<std::string> kKnownFlags = {
       "schedules", "seed",     "n",        "avg_deg",       "machines",
       "no-certify", "progress", "churn",   "batches",       "batch_updates",
-      "journal_dir"};
+      "journal_dir", "producers", "queue_cap"};
   for (const std::string& key : flags.keys()) {
     if (kKnownFlags.count(key) == 0) {
       std::cerr << "error: unknown flag --" << key
                 << " (want --schedules=N --seed=S --n=N --avg_deg=D "
                    "--machines=M --no-certify --progress --churn "
-                   "--batches=B --batch_updates=U --journal_dir=DIR)\n";
+                   "--batches=B --batch_updates=U --journal_dir=DIR "
+                   "--producers=P --queue_cap=C)\n";
       return 2;
     }
   }

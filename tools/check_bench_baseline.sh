@@ -73,6 +73,18 @@ if grep -q '"certified": 0' "$baselines/BENCH_serve_churn.json"; then
   exit 1
 fi
 
+# E14 must have a recorded baseline: the concurrent multi-producer front is
+# gated on a checked-in end-to-end throughput reference, and every recorded
+# row must have certified every committed epoch.
+if [ ! -f "$baselines/BENCH_serve_concurrent.json" ]; then
+  echo "check_bench_baseline: BENCH_serve_concurrent.json (E14 concurrent serve) missing — run tools/bench_baseline.sh" >&2
+  exit 1
+fi
+if grep -q '"certified": 0' "$baselines/BENCH_serve_concurrent.json"; then
+  echo "check_bench_baseline: BENCH_serve_concurrent.json carries an uncertified row — the recorded concurrent run broke its contract" >&2
+  exit 1
+fi
+
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$build_dir" -j "$(nproc)" --target bench_rounds_vs_n
 

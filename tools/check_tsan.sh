@@ -22,6 +22,11 @@
 #     ruling-set service (incremental repair + region certification +
 #     journal crash/recovery), with the same thread-width rotation, so the
 #     parallel simulator also runs under TSan from the serving path.
+#   * Stage 4 (concurrent ingest): the ServeConcurrent* unit tests (real
+#     producer threads pushing through the ingest front's mutex/condvar
+#     backpressure while a consumer drains) plus a short multi-producer
+#     churn soak, so the lock discipline of MultiProducerIngest and the
+#     query-handle publish path run under TSan.
 #   * Run the full binary under TSan with: ./build-tsan/tests/rsets_tests
 set -eu
 
@@ -34,7 +39,7 @@ cmake --build "$build_dir" --target rsets_tests chaos_soak -j "$(nproc)"
 
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$build_dir/tests/rsets_tests" \
-    --gtest_filter='Simulator*:Primitives*:DistGraph*:ThreadedDeterminism*:*/ThreadedDeterminism*:BarrierParity*:*/BarrierParityFaults*:FnvBatch*:Api.*:ServeMpc*'
+    --gtest_filter='Simulator*:Primitives*:DistGraph*:ThreadedDeterminism*:*/ThreadedDeterminism*:BarrierParity*:*/BarrierParityFaults*:FnvBatch*:Api.*:ServeMpc*:ServeConcurrent*'
 
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$build_dir/tools/chaos_soak" --schedules=6 --n=400 --machines=8
@@ -44,5 +49,11 @@ TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
     "$build_dir/tools/chaos_soak" --churn --schedules=3 --n=200 \
     --machines=8 --journal_dir="$churn_tmp"
 rm -rf "$churn_tmp"
+
+cchurn_tmp=$(mktemp -d)
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+    "$build_dir/tools/chaos_soak" --churn --producers=4 --schedules=3 \
+    --n=200 --machines=8 --journal_dir="$cchurn_tmp"
+rm -rf "$cchurn_tmp"
 
 echo "check_tsan: PASS"

@@ -10,8 +10,10 @@
 #   4. Record/recover/replay gate for the fault subsystem
 #      (tools/check_replay.sh).
 #   5. Fuzz smoke: 30 s each on the edge-list, flag parser, checkpoint
-#      decoder, and service update-stream harnesses (fuzz/). Any escaping
-#      exception or crash fails the gate.
+#      decoder, and service update-stream harnesses (fuzz/); the updates
+#      harness alternates between the plain stream parser and producer-
+#      tagged multi-producer ingest (strikes/ejection/backpressure paths).
+#      Any escaping exception or crash fails the gate.
 #   6. Degrade parity: strict vs. degrade runs of every MPC algorithm on
 #      the E1 graph family must produce byte-identical ruling sets while
 #      the degrade run reports degraded_subrounds > 0.
@@ -27,12 +29,22 @@
 #      bit-identical to a fault-free from-scratch recompute, every third
 #      schedule crashes mid-batch and recovers from its sealed journal, and
 #      every final state certifies in-model + cross-validates.
+#  8c. Concurrent churn soak: 100 seeded interleaving schedules route the
+#      same churn through a 4-producer ingest front (bounded queues,
+#      backpressure, poisoned-stream quarantine/ejection flavors); taken
+#      generations must equal the canonical per-producer alignment, every
+#      drained state must match both the from-scratch oracle and a
+#      single-producer twin bit-for-bit (set + metrics + record-log
+#      bodies, crash-mid-epoch recovery included), and epoch-pinned point
+#      queries must answer from exactly the last committed epoch.
 #   9. Sharded-generation gate: the cross-shard validator plus a
 #      10^7-edge out-of-core smoke run (sharded graph500, spill-backed,
 #      certified in-model) through rsets_cli --sharded.
 #  10. Bench baseline gate: checked-in bench/baselines/*.json must carry
-#      release stamps on both build-type fields (E12's BENCH_shard_ooc.json
-#      must exist), a Release re-run of the E1b transport-storm and E1c
+#      release stamps on both build-type fields (the E12 shard_ooc, E13
+#      serve_churn, and E14 serve_concurrent baselines must exist, the
+#      serving rows with certified=1), a Release re-run of the E1b
+#      transport-storm and E1c
 #      barrier-scaling rows must stay within a generous real_time tolerance
 #      of them, and every E1c row must report identical=1
 #      (tools/check_bench_baseline.sh).
@@ -90,6 +102,16 @@ churn_tmp=$(mktemp -d)
 timeout 600 "$repo_root/build/tools/chaos_soak" --churn --schedules=100 \
     --seed=1 --journal_dir="$churn_tmp"
 rm -rf "$churn_tmp"
+
+echo "=== ci: concurrent churn soak (100 schedules, 4-producer ingest) ==="
+# Seeded line-interleavings through the multi-producer front: generation
+# alignment, backpressure, per-producer quarantine/ejection + tombstone
+# journaling, epoch-pinned queries, and final bit-identity against a
+# single-producer twin — including crash-mid-epoch recovery schedules.
+cchurn_tmp=$(mktemp -d)
+timeout 900 "$repo_root/build/tools/chaos_soak" --churn --producers=4 \
+    --schedules=100 --seed=1 --journal_dir="$cchurn_tmp"
+rm -rf "$cchurn_tmp"
 
 echo "=== ci: sharded generation (validator + 10^7-edge out-of-core smoke) ==="
 # graph500 scale=20, edgefactor=16: 2^24 ~ 1.7e7 raw edges, streamed and

@@ -44,6 +44,7 @@
 #include <iostream>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -136,6 +137,20 @@ int usage(const std::string& error) {
       << "                     epochs (region-restricted otherwise)\n"
       << "  --repair-retries=N retry budget for repairs that trip the\n"
       << "                     degrade budget or the round deadline\n"
+      << "  --producers=N      multi-producer ingest: --updates lines tagged\n"
+      << "                     'p<ID> <payload>' route to producer ID\n"
+      << "                     (untagged lines to p0); batches merge into\n"
+      << "                     deterministic generations, one bad stream\n"
+      << "                     quarantines/ejects only that producer\n"
+      << "  --queue-cap=C      committed batches queued per producer before\n"
+      << "                     backpressure (0 unbounded; a stream the cap\n"
+      << "                     cannot admit single-threaded exits 2)\n"
+      << "  --query=V[,V...]   after the stream drains, answer epoch-pinned\n"
+      << "                     point queries (covered? nearest member?)\n"
+      << "  --watchdog-deadline=W  per-epoch repair-work deadline: stuck\n"
+      << "                     frontier repairs escalate to full, a stuck\n"
+      << "                     full repair fail-stops (exit 1, journal\n"
+      << "                     sealed); 0 disables\n"
       << "  --trace=FILE       per-round JSONL trace (MPC algorithms)\n"
       << "  --sharded=SPEC     stream the input as per-machine shards (no\n"
       << "                     global edge list): graph500:scale=S[,edgefactor=E]\n"
@@ -307,10 +322,15 @@ int run_sharded(const Flags& flags) {
 
 // The long-lived service front end: load (or --recover) the resident graph,
 // stream update batches from --updates (a file, or stdin as "-"), maintain
-// the ruling set incrementally, and certify every epoch. One key=value
-// stanza per applied batch, then a summary; exit 0 only when every epoch
-// certified, 1 when the service had to reject a batch (certification or
-// repair failure), 2 for usage/input errors.
+// the ruling set incrementally, and certify every epoch. With --producers=N
+// the stream is producer-tagged ("p<ID> <payload>") and routed through the
+// multi-producer ingest front: batches merge into deterministic generations
+// and a bad stream strikes/ejects only its own producer. One key=value
+// stanza per applied batch (or generation/tombstone), then a summary; exit 0
+// only when every epoch certified, 1 when the service could not maintain its
+// certified contract (certification/repair failure, or a watchdog fail-stop
+// sealing the journal), 2 for usage/input errors (including a bad producer
+// tag or a stream the --queue-cap can never admit single-threaded).
 int run_serve(const Flags& flags) {
   const RunSpec spec = spec_from_flags(flags);
   serve::ServiceConfig cfg;
@@ -325,6 +345,8 @@ int run_serve(const Flags& flags) {
       static_cast<std::uint32_t>(flags.get_int("repair-retries", 3));
   cfg.full_threshold = flags.get_double("full-threshold", 0.10);
   cfg.journal_path = flags.get("journal", "");
+  cfg.watchdog_deadline =
+      static_cast<std::uint64_t>(flags.get_int("watchdog-deadline", 0));
 
   std::optional<serve::RulingSetService> recovered;
   if (flags.get_bool("recover", false)) {
@@ -342,19 +364,25 @@ int run_serve(const Flags& flags) {
         recovered ? std::move(*recovered)
                   : serve::RulingSetService(build_graph(spec), cfg);
 
+    const auto producers =
+        static_cast<std::uint32_t>(flags.get_int("producers", 1));
     std::vector<serve::UpdateBatch> batches;
     const std::string updates_path = flags.get("updates", "");
+    std::ifstream updates_file;
+    std::istream* updates_in = nullptr;
     if (updates_path == "-") {
-      batches =
-          serve::parse_update_stream(std::cin, service.graph().num_vertices());
+      updates_in = &std::cin;
     } else if (!updates_path.empty()) {
-      std::ifstream in(updates_path);
-      if (!in) {
+      updates_file.open(updates_path);
+      if (!updates_file) {
         std::cerr << "error: cannot read " << updates_path << "\n";
         return 2;
       }
-      batches =
-          serve::parse_update_stream(in, service.graph().num_vertices());
+      updates_in = &updates_file;
+    }
+    if (producers <= 1 && updates_in != nullptr) {
+      batches = serve::parse_update_stream(*updates_in,
+                                           service.graph().num_vertices());
     }
 
     std::cout << "serve=1\n"
@@ -366,7 +394,7 @@ int run_serve(const Flags& flags) {
               << "initial_size=" << service.ruling_set().size() << "\n";
 
     std::size_t index = 0;
-    for (const serve::UpdateBatch& batch : batches) {
+    auto apply_one = [&](const serve::UpdateBatch& batch, const char* label) {
       serve::BatchReport report = service.apply(batch);
       while (service.pending() > 0) {
         const serve::BatchReport more = service.drain();
@@ -378,7 +406,7 @@ int run_serve(const Flags& flags) {
         }
         report.set_size = more.set_size;
       }
-      std::cout << "batch=" << index++ << "\n"
+      std::cout << label << "=" << index++ << "\n"
                 << "  epoch=" << service.epoch() << "\n"
                 << "  updates=" << report.updates << "\n"
                 << "  effective_updates=" << report.effective_updates << "\n"
@@ -388,6 +416,103 @@ int run_serve(const Flags& flags) {
                 << "  dirty_vertices=" << report.dirty_vertices << "\n"
                 << "  repair_retries=" << report.repair_retries << "\n"
                 << "  size=" << report.set_size << "\n";
+    };
+
+    if (producers > 1) {
+      // Producer-tagged stream mode: route each line through the ingest
+      // front; tombstones journal before any dependent generation applies.
+      serve::IngestConfig icfg;
+      icfg.num_producers = producers;
+      icfg.queue_cap =
+          static_cast<std::uint64_t>(flags.get_int("queue-cap", 4));
+      icfg.num_vertices = service.graph().num_vertices();
+      serve::MultiProducerIngest ingest(icfg);
+      auto pump = [&]() -> std::uint64_t {
+        std::uint64_t taken = 0;
+        for (const serve::ProducerTombstone& t : ingest.take_tombstones()) {
+          service.record_tombstone(t);
+          std::cout << "tombstone=p" << t.producer << "\n"
+                    << "  line=" << t.line << "\n"
+                    << "  strikes=" << t.strikes << "\n"
+                    << "  reason=" << t.reason << "\n";
+        }
+        while (std::optional<serve::UpdateBatch> gen =
+                   ingest.take_generation()) {
+          apply_one(*gen, "generation");
+          ++taken;
+        }
+        return taken;
+      };
+      std::string line;
+      std::uint64_t lineno = 0;
+      while (updates_in != nullptr && std::getline(*updates_in, line)) {
+        ++lineno;
+        for (;;) {
+          const serve::PushStatus status = ingest.offer_tagged_line(line);
+          if (status == serve::PushStatus::kBadTag) {
+            std::cerr << "error: line " << lineno
+                      << ": bad producer tag (want p0..p" << (producers - 1)
+                      << ")\n";
+            return 2;
+          }
+          if (status == serve::PushStatus::kWouldBlock) {
+            if (pump() == 0) {
+              // Nothing could merge (another producer's generation slot is
+              // still open), so the cap can never clear single-threaded.
+              std::cerr << "error: line " << lineno
+                        << ": producer queue over --queue-cap with no "
+                           "generation ready (raise --queue-cap or reorder "
+                           "the stream)\n";
+              return 2;
+            }
+            continue;  // space freed; resubmit the same line
+          }
+          if (status == serve::PushStatus::kBackoff) continue;  // cooldown
+          break;  // consumed (or dropped: ejected/closed streams stay dead)
+        }
+      }
+      ingest.close_all();
+      pump();
+      const serve::IngestMetrics im = ingest.metrics();
+      std::cout << "producers=" << producers << "\n"
+                << "generations=" << im.generations << "\n"
+                << "backpressure=" << im.backpressure << "\n"
+                << "producer_strikes=" << im.strikes << "\n"
+                << "producer_ejections=" << im.ejections << "\n";
+    } else {
+      for (const serve::UpdateBatch& batch : batches) {
+        apply_one(batch, "batch");
+      }
+    }
+
+    if (flags.has("query")) {
+      // Epoch-pinned point queries from the last committed epoch's
+      // immutable snapshot handle.
+      const serve::QueryHandle snap = service.query();
+      std::stringstream spec_in(flags.get("query", ""));
+      std::string token;
+      while (std::getline(spec_in, token, ',')) {
+        std::uint64_t v = 0;
+        try {
+          v = std::stoull(token);
+        } catch (const std::exception&) {
+          std::cerr << "error: --query: bad vertex '" << token << "'\n";
+          return 2;
+        }
+        if (v >= snap->graph().num_vertices()) {
+          std::cerr << "error: --query: vertex " << v << " out of range\n";
+          return 2;
+        }
+        const serve::PointQueryResult r =
+            snap->nearest_member(static_cast<VertexId>(v));
+        std::cout << "query=" << v << "\n"
+                  << "  epoch=" << snap->epoch() << "\n"
+                  << "  covered=" << (r.covered ? 1 : 0) << "\n";
+        if (r.covered) {
+          std::cout << "  member=" << r.member << "\n"
+                    << "  distance=" << r.distance << "\n";
+        }
+      }
     }
 
     const serve::ServiceMetrics& m = service.metrics();
@@ -403,6 +528,11 @@ int run_serve(const Flags& flags) {
               << "region_certifications=" << m.certifications_region << "\n"
               << "full_certifications=" << m.certifications_full << "\n"
               << "journal_writes=" << m.journal_writes << "\n"
+              << "tombstones=" << m.tombstones << "\n"
+              << "heartbeats=" << m.heartbeats << "\n"
+              << "watchdog_escalations=" << m.watchdog_escalations << "\n"
+              << "watchdog_failstops=" << m.watchdog_failstops << "\n"
+              << "sealed=" << (service.sealed() ? 1 : 0) << "\n"
               << "churn_ewma=" << service.churn_ewma() << "\n"
               << "size=" << service.ruling_set().size() << "\n"
               << "peak_rss_kb=" << peak_rss_kb() << "\n";
@@ -472,10 +602,11 @@ int main(int argc, char** argv) {
       "input",     "integrity",             "journal", "machines",
       "max-epochs",            "memory_words",
       "n",         "out",      "paranoid",  "print_set",
+      "producers", "query",    "queue-cap",
       "record",    "recover",  "repair-retries",
       "replay",    "seed",     "serve",     "sharded", "soak",
       "spill-dir", "threads",  "trace",     "updates",
-      "validate-shards",       "verbose"};
+      "validate-shards",       "verbose",   "watchdog-deadline"};
   for (const std::string& key : flags.keys()) {
     if (kKnownFlags.count(key) == 0) {
       return usage("unknown flag: --" + key);
